@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the NWS forecaster ensemble: the adaptive
+//! selection re-postcasts every strategy over the history, so its cost
+//! bounds how often a scheduler can refresh its stochastic values.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use prodpred_nws::forecast::{postcast_mse, AdaptiveForecaster, ExpSmoothing, LastValue};
+use prodpred_nws::TimeSeries;
+use prodpred_simgrid::load::{LoadGenerator, MarkovModal};
+
+fn series_of(len: usize) -> TimeSeries {
+    let trace = MarkovModal::platform2(25.0).generate(1, 0.0, 5.0, len);
+    let mut s = TimeSeries::new(len);
+    for (i, &v) in trace.values().iter().enumerate() {
+        s.push(i as f64 * 5.0, v);
+    }
+    s
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive-forecast");
+    for len in [32usize, 128, 512] {
+        let series = series_of(len);
+        let ens = AdaptiveForecaster::standard();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &series, |b, s| {
+            b.iter(|| ens.forecast(black_box(s)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_strategies(c: &mut Criterion) {
+    let series = series_of(256);
+    let history = series.values();
+    let mut group = c.benchmark_group("postcast-mse-256");
+    group.bench_function("last-value", |b| {
+        b.iter(|| postcast_mse(&LastValue, black_box(&history)))
+    });
+    group.bench_function("exp-smoothing", |b| {
+        b.iter(|| postcast_mse(&ExpSmoothing { alpha: 0.3 }, black_box(&history)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive, bench_single_strategies);
+criterion_main!(benches);

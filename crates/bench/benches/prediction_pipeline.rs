@@ -1,0 +1,33 @@
+//! Criterion benchmark for the full prediction pipeline: NWS advance plus
+//! a stochastic prediction — the cost a scheduler pays per decision.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prodpred_core::{decompose, DecompositionPolicy, PredictorConfig, SorPredictor};
+use prodpred_nws::{NwsConfig, NwsService};
+use prodpred_simgrid::Platform;
+
+fn bench_predict(c: &mut Criterion) {
+    let platform = Platform::platform2(7, 20_000.0);
+    let nws = NwsService::attach(&platform, NwsConfig::default());
+    nws.advance_to(&platform, 2_000.0);
+    let strips = decompose(&platform, 1600, DecompositionPolicy::DedicatedSpeed, None);
+    let predictor = SorPredictor::new(&platform, &nws, PredictorConfig::default());
+
+    c.bench_function("predict-1600-4procs", |b| {
+        b.iter(|| predictor.predict(black_box(1600), black_box(&strips)))
+    });
+
+    c.bench_function("nws-advance-60s", |b| {
+        let mut t = 2_000.0;
+        b.iter(|| {
+            t += 60.0;
+            if t > 19_000.0 {
+                t = 2_000.0;
+            }
+            nws.advance_to(&platform, black_box(t));
+        })
+    });
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

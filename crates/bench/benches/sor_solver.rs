@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the real SOR solvers: sequential vs.
+//! multithreaded scaling, and the simulated distributed execution cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use prodpred_simgrid::Platform;
+use prodpred_sor::{
+    partition_equal, simulate, solve_parallel, solve_seq, DistSorConfig, Grid, SorParams,
+};
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sor-sequential");
+    for n in [65usize, 129, 257] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = Grid::laplace_problem(n);
+                solve_seq(&mut g, SorParams::for_grid(n, 10));
+                black_box(g.interior_sum())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let n = 257;
+    let mut group = c.benchmark_group("sor-parallel-257");
+    for p in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let mut g = Grid::laplace_problem(n);
+                solve_parallel(&mut g, SorParams::for_grid(n, 10), p);
+                black_box(g.interior_sum())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_distsim(c: &mut Criterion) {
+    let platform = Platform::platform2(1, 40_000.0);
+    let strips = partition_equal(1598, 4);
+    c.bench_function("distsim-1600x50iters", |b| {
+        b.iter(|| {
+            simulate(
+                black_box(&platform),
+                &strips,
+                DistSorConfig::new(1600, 50, 500.0),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sequential,
+    bench_parallel_scaling,
+    bench_distsim
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Exports experiment artifacts as JSON for archival or external
+//! plotting: the two platforms' load/bandwidth traces and a full
+//! Platform-2 experiment series.
+//!
+//! Usage: `cargo run -p prodpred-bench --bin export_traces [out_dir]`
+//! (default `./artifacts`).
+
+use prodpred_core::platform2_experiment;
+use prodpred_simgrid::Platform;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "artifacts".to_string())
+        .into();
+    fs::create_dir_all(&out)?;
+
+    let p1 = Platform::platform1(42, 3600.0);
+    fs::write(
+        out.join("platform1.json"),
+        serde_json::to_string_pretty(&p1).expect("serialize platform1"),
+    )?;
+    let p2 = Platform::platform2(42, 3600.0);
+    fs::write(
+        out.join("platform2.json"),
+        serde_json::to_string_pretty(&p2).expect("serialize platform2"),
+    )?;
+
+    let series = platform2_experiment(1600, 1600, 10);
+    fs::write(
+        out.join("platform2_1600_series.json"),
+        serde_json::to_string_pretty(&series).expect("serialize series"),
+    )?;
+
+    println!("wrote:");
+    for f in [
+        "platform1.json",
+        "platform2.json",
+        "platform2_1600_series.json",
+    ] {
+        let path = out.join(f);
+        let bytes = fs::metadata(&path)?.len();
+        println!("  {} ({} KiB)", path.display(), bytes / 1024);
+    }
+    println!(
+        "\nEach file reloads losslessly (see tests/serialization.rs) so\n\
+         experiments can be archived, diffed, and replotted elsewhere."
+    );
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Figures 6 and 7 — the paper's two illustrative diagrams, rendered from
+//! live objects instead of clip art:
+//!
+//! * Figure 6: the strip decomposition of the SOR grid;
+//! * Figure 7: program skew — "delays in communication between a
+//!   processor executing data strip S_i and its neighbor ... can retard
+//!   communication ... accumulating communication delays can create a
+//!   kind of 'skew'".
+
+use prodpred_core::report::{f, render_table};
+use prodpred_simgrid::{Machine, MachineClass, MachineSpec, Platform, Trace};
+use prodpred_sor::{partition_rows, simulate, DistSorConfig};
+
+fn main() {
+    println!("== Figure 6: strip decomposition (1000 x 1000, Platform 1 speeds) ==\n");
+    let weights = [
+        1.0 / MachineClass::Sparc2.benchmark_secs_per_element(),
+        1.0 / MachineClass::Sparc2.benchmark_secs_per_element(),
+        1.0 / MachineClass::Sparc5.benchmark_secs_per_element(),
+        1.0 / MachineClass::Sparc10.benchmark_secs_per_element(),
+    ];
+    let strips = partition_rows(998, &weights);
+    let rows: Vec<Vec<String>> = strips
+        .iter()
+        .map(|s| {
+            vec![
+                format!("P{}", s.proc + 1),
+                format!("{:?}", s.rows),
+                s.n_rows().to_string(),
+                s.elements(1000).to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["processor", "rows", "row count", "elements"], &rows)
+    );
+    println!("Faster machines receive proportionally taller strips (footnote 2).\n");
+
+    println!("== Figure 7: program skew from a delayed neighbour ==\n");
+    // Four identical dedicated machines, except P2 stalls (availability
+    // 0.2) for the first 3 seconds. Watch the stall ripple outward one
+    // neighbour per iteration, then drain once P2 recovers.
+    let horizon = 100_000usize;
+    let mut machines: Vec<Machine> = (0..4)
+        .map(|i| {
+            Machine::new(
+                MachineSpec::new(format!("m{i}"), MachineClass::Sparc10),
+                Trace::constant(0.0, 1.0, 1.0, horizon),
+            )
+        })
+        .collect();
+    let mut stall = vec![0.2; 3];
+    stall.extend(vec![1.0; horizon - 3]);
+    machines[1] = Machine::new(
+        MachineSpec::new("m1-stalled", MachineClass::Sparc10),
+        Trace::new(0.0, 1.0, stall),
+    );
+    let network = Platform::dedicated(&[MachineClass::Sparc10], 10.0).network;
+    let platform = Platform {
+        machines,
+        network,
+        horizon: horizon as f64,
+    };
+    let strips = prodpred_sor::partition_equal(998, 4);
+    let run = simulate(&platform, &strips, DistSorConfig::new(1000, 12, 0.0));
+    let clean = simulate(
+        &Platform::dedicated([MachineClass::Sparc10; 4].as_ref(), 1.0e5),
+        &strips,
+        DistSorConfig::new(1000, 12, 0.0),
+    );
+    let rows: Vec<Vec<String>> = run
+        .iteration_secs
+        .iter()
+        .zip(&clean.iteration_secs)
+        .enumerate()
+        .map(|(i, (&loaded, &baseline))| {
+            let bar = "#".repeat((loaded * 40.0).round() as usize);
+            vec![
+                (i + 1).to_string(),
+                f(loaded, 3),
+                f(baseline, 3),
+                f(loaded - baseline, 3),
+                bar,
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["iteration", "loaded (s)", "baseline (s)", "skew delay (s)", "bar"],
+            &rows
+        )
+    );
+    println!(
+        "total {:.2} s vs clean {:.2} s; final inter-processor skew {:.4} s\n\
+         Early iterations absorb the stalled neighbour's delay (the skew of\n\
+         Figure 7); once the stall clears, iterations return to the\n\
+         baseline — the loose synchronization bounds the damage instead of\n\
+         letting it accumulate without limit.",
+        run.total_secs, clean.total_secs, run.skew_secs
+    );
+}

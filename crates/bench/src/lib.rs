@@ -1,0 +1,144 @@
+//! Shared helpers for the figure/table regeneration binaries.
+
+use prodpred_core::report::{f, render_interval_chart, render_series, render_table};
+use prodpred_core::ExperimentSeries;
+use prodpred_stochastic::{Distribution, Histogram, Normal};
+
+/// Prints a histogram with its fitted-normal overlay, in the style of the
+/// paper's PDF figures: per bin, the observed percentage and the normal's
+/// predicted percentage.
+pub fn print_histogram_with_normal(data: &[f64], bins: usize, title: &str, unit: &str) {
+    let hist = Histogram::from_data(data, bins).expect("non-degenerate data");
+    let normal = prodpred_stochastic::fit::fit_normal(data).expect("enough data");
+    println!("== {title} ==");
+    println!("fitted normal: mean {:.4}, sd {:.4} {unit}", normal.mu(), normal.sigma());
+    let rows: Vec<Vec<String>> = (0..hist.bins())
+        .map(|i| {
+            let center = hist.bin_center(i);
+            let observed = hist.percent(i);
+            let predicted =
+                normal.mass_between(center - hist.bin_width() / 2.0, center + hist.bin_width() / 2.0)
+                    * 100.0;
+            vec![
+                f(center, 3),
+                f(observed, 1),
+                f(predicted, 1),
+                "#".repeat((observed.round() as usize).min(60)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[unit, "observed %", "normal %", "bar"],
+            &rows
+        )
+    );
+}
+
+/// Prints the empirical CDF against the fitted normal CDF (the paper's
+/// Figures 2 and 4).
+pub fn print_cdf_comparison(data: &[f64], points: usize, title: &str, unit: &str) {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let normal = prodpred_stochastic::fit::fit_normal(data).expect("enough data");
+    println!("== {title} (CDF) ==");
+    let n = sorted.len();
+    let rows: Vec<Vec<String>> = (1..=points)
+        .map(|k| {
+            let idx = (k * n / points).min(n) - 1;
+            let x = sorted[idx];
+            let ecdf = 100.0 * (idx + 1) as f64 / n as f64;
+            let ncdf = 100.0 * normal.cdf(x);
+            vec![f(x, 3), f(ecdf, 1), f(ncdf, 1)]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&[unit, "actual CDF %", "normal CDF %"], &rows)
+    );
+}
+
+/// Prints an experiment series as the paper's paired figures: the
+/// execution-time interval chart plus the watched machine's load trace.
+pub fn print_experiment(series: &ExperimentSeries, title: &str, max_load_rows: usize) {
+    println!("== {title} ==");
+    let rows: Vec<(String, f64, f64, f64, f64)> = series
+        .records
+        .iter()
+        .map(|r| {
+            (
+                format!("n={} t={:.0}", r.n, r.start),
+                r.prediction.stochastic.lo(),
+                r.prediction.stochastic.mean(),
+                r.prediction.stochastic.hi(),
+                r.actual_secs,
+            )
+        })
+        .collect();
+    println!("{}", render_interval_chart(&rows, 64));
+    println!(
+        "{}",
+        render_table(
+            &["run", "predicted", "point", "actual", "in range", "range err %", "mean err %"],
+            &series
+                .records
+                .iter()
+                .map(|r| {
+                    let sv = r.prediction.stochastic;
+                    vec![
+                        format!("n={} t={:.0}", r.n, r.start),
+                        format!("{sv}"),
+                        f(r.prediction.point, 2),
+                        f(r.actual_secs, 2),
+                        if sv.contains(r.actual_secs) { "yes" } else { "NO" }.to_string(),
+                        f(sv.relative_error_outside(r.actual_secs) * 100.0, 1),
+                        f((sv.mean() - r.actual_secs).abs() / r.actual_secs * 100.0, 1),
+                    ]
+                })
+                .collect::<Vec<_>>()
+        )
+    );
+    if let Some(acc) = series.accuracy() {
+        println!(
+            "coverage {:.0}%   max range error {:.1}%   max mean-point error {:.1}%",
+            acc.coverage * 100.0,
+            acc.max_range_error * 100.0,
+            acc.max_mean_error * 100.0
+        );
+        let obs: Vec<prodpred_stochastic::Observation> = series
+            .records
+            .iter()
+            .map(|r| r.observation())
+            .collect();
+        let curve = prodpred_stochastic::calibration_curve(
+            &obs,
+            &[0.25, 0.5, 0.75, 1.0, 1.5, 2.0],
+        );
+        let line: Vec<String> = curve
+            .iter()
+            .map(|(f, c)| format!("{f}x:{:.0}%", c * 100.0))
+            .collect();
+        println!("calibration (interval scale -> coverage): {}\n", line.join("  "));
+    }
+    let load: Vec<(f64, f64)> = series
+        .load_samples
+        .iter()
+        .copied()
+        .take(max_load_rows)
+        .collect();
+    if !load.is_empty() {
+        println!(
+            "{}",
+            render_series(&load, 48, "watched machine CPU availability")
+        );
+    }
+}
+
+/// Convenience: samples a normal deterministically.
+pub fn sample_normal(mu: f64, sigma: f64, n: usize, seed: u64) -> Vec<f64> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Normal::new(mu, sigma).sample_n(&mut rng, n)
+}

@@ -1,0 +1,172 @@
+//! Turning stochastic predictions into decisions — the paper's closing
+//! argument: "Accurate predictions are based not just on information but
+//! on the accuracy or 'quality' of that information."
+//!
+//! A stochastic prediction supports questions a point value cannot answer:
+//! *what is the probability this run meets its deadline?* (the paper's
+//! "service range" alternative to QoS guarantees), and *how much should I
+//! trust this number?*
+
+use prodpred_stochastic::{Distribution, StochasticValue};
+use serde::{Deserialize, Serialize};
+
+/// A coarse quality grade for a stochastic prediction, by relative width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictionQuality {
+    /// Relative half-width below 10% — schedule on it directly.
+    Sharp,
+    /// 10–40% — usable, prefer conservative policies.
+    Moderate,
+    /// Above 40% — the range matters more than the mean; plan for the
+    /// upper bound or gather more data.
+    Poor,
+}
+
+impl PredictionQuality {
+    /// Grades a stochastic value.
+    pub fn of(v: StochasticValue) -> Self {
+        let rel = if v.mean() != 0.0 {
+            v.half_width() / v.mean().abs()
+        } else {
+            f64::INFINITY
+        };
+        if rel < 0.10 {
+            PredictionQuality::Sharp
+        } else if rel < 0.40 {
+            PredictionQuality::Moderate
+        } else {
+            PredictionQuality::Poor
+        }
+    }
+}
+
+/// Deadline analysis for a stochastic execution-time prediction.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DeadlineReport {
+    /// The deadline analyzed.
+    pub deadline: f64,
+    /// Probability the run finishes by the deadline (normal model).
+    pub p_meet: f64,
+    /// The completion time achievable with the requested confidence —
+    /// the "service range" level.
+    pub time_at_confidence: f64,
+    /// Confidence used for `time_at_confidence`.
+    pub confidence: f64,
+}
+
+/// Analyzes a deadline against a stochastic prediction.
+///
+/// # Panics
+///
+/// Panics unless `confidence` lies in `(0, 1)`.
+pub fn deadline_report(
+    prediction: StochasticValue,
+    deadline: f64,
+    confidence: f64,
+) -> DeadlineReport {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    let normal = prediction.to_normal();
+    let p_meet = if prediction.is_point() {
+        if prediction.mean() <= deadline {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        normal.cdf(deadline)
+    };
+    let time_at_confidence = if prediction.is_point() {
+        prediction.mean()
+    } else {
+        normal.quantile(confidence)
+    };
+    DeadlineReport {
+        deadline,
+        p_meet,
+        time_at_confidence,
+        confidence,
+    }
+}
+
+/// A service-range statement: the completion levels achievable at each of
+/// the standard confidence levels — the alternative to a single hard QoS
+/// guarantee the paper sketches in Section 1.2.
+pub fn service_range(prediction: StochasticValue) -> Vec<(f64, f64)> {
+    [0.50, 0.75, 0.90, 0.95, 0.99]
+        .into_iter()
+        .map(|c| (c, deadline_report(prediction, 0.0, c).time_at_confidence))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_grading() {
+        assert_eq!(
+            PredictionQuality::of(StochasticValue::new(100.0, 5.0)),
+            PredictionQuality::Sharp
+        );
+        assert_eq!(
+            PredictionQuality::of(StochasticValue::new(100.0, 20.0)),
+            PredictionQuality::Moderate
+        );
+        assert_eq!(
+            PredictionQuality::of(StochasticValue::new(100.0, 80.0)),
+            PredictionQuality::Poor
+        );
+        assert_eq!(
+            PredictionQuality::of(StochasticValue::new(0.0, 1.0)),
+            PredictionQuality::Poor
+        );
+    }
+
+    #[test]
+    fn deadline_probability_monotone() {
+        let pred = StochasticValue::new(60.0, 10.0);
+        let mut prev = 0.0;
+        for d in [40.0, 50.0, 60.0, 70.0, 80.0] {
+            let r = deadline_report(pred, d, 0.95);
+            assert!(r.p_meet >= prev);
+            prev = r.p_meet;
+        }
+        // At the mean, probability is one half.
+        assert!((deadline_report(pred, 60.0, 0.95).p_meet - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_sigma_deadline_is_977() {
+        let pred = StochasticValue::new(60.0, 10.0); // sd = 5
+        let r = deadline_report(pred, 70.0, 0.95);
+        assert!((r.p_meet - 0.977_25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn point_prediction_is_a_step() {
+        let pred = StochasticValue::point(50.0);
+        assert_eq!(deadline_report(pred, 49.9, 0.9).p_meet, 0.0);
+        assert_eq!(deadline_report(pred, 50.0, 0.9).p_meet, 1.0);
+        assert_eq!(deadline_report(pred, 80.0, 0.9).time_at_confidence, 50.0);
+    }
+
+    #[test]
+    fn service_range_is_monotone() {
+        let levels = service_range(StochasticValue::new(60.0, 10.0));
+        assert_eq!(levels.len(), 5);
+        for w in levels.windows(2) {
+            assert!(w[1].1 > w[0].1, "{levels:?}");
+        }
+        // Median level equals the mean for a symmetric prediction.
+        assert!((levels[0].1 - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_confidence() {
+        deadline_report(StochasticValue::new(1.0, 0.1), 1.0, 1.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! `prodpred` — command-line front end to the prediction system.
+//!
+//! ```text
+//! prodpred gen-platform <platform1|platform2|dedicated> [--seed N]
+//!                       [--horizon SECS] [--out FILE]
+//! prodpred predict  --platform FILE --n N [--iterations K] [--at T]
+//! prodpred experiment <platform1|platform2> [--seed N] [--n N] [--runs R]
+//! ```
+//!
+//! `gen-platform` writes a reproducible platform (machines + load and
+//! bandwidth traces) as JSON; `predict` loads one, issues a stochastic
+//! prediction from the NWS at time `--at`, runs the simulated execution,
+//! and compares; `experiment` reproduces the paper's Section-3 series and
+//! prints the accuracy report.
+
+use prodpred_core::report::{f, render_table};
+use prodpred_core::{
+    decompose, platform1_experiment, platform2_experiment, DecompositionPolicy, PredictorConfig,
+    SorPredictor,
+};
+use prodpred_nws::{NwsConfig, NwsService};
+use prodpred_simgrid::{MachineClass, Platform};
+use prodpred_sor::{simulate, DistSorConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  prodpred gen-platform <platform1|platform2|dedicated> [--seed N] [--horizon SECS] [--out FILE]\n  prodpred predict --platform FILE --n N [--iterations K] [--at T]\n  prodpred experiment <platform1|platform2> [--seed N] [--n N] [--runs R]"
+    );
+    ExitCode::from(2)
+}
+
+/// Parses `--key value` pairs after the positional arguments.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        out.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid --{key}: {v}")),
+    }
+}
+
+fn gen_platform(kind: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = flag(flags, "seed", 42)?;
+    let horizon: f64 = flag(flags, "horizon", 20_000.0)?;
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("{kind}.json"));
+    let platform = match kind {
+        "platform1" => Platform::platform1(seed, horizon),
+        "platform2" => Platform::platform2(seed, horizon),
+        "dedicated" => Platform::dedicated(
+            &[
+                MachineClass::Sparc2,
+                MachineClass::Sparc2,
+                MachineClass::Sparc5,
+                MachineClass::Sparc10,
+            ],
+            horizon,
+        ),
+        other => return Err(format!("unknown platform kind: {other}")),
+    };
+    let json = serde_json::to_string(&platform).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} machines, horizon {horizon} s, seed {seed}",
+        platform.len()
+    );
+    Ok(())
+}
+
+fn predict(flags: &HashMap<String, String>) -> Result<(), String> {
+    let file = flags
+        .get("platform")
+        .ok_or("predict needs --platform FILE")?;
+    let n: usize = flag(flags, "n", 1600)?;
+    let iterations: usize = flag(flags, "iterations", 50)?;
+    let at: f64 = flag(flags, "at", 300.0)?;
+
+    let json = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let platform: Platform = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+
+    let nws = NwsService::attach(&platform, NwsConfig::default());
+    nws.advance_to(&platform, at);
+    let strips = decompose(&platform, n, DecompositionPolicy::DedicatedSpeed, None);
+    let predictor = SorPredictor::new(
+        &platform,
+        &nws,
+        PredictorConfig {
+            iterations,
+            ..Default::default()
+        },
+    );
+    let prediction = predictor
+        .predict(n, &strips)
+        .ok_or("NWS has no data yet: increase --at")?;
+    let run = simulate(&platform, &strips, DistSorConfig::new(n, iterations, at));
+
+    let sv = prediction.stochastic;
+    println!(
+        "{}",
+        render_table(
+            &["quantity", "value"],
+            &[
+                vec!["problem".into(), format!("{n} x {n}, {iterations} iterations")],
+                vec!["stochastic prediction (s)".into(), format!("{sv}")],
+                vec!["interval (s)".into(), format!("[{:.2}, {:.2}]", sv.lo(), sv.hi())],
+                vec!["point prediction (s)".into(), f(prediction.point, 2)],
+                vec!["actual (simulated) (s)".into(), f(run.total_secs, 2)],
+                vec![
+                    "actual inside range".into(),
+                    if sv.contains(run.total_secs) { "yes" } else { "NO" }.into(),
+                ],
+                vec!["skew (s)".into(), f(run.skew_secs, 3)],
+            ]
+        )
+    );
+    Ok(())
+}
+
+fn experiment(kind: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = flag(flags, "seed", 42)?;
+    let series = match kind {
+        "platform1" => {
+            platform1_experiment(seed, &[1000, 1200, 1400, 1600, 1800, 2000])
+        }
+        "platform2" => {
+            let n: usize = flag(flags, "n", 1600)?;
+            let runs: usize = flag(flags, "runs", 12)?;
+            platform2_experiment(seed, n, runs)
+        }
+        other => return Err(format!("unknown experiment kind: {other}")),
+    };
+    let rows: Vec<Vec<String>> = series
+        .records
+        .iter()
+        .map(|r| {
+            let sv = r.prediction.stochastic;
+            vec![
+                format!("n={} t={:.0}", r.n, r.start),
+                format!("{sv}"),
+                f(r.actual_secs, 2),
+                if sv.contains(r.actual_secs) { "yes" } else { "NO" }.into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["run", "prediction (s)", "actual (s)", "covered"], &rows)
+    );
+    let acc = series.accuracy().ok_or("no runs")?;
+    println!(
+        "coverage {:.0}%  max range error {:.1}%  max mean-point error {:.1}%",
+        acc.coverage * 100.0,
+        acc.max_range_error * 100.0,
+        acc.max_mean_error * 100.0
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match (cmd.as_str(), args.get(1)) {
+        ("gen-platform", Some(kind)) => {
+            parse_flags(&args[2..]).and_then(|flags| gen_platform(kind, &flags))
+        }
+        ("predict", _) => parse_flags(&args[1..]).and_then(|flags| predict(&flags)),
+        ("experiment", Some(kind)) => {
+            parse_flags(&args[2..]).and_then(|flags| experiment(kind, &flags))
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

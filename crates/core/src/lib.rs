@@ -1,0 +1,51 @@
+//! # prodpred-core
+//!
+//! Stochastic performance prediction in production environments — the
+//! paper's end-to-end system, assembled from the substrate crates:
+//!
+//! * [`predictor`] — NWS measurements → stochastic parameters →
+//!   structural SOR model → stochastic execution-time predictions, with
+//!   the conventional point prediction as the baseline,
+//! * [`scheduler`] — the variance-aware scheduling strategies of the
+//!   paper's Section 1.2 (risk-averse vs. optimistic allocation, weighted
+//!   strip decomposition),
+//! * [`experiment`] — the Section-3 experiment harness: the dedicated
+//!   2%-validation, the Platform-1 single-mode sweep (Figures 8–9), and
+//!   the Platform-2 bursty repetition study (Figures 12–17),
+//! * [`report`] — text rendering of every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use prodpred_core::experiment::{platform1_experiment, dedicated_check};
+//!
+//! // Dedicated validation: structural model within 2% of execution.
+//! let checks = dedicated_check(&[600], 10);
+//! assert!(checks[0].rel_error < 0.02);
+//!
+//! // Production: stochastic predictions bound the observed times.
+//! let series = platform1_experiment(7, &[800, 1000]);
+//! let report = series.accuracy().unwrap();
+//! assert!(report.coverage > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod advisor;
+pub mod ep;
+pub mod experiment;
+pub mod predictor;
+pub mod report;
+pub mod scheduler;
+
+pub use advisor::{deadline_report, service_range, DeadlineReport, PredictionQuality};
+pub use ep::{ep_policy_study, predict_ep, simulate_ep, EpJob, EpRun, EpStudyRow};
+pub use experiment::{
+    dedicated_check, platform1_experiment, platform2_experiment, run_series, DedicatedCheck,
+    ExperimentConfig, ExperimentSeries, RunRecord,
+};
+pub use predictor::{predict_dedicated, LoadSource, Prediction, PredictorConfig, SorPredictor};
+pub use scheduler::{
+    allocate_units, decompose, planned_completion, AllocationPolicy, DecompositionPolicy,
+};

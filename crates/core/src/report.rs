@@ -1,0 +1,175 @@
+//! Plain-text rendering for the figure/table harness: aligned tables and
+//! simple series plots, so every paper artifact regenerates as terminal
+//! output.
+
+/// Renders an aligned table. `rows` are stringified cells.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {:<w$} |", c, w = w));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for r in rows {
+        out.push_str(&fmt_row(r.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Renders a time series as an ASCII strip chart: one row per point, value
+/// marked within `[lo, hi]` scaled to `width` columns.
+pub fn render_series(points: &[(f64, f64)], width: usize, label: &str) -> String {
+    if points.is_empty() {
+        return format!("{label}: (empty)\n");
+    }
+    let lo = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let hi = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let mut out = format!("{label}  [{lo:.3} .. {hi:.3}]\n");
+    for &(t, v) in points {
+        let col = ((v - lo) / span * (width.saturating_sub(1)) as f64).round() as usize;
+        let mut bar = vec![b' '; width];
+        bar[col.min(width - 1)] = b'*';
+        out.push_str(&format!(
+            "{:>10.1} |{}| {:.4}\n",
+            t,
+            String::from_utf8(bar).expect("ascii"),
+            v
+        ));
+    }
+    out
+}
+
+/// Renders prediction intervals against actuals: per record, the interval
+/// `[lo, hi]`, its mean, and the actual value, with an in/out marker —
+/// the textual equivalent of Figures 9/12/14/16.
+pub fn render_interval_chart(
+    rows: &[(String, f64, f64, f64, f64)], // (label, lo, mean, hi, actual)
+    width: usize,
+) -> String {
+    if rows.is_empty() {
+        return String::from("(empty)\n");
+    }
+    let global_lo = rows
+        .iter()
+        .map(|r| r.1.min(r.4))
+        .fold(f64::INFINITY, f64::min);
+    let global_hi = rows
+        .iter()
+        .map(|r| r.3.max(r.4))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (global_hi - global_lo).max(1e-12);
+    let scale = |v: f64| -> usize {
+        (((v - global_lo) / span) * (width.saturating_sub(1)) as f64).round() as usize
+    };
+    let mut out = format!("scale [{global_lo:.2} .. {global_hi:.2}] seconds\n");
+    for (label, lo, mean, hi, actual) in rows {
+        let mut bar = vec![b' '; width];
+        let (a, m, b, x) = (scale(*lo), scale(*mean), scale(*hi), scale(*actual));
+        for cell in bar.iter_mut().take(b.min(width - 1) + 1).skip(a) {
+            *cell = b'-';
+        }
+        bar[a] = b'[';
+        bar[b.min(width - 1)] = b']';
+        bar[m.min(width - 1)] = b'+';
+        let marker = ' ';
+        if x < bar.len() {
+            bar[x] = b'A';
+        }
+        let inside = *actual >= *lo && *actual <= *hi;
+        out.push_str(&format!(
+            "{:>16} |{}|{}{}\n",
+            label,
+            String::from_utf8(bar).expect("ascii"),
+            marker,
+            if inside { " in" } else { " OUT" }
+        ));
+    }
+    out
+}
+
+/// Formats a float with fixed precision — helper for table rows.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("long-name"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn series_renders_rows() {
+        let s = render_series(&[(0.0, 1.0), (5.0, 3.0), (10.0, 2.0)], 20, "load");
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(render_series(&[], 10, "x").contains("empty"));
+    }
+
+    #[test]
+    fn interval_chart_marks_in_and_out() {
+        let rows = vec![
+            ("r1".to_string(), 10.0, 12.0, 14.0, 13.0),
+            ("r2".to_string(), 10.0, 12.0, 14.0, 20.0),
+        ];
+        let s = render_interval_chart(&rows, 40);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].ends_with("in"));
+        assert!(lines[2].ends_with("OUT"));
+        assert!(lines[1].contains('[') && lines[1].contains(']'));
+    }
+
+    #[test]
+    fn float_helper() {
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for scheduling and the prediction plumbing.
+
+use prodpred_core::{allocate_units, planned_completion, AllocationPolicy};
+use prodpred_stochastic::StochasticValue;
+use proptest::prelude::*;
+
+fn unit_times() -> impl Strategy<Value = Vec<StochasticValue>> {
+    proptest::collection::vec(
+        (1.0f64..100.0, 0.0f64..0.4).prop_map(|(m, rel)| StochasticValue::new(m, m * rel)),
+        1..8,
+    )
+}
+
+proptest! {
+    #[test]
+    fn allocation_conserves_units(times in unit_times(), units in 0u64..10_000) {
+        for policy in [
+            AllocationPolicy::ByMean,
+            AllocationPolicy::RiskAverse { lambda: 2.0 },
+            AllocationPolicy::Optimistic { lambda: 1.0 },
+        ] {
+            let alloc = allocate_units(units, &times, policy);
+            prop_assert_eq!(alloc.iter().sum::<u64>(), units);
+            prop_assert_eq!(alloc.len(), times.len());
+        }
+    }
+
+    #[test]
+    fn faster_machine_never_gets_fewer_units_by_mean(
+        m_fast in 1.0f64..50.0,
+        extra in 0.1f64..50.0,
+        units in 10u64..10_000,
+    ) {
+        let times = [
+            StochasticValue::point(m_fast),
+            StochasticValue::point(m_fast + extra),
+        ];
+        let alloc = allocate_units(units, &times, AllocationPolicy::ByMean);
+        prop_assert!(alloc[0] >= alloc[1], "{alloc:?}");
+    }
+
+    #[test]
+    fn risk_aversion_shifts_toward_stability(
+        mean in 5.0f64..50.0,
+        rel_low in 0.0f64..0.1,
+        rel_high in 0.2f64..0.5,
+        units in 100u64..10_000,
+    ) {
+        // Equal means, different spreads: the stable machine's share under
+        // risk aversion is at least its by-mean share.
+        let times = [
+            StochasticValue::new(mean, mean * rel_low),
+            StochasticValue::new(mean, mean * rel_high),
+        ];
+        let by_mean = allocate_units(units, &times, AllocationPolicy::ByMean);
+        let risk = allocate_units(units, &times, AllocationPolicy::RiskAverse { lambda: 2.0 });
+        prop_assert!(risk[0] >= by_mean[0], "risk {risk:?} vs mean {by_mean:?}");
+    }
+
+    #[test]
+    fn stronger_risk_aversion_is_monotone(
+        mean in 5.0f64..50.0,
+        rel_high in 0.2f64..0.5,
+        units in 100u64..10_000,
+    ) {
+        let times = [
+            StochasticValue::new(mean, mean * 0.02),
+            StochasticValue::new(mean, mean * rel_high),
+        ];
+        let mut prev_stable_share = 0u64;
+        for lambda in [0.0, 0.5, 1.0, 2.0, 4.0] {
+            let alloc = allocate_units(units, &times, AllocationPolicy::RiskAverse { lambda });
+            prop_assert!(alloc[0] >= prev_stable_share, "lambda {lambda}: {alloc:?}");
+            prev_stable_share = alloc[0];
+        }
+    }
+
+    #[test]
+    fn planned_completion_dominates_each_share(times in unit_times(), units in 1u64..5000) {
+        let alloc = allocate_units(units, &times, AllocationPolicy::ByMean);
+        let plan = planned_completion(&alloc, &times);
+        for (u, t) in alloc.iter().zip(&times) {
+            prop_assert!(plan.mean() >= *u as f64 * t.mean() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_units_zero_plan(times in unit_times()) {
+        let alloc = allocate_units(0, &times, AllocationPolicy::ByMean);
+        prop_assert!(alloc.iter().all(|&u| u == 0));
+        let plan = planned_completion(&alloc, &times);
+        prop_assert_eq!(plan.mean(), 0.0);
+    }
+}

@@ -1,0 +1,433 @@
+//! Forecasting strategies, after Wolski's Network Weather Service.
+//!
+//! The NWS runs a family of simple predictors over each resource history
+//! and, for every forecast, reports the prediction of whichever strategy
+//! has the lowest accumulated error so far — so the service adapts to the
+//! character of each resource without per-resource tuning
+//! ([Wol96, Wol97, WSP97] in the paper's bibliography).
+
+use crate::series::TimeSeries;
+use prodpred_stochastic::stats;
+
+/// A one-step-ahead forecasting strategy over a measurement history.
+pub trait Forecaster {
+    /// Strategy name, for reports.
+    fn name(&self) -> &'static str;
+
+    /// Forecast of the next value given the history (oldest-first).
+    /// `None` when the history is too short.
+    fn forecast(&self, history: &[f64]) -> Option<f64>;
+}
+
+/// Predicts the last observed value (martingale / persistence).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LastValue;
+
+impl Forecaster for LastValue {
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+    fn forecast(&self, history: &[f64]) -> Option<f64> {
+        history.last().copied()
+    }
+}
+
+/// Predicts the mean of the whole history.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningMean;
+
+impl Forecaster for RunningMean {
+    fn name(&self) -> &'static str {
+        "running-mean"
+    }
+    fn forecast(&self, history: &[f64]) -> Option<f64> {
+        if history.is_empty() {
+            None
+        } else {
+            Some(history.iter().sum::<f64>() / history.len() as f64)
+        }
+    }
+}
+
+/// Predicts the mean of the last `window` values.
+#[derive(Debug, Clone, Copy)]
+pub struct SlidingMean {
+    /// Window length.
+    pub window: usize,
+}
+
+impl Forecaster for SlidingMean {
+    fn name(&self) -> &'static str {
+        "sliding-mean"
+    }
+    fn forecast(&self, history: &[f64]) -> Option<f64> {
+        if history.is_empty() {
+            return None;
+        }
+        let start = history.len().saturating_sub(self.window.max(1));
+        let w = &history[start..];
+        Some(w.iter().sum::<f64>() / w.len() as f64)
+    }
+}
+
+/// Predicts the median of the last `window` values — robust to the
+/// occasional burst.
+#[derive(Debug, Clone, Copy)]
+pub struct SlidingMedian {
+    /// Window length.
+    pub window: usize,
+}
+
+impl Forecaster for SlidingMedian {
+    fn name(&self) -> &'static str {
+        "sliding-median"
+    }
+    fn forecast(&self, history: &[f64]) -> Option<f64> {
+        if history.is_empty() {
+            return None;
+        }
+        let start = history.len().saturating_sub(self.window.max(1));
+        stats::median(&history[start..])
+    }
+}
+
+/// Exponential smoothing with gain `alpha`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpSmoothing {
+    /// Smoothing gain in `(0, 1]`; higher tracks faster.
+    pub alpha: f64,
+}
+
+impl Forecaster for ExpSmoothing {
+    fn name(&self) -> &'static str {
+        "exp-smoothing"
+    }
+    fn forecast(&self, history: &[f64]) -> Option<f64> {
+        assert!(self.alpha > 0.0 && self.alpha <= 1.0, "alpha in (0,1]");
+        let (&first, rest) = history.split_first()?;
+        let mut s = first;
+        for &x in rest {
+            s += self.alpha * (x - s);
+        }
+        Some(s)
+    }
+}
+
+/// Predicts the trimmed mean of the last `window` values: the mean of
+/// what remains after dropping the `trim` smallest and `trim` largest —
+/// the NWS's compromise between mean (efficient) and median (robust).
+#[derive(Debug, Clone, Copy)]
+pub struct TrimmedMean {
+    /// Window length.
+    pub window: usize,
+    /// Observations dropped from each end.
+    pub trim: usize,
+}
+
+impl Forecaster for TrimmedMean {
+    fn name(&self) -> &'static str {
+        "trimmed-mean"
+    }
+    fn forecast(&self, history: &[f64]) -> Option<f64> {
+        if history.is_empty() {
+            return None;
+        }
+        let start = history.len().saturating_sub(self.window.max(1));
+        let mut w: Vec<f64> = history[start..].to_vec();
+        w.sort_by(|a, b| a.partial_cmp(b).expect("finite history"));
+        let t = self.trim.min((w.len().saturating_sub(1)) / 2);
+        let kept = &w[t..w.len() - t];
+        Some(kept.iter().sum::<f64>() / kept.len() as f64)
+    }
+}
+
+/// Adaptive-window mean: picks, per forecast, the sliding-mean window
+/// from `candidates` with the lowest postcast MSE over the history —
+/// Wolski's adaptive-window technique in miniature.
+#[derive(Debug, Clone)]
+pub struct AdaptiveWindowMean {
+    /// Candidate window lengths.
+    pub candidates: Vec<usize>,
+}
+
+impl Default for AdaptiveWindowMean {
+    fn default() -> Self {
+        Self {
+            candidates: vec![3, 6, 12, 24, 48],
+        }
+    }
+}
+
+impl Forecaster for AdaptiveWindowMean {
+    fn name(&self) -> &'static str {
+        "adaptive-window-mean"
+    }
+    fn forecast(&self, history: &[f64]) -> Option<f64> {
+        if history.is_empty() {
+            return None;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        for &w in &self.candidates {
+            let f = SlidingMean { window: w };
+            if let Some(mse) = postcast_mse(&f, history) {
+                match best {
+                    Some((b, _)) if mse >= b => {}
+                    _ => best = Some((mse, w)),
+                }
+            }
+        }
+        let window = best.map(|(_, w)| w).unwrap_or(1);
+        SlidingMean { window }.forecast(history)
+    }
+}
+
+/// One-step-ahead *postcast* evaluation: runs the strategy over every
+/// prefix of the history and returns the mean squared error of its
+/// predictions against what actually came next.
+pub fn postcast_mse(f: &dyn Forecaster, history: &[f64]) -> Option<f64> {
+    if history.len() < 2 {
+        return None;
+    }
+    let mut se = 0.0;
+    let mut n = 0usize;
+    for split in 1..history.len() {
+        if let Some(p) = f.forecast(&history[..split]) {
+            let e = p - history[split];
+            se += e * e;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(se / n as f64)
+    }
+}
+
+/// A forecast with an accompanying error estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct Forecast {
+    /// Predicted next value.
+    pub value: f64,
+    /// Root-mean-squared one-step error of the winning strategy over the
+    /// history — the NWS's accuracy estimate.
+    pub rmse: f64,
+    /// Index of the winning strategy in the ensemble.
+    pub winner: usize,
+}
+
+/// The NWS-style adaptive forecaster: an ensemble of strategies, each
+/// forecast served by the one with the lowest postcast MSE so far.
+pub struct AdaptiveForecaster {
+    strategies: Vec<Box<dyn Forecaster + Send + Sync>>,
+}
+
+impl Default for AdaptiveForecaster {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl AdaptiveForecaster {
+    /// The standard ensemble: persistence, running mean, sliding
+    /// means/medians at two windows, trimmed mean, and exponential
+    /// smoothing at three gains.
+    pub fn standard() -> Self {
+        Self {
+            strategies: vec![
+                Box::new(LastValue),
+                Box::new(RunningMean),
+                Box::new(SlidingMean { window: 6 }),
+                Box::new(SlidingMean { window: 24 }),
+                Box::new(SlidingMedian { window: 6 }),
+                Box::new(SlidingMedian { window: 24 }),
+                Box::new(TrimmedMean { window: 12, trim: 2 }),
+                Box::new(ExpSmoothing { alpha: 0.1 }),
+                Box::new(ExpSmoothing { alpha: 0.3 }),
+                Box::new(ExpSmoothing { alpha: 0.7 }),
+            ],
+        }
+    }
+
+    /// An ensemble with explicit strategies.
+    pub fn with_strategies(strategies: Vec<Box<dyn Forecaster + Send + Sync>>) -> Self {
+        assert!(!strategies.is_empty(), "ensemble needs strategies");
+        Self { strategies }
+    }
+
+    /// Strategy names in ensemble order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.strategies.iter().map(|s| s.name()).collect()
+    }
+
+    /// Forecasts the next value of `series`, choosing the strategy with
+    /// the lowest postcast MSE. `None` until two measurements exist.
+    pub fn forecast(&self, series: &TimeSeries) -> Option<Forecast> {
+        let history = series.values();
+        if history.len() < 2 {
+            // Fall back to persistence once a single sample exists.
+            return history.last().map(|&v| Forecast {
+                value: v,
+                rmse: 0.0,
+                winner: 0,
+            });
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in self.strategies.iter().enumerate() {
+            if let Some(mse) = postcast_mse(s.as_ref(), &history) {
+                match best {
+                    Some((_, b)) if mse >= b => {}
+                    _ => best = Some((i, mse)),
+                }
+            }
+        }
+        let (winner, mse) = best?;
+        let value = self.strategies[winner].forecast(&history)?;
+        Some(Forecast {
+            value,
+            rmse: mse.sqrt(),
+            winner,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_of(values: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new(1024);
+        for (i, &v) in values.iter().enumerate() {
+            s.push(i as f64 * 5.0, v);
+        }
+        s
+    }
+
+    #[test]
+    fn last_value_persistence() {
+        assert_eq!(LastValue.forecast(&[1.0, 2.0, 3.0]), Some(3.0));
+        assert_eq!(LastValue.forecast(&[]), None);
+    }
+
+    #[test]
+    fn running_mean() {
+        assert_eq!(RunningMean.forecast(&[1.0, 2.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn sliding_mean_and_median() {
+        let h = [10.0, 10.0, 1.0, 2.0, 3.0];
+        assert_eq!(SlidingMean { window: 3 }.forecast(&h), Some(2.0));
+        assert_eq!(SlidingMedian { window: 3 }.forecast(&h), Some(2.0));
+        // Median shrugs off a burst, mean doesn't.
+        let burst = [1.0, 1.0, 1.0, 100.0, 1.0];
+        assert_eq!(SlidingMedian { window: 5 }.forecast(&burst), Some(1.0));
+        assert!(SlidingMean { window: 5 }.forecast(&burst).unwrap() > 10.0);
+    }
+
+    #[test]
+    fn exp_smoothing_tracks() {
+        let f = ExpSmoothing { alpha: 1.0 };
+        assert_eq!(f.forecast(&[5.0, 7.0]), Some(7.0)); // alpha=1 == persistence
+        let slow = ExpSmoothing { alpha: 0.1 };
+        let v = slow.forecast(&[0.0, 10.0]).unwrap();
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn postcast_mse_of_perfect_constant() {
+        let h = [4.0; 10];
+        assert_eq!(postcast_mse(&LastValue, &h), Some(0.0));
+        assert!(postcast_mse(&LastValue, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn trimmed_mean_shrugs_off_bursts_but_uses_more_data_than_median() {
+        let h = [0.5, 0.5, 0.52, 0.48, 0.5, 5.0, 0.5, 0.49, 0.51, 0.5, 0.5, 0.5];
+        let v = TrimmedMean { window: 12, trim: 2 }.forecast(&h).unwrap();
+        assert!((v - 0.5).abs() < 0.02, "burst leaked into trimmed mean: {v}");
+        // Untrimmed mean is dragged by the burst.
+        let m = SlidingMean { window: 12 }.forecast(&h).unwrap();
+        assert!(m > 0.8);
+    }
+
+    #[test]
+    fn trimmed_mean_degenerates_gracefully() {
+        // Window smaller than 2*trim+1: trim clamps, result stays defined.
+        let v = TrimmedMean { window: 3, trim: 5 }.forecast(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((v - 2.0).abs() < 1e-12);
+        assert!(TrimmedMean { window: 4, trim: 1 }.forecast(&[]).is_none());
+    }
+
+    #[test]
+    fn adaptive_window_prefers_short_windows_for_bursty_series() {
+        // A regime-switching series: short windows adapt faster, so the
+        // adaptive-window mean must beat the longest candidate.
+        let mut h = Vec::new();
+        for block in 0..10 {
+            let level = if block % 2 == 0 { 0.2 } else { 0.8 };
+            for _ in 0..12 {
+                h.push(level);
+            }
+        }
+        let adaptive = AdaptiveWindowMean::default();
+        let mse_adaptive = postcast_mse(&adaptive, &h).unwrap();
+        let mse_long = postcast_mse(&SlidingMean { window: 48 }, &h).unwrap();
+        assert!(
+            mse_adaptive < mse_long,
+            "adaptive {mse_adaptive} vs long-window {mse_long}"
+        );
+    }
+
+    #[test]
+    fn adaptive_picks_persistence_for_random_walk() {
+        // A slow drifting series: persistence beats the global mean.
+        let values: Vec<f64> = (0..60).map(|i| (i as f64 * 0.05).sin()).collect();
+        let s = series_of(&values);
+        let fc = AdaptiveForecaster::standard().forecast(&s).unwrap();
+        // Winner must not be the running mean (index 1): the series drifts.
+        assert_ne!(fc.winner, 1, "running mean should lose on a drifting series");
+        // Forecast should be near the last value.
+        assert!((fc.value - values[59]).abs() < 0.15, "value {}", fc.value);
+    }
+
+    #[test]
+    fn adaptive_picks_mean_like_for_noisy_stationary() {
+        // White noise around 0.5: averaging strategies beat persistence.
+        let values: Vec<f64> = (0..80)
+            .map(|i| 0.5 + 0.1 * ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5))
+            .collect();
+        let s = series_of(&values);
+        let ens = AdaptiveForecaster::standard();
+        let fc = ens.forecast(&s).unwrap();
+        assert_ne!(ens.names()[fc.winner], "last-value");
+        assert!((fc.value - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn adaptive_single_sample_falls_back() {
+        let s = series_of(&[0.7]);
+        let fc = AdaptiveForecaster::standard().forecast(&s).unwrap();
+        assert_eq!(fc.value, 0.7);
+        assert_eq!(fc.rmse, 0.0);
+    }
+
+    #[test]
+    fn adaptive_empty_series_none() {
+        let s = TimeSeries::new(8);
+        assert!(AdaptiveForecaster::standard().forecast(&s).is_none());
+    }
+
+    #[test]
+    fn rmse_reflects_noise_level() {
+        let quiet: Vec<f64> = (0..50).map(|_| 0.5).collect();
+        let noisy: Vec<f64> = (0..50)
+            .map(|i| 0.5 + if i % 2 == 0 { 0.2 } else { -0.2 })
+            .collect();
+        let ens = AdaptiveForecaster::standard();
+        let fq = ens.forecast(&series_of(&quiet)).unwrap();
+        let fnz = ens.forecast(&series_of(&noisy)).unwrap();
+        assert!(fq.rmse < 1e-12);
+        assert!(fnz.rmse > 0.05);
+    }
+}

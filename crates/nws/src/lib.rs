@@ -1,0 +1,30 @@
+//! # prodpred-nws
+//!
+//! A from-scratch clone of the Network Weather Service (Wolski et al.),
+//! the dynamic-information substrate the paper's experiments depend on:
+//! "The dynamic load data needed for our experiments was supplied by the
+//! Network Weather Service ... accurate run-time information about the CPU
+//! load on our machines as well as the variance of those values at
+//! 5 second intervals."
+//!
+//! Components:
+//!
+//! * [`sensor::Sensor`] — periodic samplers of simulated resource traces,
+//! * [`series::TimeSeries`] — bounded per-resource measurement history,
+//! * [`forecast`] — the NWS's strategy ensemble (persistence, means,
+//!   medians, exponential smoothing) with adaptive best-of-MSE selection,
+//! * [`service::NwsService`] — the facade that turns sensor histories into
+//!   `mean ± 2σ` stochastic values for CPU availability and bandwidth.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod forecast;
+pub mod sensor;
+pub mod series;
+pub mod service;
+
+pub use forecast::{AdaptiveForecaster, Forecast, Forecaster};
+pub use sensor::Sensor;
+pub use series::TimeSeries;
+pub use service::{NwsConfig, NwsService, SpreadPolicy};

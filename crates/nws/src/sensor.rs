@@ -1,0 +1,101 @@
+//! Resource sensors: periodic samplers of simulated resource traces.
+//!
+//! The real NWS runs sensor processes on each host, measuring CPU
+//! availability and point-to-point bandwidth on a fixed cadence. Here a
+//! sensor polls a [`Trace`] — the simulated ground truth — every
+//! `interval` seconds and retains the history in a [`TimeSeries`].
+
+use crate::series::TimeSeries;
+use prodpred_simgrid::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A periodic sampler of one resource.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sensor {
+    /// Resource label, e.g. `"cpu:sparc2-a"`.
+    pub name: String,
+    interval: f64,
+    next_poll: f64,
+    series: TimeSeries,
+}
+
+impl Sensor {
+    /// Creates a sensor polling every `interval` seconds, retaining up to
+    /// `capacity` measurements, starting at time `start`.
+    pub fn new(name: impl Into<String>, interval: f64, capacity: usize, start: f64) -> Self {
+        assert!(interval > 0.0, "sensor interval must be positive");
+        Self {
+            name: name.into(),
+            interval,
+            next_poll: start,
+            series: TimeSeries::new(capacity),
+        }
+    }
+
+    /// Polls `trace` at every due cadence point up to and including `until`.
+    pub fn poll_until(&mut self, trace: &Trace, until: f64) {
+        while self.next_poll <= until {
+            self.series.push(self.next_poll, trace.at(self.next_poll));
+            self.next_poll += self.interval;
+        }
+    }
+
+    /// The sampling cadence.
+    pub fn interval(&self) -> f64 {
+        self.interval
+    }
+
+    /// The retained history.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Time of the next scheduled poll.
+    pub fn next_poll(&self) -> f64 {
+        self.next_poll
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polls_on_cadence() {
+        let trace = Trace::from_fn(0.0, 1.0, 100, |t| t);
+        let mut s = Sensor::new("cpu:x", 5.0, 64, 0.0);
+        s.poll_until(&trace, 20.0);
+        assert_eq!(s.series().len(), 5); // t = 0,5,10,15,20
+        assert_eq!(s.series().times(), vec![0.0, 5.0, 10.0, 15.0, 20.0]);
+        assert_eq!(s.series().values(), vec![0.0, 5.0, 10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn incremental_polling_does_not_duplicate() {
+        let trace = Trace::constant(0.0, 1.0, 0.5, 100);
+        let mut s = Sensor::new("cpu:x", 5.0, 64, 0.0);
+        s.poll_until(&trace, 9.9);
+        assert_eq!(s.series().len(), 2);
+        s.poll_until(&trace, 9.9); // no-op
+        assert_eq!(s.series().len(), 2);
+        s.poll_until(&trace, 30.0);
+        assert_eq!(s.series().len(), 7);
+    }
+
+    #[test]
+    fn capacity_bounds_history() {
+        let trace = Trace::constant(0.0, 1.0, 1.0, 1000);
+        let mut s = Sensor::new("cpu:x", 1.0, 10, 0.0);
+        s.poll_until(&trace, 500.0);
+        assert_eq!(s.series().len(), 10);
+        assert_eq!(s.series().last().unwrap().0, 500.0);
+    }
+
+    #[test]
+    fn start_offset_respected() {
+        let trace = Trace::constant(0.0, 1.0, 1.0, 100);
+        let mut s = Sensor::new("cpu:x", 5.0, 16, 2.5);
+        s.poll_until(&trace, 12.5);
+        assert_eq!(s.series().times(), vec![2.5, 7.5, 12.5]);
+    }
+}

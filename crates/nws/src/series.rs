@@ -1,0 +1,152 @@
+//! Bounded time series of resource measurements.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A bounded series of `(timestamp, value)` measurements, oldest first.
+///
+/// The NWS keeps a sliding history per resource; when the bound is reached
+/// the oldest measurement is dropped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    capacity: usize,
+    times: VecDeque<f64>,
+    values: VecDeque<f64>,
+}
+
+impl TimeSeries {
+    /// An empty series holding at most `capacity` measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "time series capacity must be positive");
+        Self {
+            capacity,
+            times: VecDeque::with_capacity(capacity),
+            values: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a measurement. Timestamps must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a time regression or non-finite input.
+    pub fn push(&mut self, t: f64, v: f64) {
+        assert!(t.is_finite() && v.is_finite(), "measurement must be finite");
+        if let Some(&last) = self.times.back() {
+            assert!(t >= last, "time regression: {t} < {last}");
+        }
+        if self.times.len() == self.capacity {
+            self.times.pop_front();
+            self.values.pop_front();
+        }
+        self.times.push_back(t);
+        self.values.push_back(v);
+    }
+
+    /// Number of retained measurements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The most recent measurement.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        match (self.times.back(), self.values.back()) {
+            (Some(&t), Some(&v)) => Some((t, v)),
+            _ => None,
+        }
+    }
+
+    /// Values oldest-first as a contiguous vector.
+    pub fn values(&self) -> Vec<f64> {
+        self.values.iter().copied().collect()
+    }
+
+    /// The most recent `n` values, oldest-first (fewer if not available).
+    pub fn recent(&self, n: usize) -> Vec<f64> {
+        let start = self.values.len().saturating_sub(n);
+        self.values.iter().skip(start).copied().collect()
+    }
+
+    /// Timestamps oldest-first.
+    pub fn times(&self) -> Vec<f64> {
+        self.times.iter().copied().collect()
+    }
+
+    /// Value at index `i` (0 = oldest).
+    pub fn value_at(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new(10);
+        assert!(s.is_empty());
+        s.push(0.0, 1.0);
+        s.push(5.0, 2.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last(), Some((5.0, 2.0)));
+        assert_eq!(s.values(), vec![1.0, 2.0]);
+        assert_eq!(s.times(), vec![0.0, 5.0]);
+    }
+
+    #[test]
+    fn bounded_retention_drops_oldest() {
+        let mut s = TimeSeries::new(3);
+        for i in 0..5 {
+            s.push(i as f64, i as f64 * 10.0);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.values(), vec![20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn recent_window() {
+        let mut s = TimeSeries::new(10);
+        for i in 0..6 {
+            s.push(i as f64, i as f64);
+        }
+        assert_eq!(s.recent(3), vec![3.0, 4.0, 5.0]);
+        assert_eq!(s.recent(100).len(), 6);
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        let mut s = TimeSeries::new(4);
+        s.push(1.0, 1.0);
+        s.push(1.0, 2.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_time_regression() {
+        let mut s = TimeSeries::new(4);
+        s.push(2.0, 1.0);
+        s.push(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_capacity() {
+        TimeSeries::new(0);
+    }
+}

@@ -1,0 +1,254 @@
+//! The experimental platforms of Section 3.
+//!
+//! * **Platform 1**: "two Sparc-2 workstations, a Sparc-5 and a Sparc-10,
+//!   all connected over 10 Mbit ethernet", tri-modal load, values staying
+//!   within a single mode during a run.
+//! * **Platform 2**: "a Sparc-5, a Sparc-10, and two UltraSparcs", 4-modal
+//!   bursty load.
+//!
+//! Plus a dedicated configuration used to validate the structural model's
+//! "within 2%" claim (Section 2.2.1).
+
+use crate::load::{derive_seed, Dedicated, LoadGenerator, MarkovModal, SingleModeAr1};
+use crate::machine::{Machine, MachineClass, MachineSpec};
+use crate::network::{Ethernet, EthernetContention, NetworkSpec};
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Resolution of generated load traces, seconds. Finer than the NWS's
+/// 5-second sensor cadence so sensors observe genuine variation.
+pub const TRACE_DT: f64 = 1.0;
+
+/// A complete production environment: machines plus the shared segment.
+///
+/// ```
+/// use prodpred_simgrid::Platform;
+///
+/// // Section 3.1's testbed, reproducible from a seed.
+/// let p = Platform::platform1(42, 3600.0);
+/// assert_eq!(p.len(), 4);
+/// // The slowest machine sits in the 0.48 load mode...
+/// let load = p.machines[0].load.mean_over(0.0, 3600.0);
+/// assert!((load - 0.48).abs() < 0.05);
+/// // ...so its compute runs ~2x slower than dedicated.
+/// let t = p.machines[0].compute_secs(1.0e6, 100.0);
+/// assert!(t > 3.0 && t < 5.5, "{t}");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Platform {
+    /// The workstations, in scheduling order.
+    pub machines: Vec<Machine>,
+    /// The shared ethernet.
+    pub network: Ethernet,
+    /// Horizon of the generated traces, seconds.
+    pub horizon: f64,
+}
+
+impl Platform {
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the platform has no machines (never true for the presets).
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Machine names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.machines.iter().map(|m| m.spec.name.as_str()).collect()
+    }
+
+    /// Builds a platform from specs and per-machine load generators.
+    pub fn from_generators(
+        specs: Vec<MachineSpec>,
+        generators: &[&dyn LoadGenerator],
+        network_avail: Trace,
+        seed: u64,
+        horizon: f64,
+    ) -> Self {
+        assert_eq!(specs.len(), generators.len());
+        assert!(horizon > 0.0);
+        let steps = (horizon / TRACE_DT).ceil() as usize;
+        let machines = specs
+            .into_iter()
+            .zip(generators.iter())
+            .enumerate()
+            .map(|(i, (spec, g))| {
+                let load = g.generate(derive_seed(seed, i), 0.0, TRACE_DT, steps);
+                Machine::new(spec, load)
+            })
+            .collect();
+        Self {
+            machines,
+            network: Ethernet::new(NetworkSpec::default(), network_avail),
+            horizon,
+        }
+    }
+
+    /// A dedicated platform: every machine fully available, quiet network.
+    pub fn dedicated(classes: &[MachineClass], horizon: f64) -> Self {
+        let steps = (horizon / TRACE_DT).ceil() as usize;
+        let specs = numbered_specs(classes);
+        let generators: Vec<&dyn LoadGenerator> = classes
+            .iter()
+            .map(|_| &DEDICATED as &dyn LoadGenerator)
+            .collect();
+        Self::from_generators(
+            specs,
+            &generators,
+            Trace::constant(0.0, TRACE_DT, 0.58, steps),
+            0,
+            horizon,
+        )
+    }
+
+    /// Platform 1 in its representative single-mode state: the Sparc-2s sit
+    /// in the center load mode (0.48 ± 0.05, i.e. sd 0.025), the faster
+    /// machines in the lightly-loaded top mode. Network quiet-dominated.
+    pub fn platform1(seed: u64, horizon: f64) -> Self {
+        let steps = (horizon / TRACE_DT).ceil() as usize;
+        let specs = vec![
+            MachineSpec::new("sparc2-a", MachineClass::Sparc2),
+            MachineSpec::new("sparc2-b", MachineClass::Sparc2),
+            MachineSpec::new("sparc5-a", MachineClass::Sparc5),
+            MachineSpec::new("sparc10-a", MachineClass::Sparc10),
+        ];
+        let center = SingleModeAr1 {
+            mean: 0.48,
+            sd: 0.025,
+            phi: 0.9,
+        };
+        let top = SingleModeAr1 {
+            mean: 0.94,
+            sd: 0.015,
+            phi: 0.9,
+        };
+        let generators: Vec<&dyn LoadGenerator> = vec![&center, &center, &top, &top];
+        let network = EthernetContention {
+            busy_weight: 0.10,
+            ..Default::default()
+        }
+        .generate(derive_seed(seed, 100), 0.0, TRACE_DT, steps);
+        Self::from_generators(specs, &generators, network, seed, horizon)
+    }
+
+    /// Platform 1 with free-running tri-modal load on every machine — used
+    /// to build the Figure-5 histogram and the long multi-mode traces.
+    pub fn platform1_free(seed: u64, horizon: f64, mean_dwell: f64) -> Self {
+        let steps = (horizon / TRACE_DT).ceil() as usize;
+        let specs = vec![
+            MachineSpec::new("sparc2-a", MachineClass::Sparc2),
+            MachineSpec::new("sparc2-b", MachineClass::Sparc2),
+            MachineSpec::new("sparc5-a", MachineClass::Sparc5),
+            MachineSpec::new("sparc10-a", MachineClass::Sparc10),
+        ];
+        let tri = MarkovModal::platform1(mean_dwell);
+        let generators: Vec<&dyn LoadGenerator> = vec![&tri, &tri, &tri, &tri];
+        let network = EthernetContention::default().generate(
+            derive_seed(seed, 100),
+            0.0,
+            TRACE_DT,
+            steps,
+        );
+        Self::from_generators(specs, &generators, network, seed, horizon)
+    }
+
+    /// Platform 2: Sparc-5, Sparc-10, two UltraSparcs, 4-modal bursty load
+    /// on every machine, busier network.
+    pub fn platform2(seed: u64, horizon: f64) -> Self {
+        let steps = (horizon / TRACE_DT).ceil() as usize;
+        let specs = vec![
+            MachineSpec::new("sparc5-a", MachineClass::Sparc5),
+            MachineSpec::new("sparc10-a", MachineClass::Sparc10),
+            MachineSpec::new("ultra-a", MachineClass::UltraSparc),
+            MachineSpec::new("ultra-b", MachineClass::UltraSparc),
+        ];
+        let bursty = MarkovModal::platform2(25.0);
+        let generators: Vec<&dyn LoadGenerator> = vec![&bursty, &bursty, &bursty, &bursty];
+        let network = EthernetContention {
+            busy_weight: 0.30,
+            mean_dwell: 15.0,
+            ..Default::default()
+        }
+        .generate(derive_seed(seed, 100), 0.0, TRACE_DT, steps);
+        Self::from_generators(specs, &generators, network, seed, horizon)
+    }
+}
+
+static DEDICATED: Dedicated = Dedicated { level: 1.0 };
+
+fn numbered_specs(classes: &[MachineClass]) -> Vec<MachineSpec> {
+    classes
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| MachineSpec::new(format!("{}-{}", c.name().to_lowercase(), i), c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prodpred_stochastic::Summary;
+
+    #[test]
+    fn platform1_composition() {
+        let p = Platform::platform1(1, 600.0);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.machines[0].spec.class, MachineClass::Sparc2);
+        assert_eq!(p.machines[3].spec.class, MachineClass::Sparc10);
+        assert_eq!(p.names().len(), 4);
+    }
+
+    #[test]
+    fn platform1_slowest_machines_in_center_mode() {
+        let p = Platform::platform1(2, 3600.0);
+        for m in &p.machines[..2] {
+            let s = Summary::from_slice(m.load.values());
+            assert!((s.mean() - 0.48).abs() < 0.02, "mean {}", s.mean());
+            assert!(s.sd() < 0.05, "sd {}", s.sd());
+        }
+        // Fast machines are lightly loaded.
+        for m in &p.machines[2..] {
+            let s = Summary::from_slice(m.load.values());
+            assert!(s.mean() > 0.85, "mean {}", s.mean());
+        }
+    }
+
+    #[test]
+    fn platform2_is_bursty() {
+        let p = Platform::platform2(3, 3600.0);
+        for m in &p.machines {
+            let s = Summary::from_slice(m.load.values());
+            assert!(s.sd() > 0.15, "machine {} sd {}", m.spec.name, s.sd());
+        }
+    }
+
+    #[test]
+    fn dedicated_platform_full_availability() {
+        let p = Platform::dedicated(
+            &[MachineClass::Sparc2, MachineClass::UltraSparc],
+            100.0,
+        );
+        for m in &p.machines {
+            assert_eq!(m.load.min(), 1.0);
+        }
+    }
+
+    #[test]
+    fn machines_get_independent_loads() {
+        let p = Platform::platform2(4, 600.0);
+        assert_ne!(p.machines[2].load, p.machines[3].load);
+    }
+
+    #[test]
+    fn platforms_reproducible_by_seed() {
+        let a = Platform::platform2(9, 300.0);
+        let b = Platform::platform2(9, 300.0);
+        assert_eq!(a.machines[0].load, b.machines[0].load);
+        assert_eq!(a.network.avail, b.network.avail);
+        let c = Platform::platform2(10, 300.0);
+        assert_ne!(a.machines[0].load, c.machines[0].load);
+    }
+}

@@ -1,0 +1,411 @@
+//! Step-function resource traces.
+//!
+//! Every dynamic quantity in the simulated environment — CPU availability,
+//! network availability — is a [`Trace`]: a piecewise-constant function of
+//! time at fixed resolution. Traces support the two queries the rest of the
+//! system needs: *sampling* (what the NWS sensors do every five seconds)
+//! and *work integration* (how long does a computation of `W` dedicated
+//! seconds take if it starts at `t0` and proceeds at the traced
+//! availability).
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant time series starting at `t0` with step `dt`.
+///
+/// Beyond the last sample the trace holds its final value; before `t0` it
+/// holds its first — simulated experiments always run inside the generated
+/// horizon, but clamping keeps boundary arithmetic total.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    t0: f64,
+    dt: f64,
+    values: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`, `values` is empty, or any value is non-finite.
+    pub fn new(t0: f64, dt: f64, values: Vec<f64>) -> Self {
+        assert!(dt > 0.0, "trace step must be positive");
+        assert!(!values.is_empty(), "trace needs at least one sample");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "trace values must be finite"
+        );
+        Self { t0, dt, values }
+    }
+
+    /// A constant trace (dedicated resources).
+    pub fn constant(t0: f64, dt: f64, value: f64, steps: usize) -> Self {
+        Self::new(t0, dt, vec![value; steps.max(1)])
+    }
+
+    /// Builds a trace by evaluating `f` at each step start.
+    pub fn from_fn(t0: f64, dt: f64, steps: usize, mut f: impl FnMut(f64) -> f64) -> Self {
+        assert!(steps > 0);
+        Self::new(
+            t0,
+            dt,
+            (0..steps).map(|i| f(t0 + i as f64 * dt)).collect(),
+        )
+    }
+
+    /// Start time.
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+
+    /// Step width in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// End of the generated horizon.
+    pub fn t_end(&self) -> f64 {
+        self.t0 + self.dt * self.values.len() as f64
+    }
+
+    /// Raw samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false (construction rejects empty traces).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The value at time `t` (clamped to the horizon).
+    pub fn at(&self, t: f64) -> f64 {
+        if t <= self.t0 {
+            return self.values[0];
+        }
+        let idx = ((t - self.t0) / self.dt) as usize;
+        self.values[idx.min(self.values.len() - 1)]
+    }
+
+    /// Mean value over `[a, b]`, integrating the step function exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b < a`.
+    pub fn mean_over(&self, a: f64, b: f64) -> f64 {
+        assert!(b >= a, "inverted interval [{a}, {b}]");
+        if b == a {
+            return self.at(a);
+        }
+        self.integral(a, b) / (b - a)
+    }
+
+    /// Integral of the trace over `[a, b]`.
+    ///
+    /// An integer step cursor guarantees termination even when interval
+    /// endpoints land exactly on step boundaries (a float-recomputation
+    /// loop can stall there).
+    pub fn integral(&self, a: f64, b: f64) -> f64 {
+        assert!(b >= a, "inverted interval [{a}, {b}]");
+        let mut acc = 0.0;
+        let mut t = a;
+        // Stretch before the horizon: the first value holds.
+        if t < self.t0 {
+            let seg_end = self.t0.min(b);
+            acc += self.values[0] * (seg_end - t);
+            t = seg_end;
+        }
+        if t >= b {
+            return acc;
+        }
+        let last = self.values.len() - 1;
+        let mut k = (((t - self.t0) / self.dt) as usize).min(last);
+        loop {
+            if k >= last {
+                // Final value holds to the end of the interval.
+                acc += self.values[last] * (b - t).max(0.0);
+                return acc;
+            }
+            let step_end = self.t0 + (k as f64 + 1.0) * self.dt;
+            if step_end >= b {
+                acc += self.values[k] * (b - t).max(0.0);
+                return acc;
+            }
+            acc += self.values[k] * (step_end - t).max(0.0);
+            t = step_end;
+            k += 1;
+        }
+    }
+
+    /// How long work of `dedicated_work` seconds takes when started at
+    /// `t0_work`, proceeding at the traced availability: the smallest `d`
+    /// with `integral(t0_work, t0_work + d) == dedicated_work`.
+    ///
+    /// Availability at or below `min_avail` (default guard `1e-6`) is
+    /// treated as that floor so a zero-availability stretch cannot hang the
+    /// simulation forever.
+    pub fn time_to_complete(&self, t0_work: f64, dedicated_work: f64) -> f64 {
+        assert!(
+            dedicated_work >= 0.0,
+            "work must be non-negative: {dedicated_work}"
+        );
+        const FLOOR: f64 = 1e-6;
+        if dedicated_work == 0.0 {
+            return 0.0;
+        }
+        let mut remaining = dedicated_work;
+        let mut t = t0_work;
+        // Stretch before the horizon: the first value holds.
+        if t < self.t0 {
+            let v = self.values[0].max(FLOOR);
+            let capacity = v * (self.t0 - t);
+            if capacity >= remaining {
+                return remaining / v;
+            }
+            remaining -= capacity;
+            t = self.t0;
+        }
+        // Integer step cursor: strictly increasing, so the loop always
+        // terminates (a float-recomputed index can stall on boundaries).
+        let last = self.values.len() - 1;
+        let mut k = (((t - self.t0) / self.dt) as usize).min(last);
+        loop {
+            let v = self.values[k].max(FLOOR);
+            if k >= last {
+                // Final value holds forever.
+                return t + remaining / v - t0_work;
+            }
+            let step_end = self.t0 + (k as f64 + 1.0) * self.dt;
+            let capacity = v * (step_end - t).max(0.0);
+            if capacity >= remaining {
+                return t + remaining / v - t0_work;
+            }
+            remaining -= capacity;
+            t = step_end;
+            k += 1;
+        }
+    }
+
+    /// Samples the trace every `interval` seconds over `[a, b)` — the NWS
+    /// sensor cadence. Returns `(t, value)` pairs.
+    pub fn sample_every(&self, a: f64, b: f64, interval: f64) -> Vec<(f64, f64)> {
+        assert!(interval > 0.0 && b >= a);
+        let mut out = Vec::new();
+        let mut t = a;
+        while t < b {
+            out.push((t, self.at(t)));
+            t += interval;
+        }
+        out
+    }
+
+    /// The sub-trace covering `[a, b)`, clamped to the horizon. The
+    /// result's `t0` is the start of the step containing `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b <= a`.
+    pub fn slice(&self, a: f64, b: f64) -> Trace {
+        assert!(b > a, "empty slice [{a}, {b})");
+        let last = self.values.len() - 1;
+        let k0 = if a <= self.t0 {
+            0
+        } else {
+            (((a - self.t0) / self.dt) as usize).min(last)
+        };
+        let k1 = if b <= self.t0 {
+            1
+        } else {
+            ((((b - self.t0) / self.dt).ceil()) as usize).clamp(k0 + 1, last + 1)
+        };
+        Trace::new(
+            self.t0 + k0 as f64 * self.dt,
+            self.dt,
+            self.values[k0..k1].to_vec(),
+        )
+    }
+
+    /// Resamples to a coarser resolution: each output step of `factor`
+    /// input steps holds their mean — how an archival tool thins a long
+    /// trace without biasing work integration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn downsample(&self, factor: usize) -> Trace {
+        assert!(factor > 0, "downsample factor must be positive");
+        if factor == 1 {
+            return self.clone();
+        }
+        let values: Vec<f64> = self
+            .values
+            .chunks(factor)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        Trace::new(self.t0, self.dt * factor as f64, values)
+    }
+
+    /// The minimum sample value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The maximum sample value.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Trace {
+        // 1.0 for t in [0,1), 0.5 for [1,2), 0.25 for [2,3)
+        Trace::new(0.0, 1.0, vec![1.0, 0.5, 0.25])
+    }
+
+    #[test]
+    fn at_steps_and_clamps() {
+        let t = ramp();
+        assert_eq!(t.at(-5.0), 1.0);
+        assert_eq!(t.at(0.0), 1.0);
+        assert_eq!(t.at(0.99), 1.0);
+        assert_eq!(t.at(1.0), 0.5);
+        assert_eq!(t.at(2.5), 0.25);
+        assert_eq!(t.at(99.0), 0.25);
+    }
+
+    #[test]
+    fn integral_exact_on_steps() {
+        let t = ramp();
+        assert!((t.integral(0.0, 3.0) - 1.75).abs() < 1e-9);
+        assert!((t.integral(0.5, 1.5) - (0.5 + 0.25)).abs() < 1e-9);
+        assert!((t.integral(2.0, 5.0) - 0.25 * 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_over_weights_segments() {
+        let t = ramp();
+        assert!((t.mean_over(0.0, 2.0) - 0.75).abs() < 1e-9);
+        assert_eq!(t.mean_over(1.5, 1.5), 0.5);
+    }
+
+    #[test]
+    fn work_integration_full_availability() {
+        let t = Trace::constant(0.0, 1.0, 1.0, 10);
+        assert!((t.time_to_complete(0.0, 4.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_integration_half_availability_doubles_time() {
+        let t = Trace::constant(0.0, 1.0, 0.5, 10);
+        assert!((t.time_to_complete(2.0, 3.0) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_integration_across_steps() {
+        let t = ramp();
+        // Work 1.25: first second supplies 1.0, next 0.25 needs 0.5 s at 0.5.
+        assert!((t.time_to_complete(0.0, 1.25) - 1.5).abs() < 1e-9);
+        // Work 1.75 consumes [0,3) exactly.
+        assert!((t.time_to_complete(0.0, 1.75) - 3.0).abs() < 1e-9);
+        // Beyond the horizon the last value holds: extra 0.25 at 0.25 -> +1 s.
+        assert!((t.time_to_complete(0.0, 2.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_integration_zero_availability_floors() {
+        let t = Trace::new(0.0, 1.0, vec![0.0, 1.0]);
+        // Shouldn't hang; the floor makes the first second contribute ~0.
+        let d = t.time_to_complete(0.0, 0.5);
+        assert!((1.0..2.0).contains(&d), "d={d}");
+    }
+
+    #[test]
+    fn zero_work_takes_zero_time() {
+        assert_eq!(ramp().time_to_complete(1.3, 0.0), 0.0);
+    }
+
+    #[test]
+    fn sampling_cadence() {
+        let t = ramp();
+        let s = t.sample_every(0.0, 3.0, 0.5);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[0], (0.0, 1.0));
+        assert_eq!(s[2], (1.0, 0.5));
+    }
+
+    #[test]
+    fn from_fn_and_stats() {
+        let t = Trace::from_fn(0.0, 1.0, 4, |x| x + 1.0);
+        assert_eq!(t.values(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.min(), 1.0);
+        assert_eq!(t.max(), 4.0);
+        assert!((t.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_preserves_values_and_alignment() {
+        let t = Trace::new(10.0, 2.0, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = t.slice(13.0, 17.0);
+        // Step containing 13.0 starts at 12.0; 17.0 lies in [16, 18), so
+        // three steps are retained.
+        assert_eq!(s.t0(), 12.0);
+        assert_eq!(s.values(), &[2.0, 3.0, 4.0]);
+        assert_eq!(s.at(13.5), t.at(13.5));
+        // Slices clamp to the horizon.
+        let tail = t.slice(19.0, 100.0);
+        assert_eq!(tail.values(), &[5.0]);
+    }
+
+    #[test]
+    fn downsample_preserves_mean_and_integral() {
+        let t = Trace::new(0.0, 1.0, vec![1.0, 3.0, 5.0, 7.0, 2.0, 4.0]);
+        let d = t.downsample(2);
+        assert_eq!(d.dt(), 2.0);
+        assert_eq!(d.values(), &[2.0, 6.0, 3.0]);
+        assert!((d.mean() - t.mean()).abs() < 1e-12);
+        assert!((d.integral(0.0, 6.0) - t.integral(0.0, 6.0)).abs() < 1e-9);
+        // Ragged tail chunk still averages correctly.
+        let d3 = t.downsample(4);
+        assert_eq!(d3.values(), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn downsample_factor_one_is_identity() {
+        let t = ramp();
+        assert_eq!(t.downsample(1), t);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_rejects_empty_interval() {
+        ramp().slice(2.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty() {
+        Trace::new(0.0, 1.0, vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_dt() {
+        Trace::new(0.0, 0.0, vec![1.0]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the environment simulator: trace integration
+//! identities, event-queue ordering, and load-generator invariants.
+
+use prodpred_simgrid::load::{
+    Dedicated, LoadGenerator, MarkovModal, SessionLoad, SingleModeAr1, MAX_AVAILABILITY,
+    MIN_AVAILABILITY,
+};
+use prodpred_simgrid::{EventQueue, Trace};
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    (
+        proptest::collection::vec(0.01f64..2.0, 1..64),
+        0.01f64..10.0,
+        -100.0f64..100.0,
+    )
+        .prop_map(|(values, dt, t0)| Trace::new(t0, dt, values))
+}
+
+proptest! {
+    // ---- trace integration ----
+
+    #[test]
+    fn integral_is_additive(trace in trace_strategy(), a in -50.0f64..150.0, len1 in 0.0f64..50.0, len2 in 0.0f64..50.0) {
+        let m = a + len1;
+        let b = m + len2;
+        let whole = trace.integral(a, b);
+        let parts = trace.integral(a, m) + trace.integral(m, b);
+        prop_assert!((whole - parts).abs() < 1e-6 * (1.0 + whole.abs()));
+    }
+
+    #[test]
+    fn integral_bounded_by_extremes(trace in trace_strategy(), a in -50.0f64..150.0, len in 0.0f64..50.0) {
+        let b = a + len;
+        let integral = trace.integral(a, b);
+        prop_assert!(integral >= trace.min() * len - 1e-9);
+        prop_assert!(integral <= trace.max() * len + 1e-9);
+    }
+
+    #[test]
+    fn mean_over_within_range(trace in trace_strategy(), a in -50.0f64..150.0, len in 0.001f64..50.0) {
+        let m = trace.mean_over(a, a + len);
+        prop_assert!(m >= trace.min() - 1e-9);
+        prop_assert!(m <= trace.max() + 1e-9);
+    }
+
+    #[test]
+    fn time_to_complete_inverts_integral(trace in trace_strategy(), t0 in -20.0f64..100.0, work in 0.0f64..100.0) {
+        let d = trace.time_to_complete(t0, work);
+        prop_assert!(d >= 0.0);
+        let done = trace.integral(t0, t0 + d);
+        // The completed work matches the requested work (floor effects
+        // only matter for zero-availability traces, excluded here).
+        prop_assert!((done - work).abs() < 1e-6 * (1.0 + work), "work {work}, got {done}");
+    }
+
+    #[test]
+    fn more_work_takes_at_least_as_long(trace in trace_strategy(), t0 in -20.0f64..100.0, w1 in 0.0f64..50.0, extra in 0.0f64..50.0) {
+        let d1 = trace.time_to_complete(t0, w1);
+        let d2 = trace.time_to_complete(t0, w1 + extra);
+        prop_assert!(d2 >= d1 - 1e-12);
+    }
+
+    #[test]
+    fn at_always_returns_a_sample_value(trace in trace_strategy(), t in -200.0f64..400.0) {
+        let v = trace.at(t);
+        prop_assert!(trace.values().contains(&v));
+    }
+
+    // ---- event queue ----
+
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn queue_fifo_for_equal_times(n in 1usize..50) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(1.0, i);
+        }
+        for expect in 0..n {
+            let (_, got) = q.pop().unwrap();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    // ---- load generators ----
+
+    #[test]
+    fn generators_stay_in_bounds(seed in 0u64..1000, steps in 1usize..300) {
+        let gens: Vec<Box<dyn LoadGenerator>> = vec![
+            Box::new(Dedicated::default()),
+            Box::new(SingleModeAr1 { mean: 0.5, sd: 0.1, phi: 0.8 }),
+            Box::new(MarkovModal::platform2(20.0)),
+            Box::new(SessionLoad::default()),
+        ];
+        for g in &gens {
+            let t = g.generate(seed, 0.0, 1.0, steps);
+            prop_assert_eq!(t.len(), steps);
+            prop_assert!(t.min() >= MIN_AVAILABILITY);
+            prop_assert!(t.max() <= MAX_AVAILABILITY);
+        }
+    }
+
+    #[test]
+    fn generators_deterministic(seed in 0u64..1000) {
+        let g = MarkovModal::platform1(60.0);
+        prop_assert_eq!(g.generate(seed, 0.0, 5.0, 50), g.generate(seed, 0.0, 5.0, 50));
+    }
+}

@@ -1,0 +1,174 @@
+//! Strip decomposition of the SOR grid (paper Figure 6).
+//!
+//! "A common data distribution for this is a strip decomposition": each of
+//! `P` processors owns a contiguous band of interior rows and exchanges
+//! boundary rows with its neighbours each phase. "To balance load in a
+//! distributed setting, we may assign more work to processors with greater
+//! capacity, with the goal of having all processors complete at the same
+//! time" (paper footnote 2) — hence weighted partitioning.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// One processor's strip: a range of interior row indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Strip {
+    /// Owning processor index.
+    pub proc: usize,
+    /// Interior rows `[start, end)` owned by the processor.
+    pub rows: Range<usize>,
+}
+
+impl Strip {
+    /// Number of rows in the strip.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of grid elements in the strip for an `n x n` grid
+    /// (`NumElt_p` in the paper's component models).
+    pub fn elements(&self, n: usize) -> usize {
+        self.n_rows() * (n - 2)
+    }
+}
+
+/// Partitions the `n_interior` rows (rows `1..=n_interior` of the grid)
+/// into contiguous strips proportional to `weights`.
+///
+/// Larsen-style largest-remainder allocation: every processor with
+/// positive weight gets at least the rows its proportion rounds to, and
+/// the total is conserved exactly. Processors may receive zero rows when
+/// there are more processors than rows.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, any weight is negative, or all are zero.
+pub fn partition_rows(n_interior: usize, weights: &[f64]) -> Vec<Strip> {
+    assert!(!weights.is_empty(), "need at least one processor");
+    assert!(
+        weights.iter().all(|&w| w >= 0.0),
+        "weights must be non-negative"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "at least one weight must be positive");
+
+    let p = weights.len();
+    let mut rows = vec![0usize; p];
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(p);
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = n_interior as f64 * w / total;
+        let floor = exact.floor() as usize;
+        rows[i] = floor;
+        assigned += floor;
+        remainders.push((exact - floor as f64, i));
+    }
+    // Hand out the leftover rows to the largest remainders (ties by index
+    // for determinism).
+    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut left = n_interior - assigned;
+    for &(_, i) in remainders.iter().cycle() {
+        if left == 0 {
+            break;
+        }
+        rows[i] += 1;
+        left -= 1;
+    }
+
+    // Build contiguous strips over interior rows 1..=n_interior.
+    let mut out = Vec::with_capacity(p);
+    let mut start = 1usize;
+    for (i, &r) in rows.iter().enumerate() {
+        out.push(Strip {
+            proc: i,
+            rows: start..start + r,
+        });
+        start += r;
+    }
+    out
+}
+
+/// Equal-work partition (the paper's dedicated-setting default).
+pub fn partition_equal(n_interior: usize, p: usize) -> Vec<Strip> {
+    partition_rows(n_interior, &vec![1.0; p])
+}
+
+/// Sanity check used by tests and the simulator: strips cover exactly the
+/// interior rows, in order, with no overlap.
+pub fn strips_are_valid(strips: &[Strip], n_interior: usize) -> bool {
+    let mut expected = 1usize;
+    for (i, s) in strips.iter().enumerate() {
+        if s.proc != i || s.rows.start != expected {
+            return false;
+        }
+        expected = s.rows.end;
+    }
+    expected == n_interior + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_partition_covers_all_rows() {
+        let strips = partition_equal(100, 4);
+        assert!(strips_are_valid(&strips, 100));
+        for s in &strips {
+            assert_eq!(s.n_rows(), 25);
+        }
+    }
+
+    #[test]
+    fn uneven_counts_distribute_remainder() {
+        let strips = partition_equal(10, 3);
+        assert!(strips_are_valid(&strips, 10));
+        let sizes: Vec<usize> = strips.iter().map(|s| s.n_rows()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn weighted_partition_proportional() {
+        // Machine twice as fast gets ~twice the rows.
+        let strips = partition_rows(90, &[2.0, 1.0]);
+        assert!(strips_are_valid(&strips, 90));
+        assert_eq!(strips[0].n_rows(), 60);
+        assert_eq!(strips[1].n_rows(), 30);
+    }
+
+    #[test]
+    fn zero_weight_processor_gets_nothing() {
+        let strips = partition_rows(10, &[1.0, 0.0, 1.0]);
+        assert!(strips_are_valid(&strips, 10));
+        assert_eq!(strips[1].n_rows(), 0);
+    }
+
+    #[test]
+    fn more_processors_than_rows() {
+        let strips = partition_equal(2, 5);
+        assert!(strips_are_valid(&strips, 2));
+        let total: usize = strips.iter().map(|s| s.n_rows()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn elements_counts_interior_columns() {
+        let strips = partition_equal(8, 2);
+        // 10x10 grid: 8 interior rows, 8 interior columns.
+        assert_eq!(strips[0].elements(10), 4 * 8);
+    }
+
+    #[test]
+    fn deterministic_for_equal_remainders() {
+        let a = partition_rows(7, &[1.0, 1.0, 1.0]);
+        let b = partition_rows(7, &[1.0, 1.0, 1.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_all_zero_weights() {
+        partition_rows(5, &[0.0, 0.0]);
+    }
+}

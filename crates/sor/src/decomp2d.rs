@@ -1,0 +1,252 @@
+//! Two-dimensional block decomposition — the classic alternative to the
+//! paper's strip decomposition.
+//!
+//! A strip decomposition sends `2N` boundary elements per interior
+//! processor per phase regardless of `P`; a `pr x pc` block decomposition
+//! sends `2(N/pr) + 2(N/pc)`, which shrinks as the processor grid grows
+//! (the comm-bound advantage over strips is `sqrt(P)/2` for P >= 16).
+//! The crossover between the two is a standard result the ablation
+//! harness reproduces (`ablation_decomposition`).
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// One processor's block: ranges of interior rows and columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Owning processor index (row-major in the processor grid).
+    pub proc: usize,
+    /// Processor-grid coordinates `(block row, block col)`.
+    pub coords: (usize, usize),
+    /// Interior grid rows `[start, end)`.
+    pub rows: Range<usize>,
+    /// Interior grid columns `[start, end)`.
+    pub cols: Range<usize>,
+}
+
+impl Block {
+    /// Rows owned.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Columns owned.
+    pub fn n_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Elements owned.
+    pub fn elements(&self) -> usize {
+        self.n_rows() * self.n_cols()
+    }
+}
+
+/// The processor grid shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockLayout {
+    /// Processor-grid rows.
+    pub pr: usize,
+    /// Processor-grid columns.
+    pub pc: usize,
+}
+
+impl BlockLayout {
+    /// A layout with `pr * pc` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(pr: usize, pc: usize) -> Self {
+        assert!(pr > 0 && pc > 0, "layout needs positive dimensions");
+        Self { pr, pc }
+    }
+
+    /// The most square layout for `p` processors (factor pair closest to
+    /// `sqrt(p)`).
+    pub fn squarest(p: usize) -> Self {
+        assert!(p > 0);
+        let mut best = (1usize, p);
+        let mut r = 1usize;
+        while r * r <= p {
+            if p.is_multiple_of(r) {
+                best = (r, p / r);
+            }
+            r += 1;
+        }
+        Self::new(best.0, best.1)
+    }
+
+    /// Total processors.
+    pub fn len(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The four neighbour processor indices of `(br, bc)`:
+    /// `(up, down, left, right)`, `None` at the boundary.
+    #[allow(clippy::type_complexity)]
+    pub fn neighbours(
+        &self,
+        br: usize,
+        bc: usize,
+    ) -> (Option<usize>, Option<usize>, Option<usize>, Option<usize>) {
+        assert!(br < self.pr && bc < self.pc);
+        let idx = |r: usize, c: usize| r * self.pc + c;
+        (
+            (br > 0).then(|| idx(br - 1, bc)),
+            (br + 1 < self.pr).then(|| idx(br + 1, bc)),
+            (bc > 0).then(|| idx(br, bc - 1)),
+            (bc + 1 < self.pc).then(|| idx(br, bc + 1)),
+        )
+    }
+
+    /// Count of existing neighbours for `(br, bc)` (2, 3, or 4 — 2 only at
+    /// corners).
+    pub fn neighbour_count(&self, br: usize, bc: usize) -> usize {
+        let (u, d, l, r) = self.neighbours(br, bc);
+        [u, d, l, r].iter().flatten().count()
+    }
+}
+
+fn split(total: usize, parts: usize) -> Vec<Range<usize>> {
+    // Equal split with remainder spread over the leading parts, offset by
+    // the interior origin 1.
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 1usize;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Partitions the interior of an `n x n` grid into equal blocks.
+///
+/// # Panics
+///
+/// Panics if the layout has more rows/cols than the interior provides.
+pub fn partition_blocks(n: usize, layout: BlockLayout) -> Vec<Block> {
+    let interior = n - 2;
+    assert!(
+        layout.pr <= interior && layout.pc <= interior,
+        "layout {layout:?} too fine for an interior of {interior}"
+    );
+    let row_ranges = split(interior, layout.pr);
+    let col_ranges = split(interior, layout.pc);
+    let mut out = Vec::with_capacity(layout.len());
+    for (br, rr) in row_ranges.iter().enumerate() {
+        for (bc, cr) in col_ranges.iter().enumerate() {
+            out.push(Block {
+                proc: br * layout.pc + bc,
+                coords: (br, bc),
+                rows: rr.clone(),
+                cols: cr.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Ghost elements a block exchanges per phase: one row segment per
+/// vertical neighbour plus one column segment per horizontal neighbour,
+/// each in both directions.
+pub fn ghost_elements_per_phase(block: &Block, layout: BlockLayout) -> usize {
+    let (u, d, l, r) = layout.neighbours(block.coords.0, block.coords.1);
+    let vertical = [u, d].iter().flatten().count() * block.n_cols();
+    let horizontal = [l, r].iter().flatten().count() * block.n_rows();
+    2 * (vertical + horizontal) // send + receive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_tiles_interior_exactly() {
+        let n = 34; // interior 32
+        let layout = BlockLayout::new(4, 2);
+        let blocks = partition_blocks(n, layout);
+        assert_eq!(blocks.len(), 8);
+        let total: usize = blocks.iter().map(Block::elements).sum();
+        assert_eq!(total, 32 * 32);
+        // Procs indexed row-major and in order.
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(b.proc, i);
+        }
+    }
+
+    #[test]
+    fn uneven_interior_spreads_remainder() {
+        let n = 12; // interior 10
+        let blocks = partition_blocks(n, BlockLayout::new(3, 3));
+        let sizes: Vec<usize> = blocks.iter().map(Block::elements).collect();
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 100);
+        // One block per block-row: remainder rows go to the leading rows.
+        let rows: Vec<usize> = [0, 3, 6].iter().map(|&i| blocks[i].n_rows()).collect();
+        assert_eq!(rows, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn squarest_layouts() {
+        assert_eq!(BlockLayout::squarest(4), BlockLayout::new(2, 2));
+        assert_eq!(BlockLayout::squarest(12), BlockLayout::new(3, 4));
+        assert_eq!(BlockLayout::squarest(7), BlockLayout::new(1, 7));
+        assert_eq!(BlockLayout::squarest(16), BlockLayout::new(4, 4));
+    }
+
+    #[test]
+    fn neighbour_topology() {
+        let l = BlockLayout::new(3, 3);
+        // Corner has two neighbours.
+        assert_eq!(l.neighbour_count(0, 0), 2);
+        // Edge has three.
+        assert_eq!(l.neighbour_count(0, 1), 3);
+        // Center has four.
+        assert_eq!(l.neighbour_count(1, 1), 4);
+        let (u, d, lft, r) = l.neighbours(1, 1);
+        assert_eq!((u, d, lft, r), (Some(1), Some(7), Some(3), Some(5)));
+    }
+
+    #[test]
+    fn strip_is_a_special_case() {
+        let n = 18;
+        let blocks = partition_blocks(n, BlockLayout::new(4, 1));
+        for b in &blocks {
+            assert_eq!(b.n_cols(), 16);
+        }
+    }
+
+    #[test]
+    fn block_ghosts_smaller_than_strip_ghosts_for_many_procs() {
+        let n = 1002; // interior 1000
+        let p = 16;
+        // Strip: interior proc exchanges 2 rows of 1000 in each direction.
+        let strip_ghosts = 2 * 2 * 1000;
+        let blocks = partition_blocks(n, BlockLayout::squarest(p));
+        let center = blocks
+            .iter()
+            .find(|b| {
+                BlockLayout::squarest(p).neighbour_count(b.coords.0, b.coords.1) == 4
+            })
+            .unwrap();
+        let block_ghosts = ghost_elements_per_phase(center, BlockLayout::squarest(p));
+        assert!(
+            block_ghosts < strip_ghosts,
+            "block {block_ghosts} vs strip {strip_ghosts}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_too_fine_layout() {
+        partition_blocks(5, BlockLayout::new(4, 4));
+    }
+}

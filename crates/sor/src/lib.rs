@@ -1,0 +1,45 @@
+//! # prodpred-sor
+//!
+//! Distributed Red-Black Successive Over-Relaxation — the application the
+//! paper validates its stochastic predictions on (Section 2.2.1).
+//!
+//! Three executions of the same algorithm:
+//!
+//! * [`seq`] — the sequential reference solver,
+//! * [`parallel`] — a real multithreaded, shared-nothing implementation
+//!   (strip decomposition, ghost-row exchange over channels), bit-for-bit
+//!   equal to the sequential solver,
+//! * [`distsim`] — a simulated *distributed* execution on a
+//!   [`prodpred_simgrid::Platform`], integrating compute against CPU
+//!   availability traces and ghost-row transfers against the shared
+//!   ethernet, including the loose-synchronization skew of the paper's
+//!   Figure 7. This is what generates the "actual execution times" in the
+//!   experiment harness.
+//!
+//! Plus the [`grid`] data structure and [`decomp`] strip partitioning
+//! (equal and capacity-weighted, per the paper's footnote 2).
+//!
+//! Beyond the paper: a 2D block decomposition ([`decomp2d`]) with its own
+//! real multithreaded solver ([`parallel2d`]) and distributed simulation
+//! ([`distsim2d`]), used by the strip-vs-block ablation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod decomp;
+pub mod decomp2d;
+pub mod distsim;
+pub mod distsim2d;
+pub mod grid;
+pub mod parallel;
+pub mod parallel2d;
+pub mod seq;
+
+pub use decomp::{partition_equal, partition_rows, Strip};
+pub use decomp2d::{partition_blocks, Block, BlockLayout};
+pub use distsim::{simulate, DistSorConfig, DistSorResult};
+pub use distsim2d::simulate_blocks;
+pub use grid::{optimal_omega, Color, Grid};
+pub use parallel::{solve_parallel, solve_parallel_strips};
+pub use parallel2d::solve_parallel_blocks;
+pub use seq::{solve_seq, solve_until, SorParams};

@@ -1,0 +1,273 @@
+//! The real multithreaded Red-Black SOR: strip decomposition, per-phase
+//! ghost-row exchange over channels, loose neighbour synchronization —
+//! a shared-nothing implementation of the distributed algorithm the paper
+//! models, validated bit-for-bit against the sequential solver.
+//!
+//! Because each colour's update reads only the *other* colour (fixed for
+//! the duration of the sweep), the parallel result is identical to the
+//! sequential one — floating-point operation order per cell does not
+//! change with the decomposition.
+
+use crate::decomp::{partition_equal, Strip};
+use crate::grid::{Color, Grid};
+use crate::seq::SorParams;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A worker's local state: its strip rows plus two ghost rows.
+struct Worker {
+    /// Global index of the first owned row.
+    global_start: usize,
+    /// Number of owned rows.
+    rows: usize,
+    /// Grid dimension.
+    n: usize,
+    /// Local data: `(rows + 2) x n`, row 0 = upper ghost, row rows+1 =
+    /// lower ghost.
+    data: Vec<f64>,
+}
+
+impl Worker {
+    fn new(grid: &Grid, strip: &Strip) -> Self {
+        let n = grid.n();
+        let rows = strip.n_rows();
+        let mut data = Vec::with_capacity((rows + 2) * n);
+        // Upper ghost = row above the strip (boundary or neighbour row).
+        data.extend_from_slice(grid.row(strip.rows.start - 1));
+        for r in strip.rows.clone() {
+            data.extend_from_slice(grid.row(r));
+        }
+        data.extend_from_slice(grid.row(strip.rows.end));
+        Self {
+            global_start: strip.rows.start,
+            rows,
+            n,
+            data,
+        }
+    }
+
+    #[inline]
+    fn get(&self, local_i: usize, j: usize) -> f64 {
+        self.data[local_i * self.n + j]
+    }
+
+    #[inline]
+    fn set(&mut self, local_i: usize, j: usize, v: f64) {
+        self.data[local_i * self.n + j] = v;
+    }
+
+    /// Relaxes the given colour over all owned rows.
+    fn sweep(&mut self, color: Color, omega: f64) {
+        let n = self.n;
+        for l in 1..=self.rows {
+            let global_i = self.global_start + l - 1;
+            let start = 1 + ((global_i + 1 + color.parity()) % 2);
+            let mut j = start;
+            while j < n - 1 {
+                let u = self.get(l, j);
+                let sum =
+                    self.get(l - 1, j) + self.get(l + 1, j) + self.get(l, j - 1) + self.get(l, j + 1);
+                self.set(l, j, u + omega * 0.25 * (sum - 4.0 * u));
+                j += 2;
+            }
+        }
+    }
+
+    fn top_row(&self) -> Vec<f64> {
+        self.data[self.n..2 * self.n].to_vec()
+    }
+
+    fn bottom_row(&self) -> Vec<f64> {
+        let l = self.rows;
+        self.data[l * self.n..(l + 1) * self.n].to_vec()
+    }
+
+    fn set_upper_ghost(&mut self, row: &[f64]) {
+        self.data[..self.n].copy_from_slice(row);
+    }
+
+    fn set_lower_ghost(&mut self, row: &[f64]) {
+        let l = self.rows + 1;
+        self.data[l * self.n..(l + 1) * self.n].copy_from_slice(row);
+    }
+
+    fn owned_rows(&self) -> &[f64] {
+        &self.data[self.n..(self.rows + 1) * self.n]
+    }
+}
+
+/// Channel bundle for one worker's neighbour links.
+struct Links {
+    to_up: Option<Sender<Vec<f64>>>,
+    from_up: Option<Receiver<Vec<f64>>>,
+    to_down: Option<Sender<Vec<f64>>>,
+    from_down: Option<Receiver<Vec<f64>>>,
+}
+
+/// Solves in parallel over the given strips, updating `grid` in place.
+///
+/// # Panics
+///
+/// Panics if any strip is empty (decompose with `n >> p`), if strips do
+/// not tile the interior, or on invalid `omega`.
+pub fn solve_parallel_strips(grid: &mut Grid, params: SorParams, strips: &[Strip]) {
+    assert!(
+        params.omega > 0.0 && params.omega < 2.0,
+        "omega must lie in (0,2)"
+    );
+    assert!(
+        crate::decomp::strips_are_valid(strips, grid.n() - 2),
+        "strips must tile the interior rows"
+    );
+    assert!(
+        strips.iter().all(|s| s.n_rows() > 0),
+        "every processor needs at least one row"
+    );
+    let p = strips.len();
+    if p == 1 {
+        crate::seq::solve_seq(grid, params);
+        return;
+    }
+
+    // Build the neighbour links: link[i] connects worker i and i+1.
+    let mut links: Vec<Links> = (0..p)
+        .map(|_| Links {
+            to_up: None,
+            from_up: None,
+            to_down: None,
+            from_down: None,
+        })
+        .collect();
+    for i in 0..p - 1 {
+        let (tx_down, rx_down) = unbounded(); // i -> i+1
+        let (tx_up, rx_up) = unbounded(); // i+1 -> i
+        links[i].to_down = Some(tx_down);
+        links[i].from_down = Some(rx_up);
+        links[i + 1].to_up = Some(tx_up);
+        links[i + 1].from_up = Some(rx_down);
+    }
+
+    let mut workers: Vec<Worker> = strips.iter().map(|s| Worker::new(grid, s)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (worker, link) in workers.iter_mut().zip(links) {
+            handles.push(scope.spawn(move |_| {
+                for _ in 0..params.iterations {
+                    for color in [Color::Red, Color::Black] {
+                        worker.sweep(color, params.omega);
+                        // Send boundary rows, then receive fresh ghosts.
+                        if let Some(tx) = &link.to_up {
+                            tx.send(worker.top_row()).expect("neighbour hung up");
+                        }
+                        if let Some(tx) = &link.to_down {
+                            tx.send(worker.bottom_row()).expect("neighbour hung up");
+                        }
+                        if let Some(rx) = &link.from_up {
+                            let row = rx.recv().expect("neighbour hung up");
+                            worker.set_upper_ghost(&row);
+                        }
+                        if let Some(rx) = &link.from_down {
+                            let row = rx.recv().expect("neighbour hung up");
+                            worker.set_lower_ghost(&row);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    })
+    .expect("scope failed");
+
+    // Assemble the solution.
+    for (worker, strip) in workers.iter().zip(strips) {
+        let owned = worker.owned_rows();
+        for (k, r) in strip.rows.clone().enumerate() {
+            grid.set_row(r, &owned[k * grid.n()..(k + 1) * grid.n()]);
+        }
+    }
+}
+
+/// Solves with an equal strip decomposition over `p` workers.
+pub fn solve_parallel(grid: &mut Grid, params: SorParams, p: usize) {
+    assert!(p > 0, "need at least one worker");
+    let strips = partition_equal(grid.n() - 2, p);
+    solve_parallel_strips(grid, params, &strips);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::partition_rows;
+    use crate::seq::solve_seq;
+
+    fn solved_seq(n: usize, iters: usize) -> Grid {
+        let mut g = Grid::laplace_problem(n);
+        solve_seq(&mut g, SorParams::for_grid(n, iters));
+        g
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        for p in [2, 3, 4] {
+            let n = 33;
+            let iters = 30;
+            let reference = solved_seq(n, iters);
+            let mut g = Grid::laplace_problem(n);
+            solve_parallel(&mut g, SorParams::for_grid(n, iters), p);
+            assert_eq!(
+                g.max_diff(&reference),
+                0.0,
+                "p={p}: parallel differs from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_strips_also_match() {
+        let n = 25;
+        let iters = 20;
+        let reference = solved_seq(n, iters);
+        let strips = partition_rows(n - 2, &[3.0, 1.0, 2.0]);
+        let mut g = Grid::laplace_problem(n);
+        solve_parallel_strips(&mut g, SorParams::for_grid(n, iters), &strips);
+        assert_eq!(g.max_diff(&reference), 0.0);
+    }
+
+    #[test]
+    fn single_worker_delegates_to_sequential() {
+        let n = 17;
+        let reference = solved_seq(n, 10);
+        let mut g = Grid::laplace_problem(n);
+        solve_parallel(&mut g, SorParams::for_grid(n, 10), 1);
+        assert_eq!(g.max_diff(&reference), 0.0);
+    }
+
+    #[test]
+    fn converges_in_parallel() {
+        let n = 33;
+        let mut g = Grid::laplace_problem(n);
+        solve_parallel(&mut g, SorParams::for_grid(n, 400), 4);
+        assert!(g.max_residual() < 1e-9, "residual {}", g.max_residual());
+    }
+
+    #[test]
+    fn many_workers_small_grid() {
+        // 8 workers on 10 interior rows: some strips have 1 row.
+        let n = 12;
+        let iters = 15;
+        let reference = solved_seq(n, iters);
+        let mut g = Grid::laplace_problem(n);
+        solve_parallel(&mut g, SorParams::for_grid(n, iters), 8);
+        assert_eq!(g.max_diff(&reference), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_strip() {
+        // 2 interior rows across 3 workers -> an empty strip.
+        let mut g = Grid::laplace_problem(4);
+        solve_parallel(&mut g, SorParams::for_grid(4, 1), 3);
+    }
+}

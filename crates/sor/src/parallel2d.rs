@@ -1,0 +1,292 @@
+//! Real multithreaded Red-Black SOR over a 2D block decomposition:
+//! four-neighbour ghost-edge exchange over channels, validated bit-for-bit
+//! against the sequential solver (the five-point stencil needs no corner
+//! ghosts, and each colour reads only the other, so decomposition cannot
+//! change the floating-point result).
+
+use crate::decomp2d::{partition_blocks, Block, BlockLayout};
+use crate::grid::{Color, Grid};
+use crate::seq::SorParams;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Edge payloads exchanged between block neighbours.
+enum Edge {
+    Row(Vec<f64>),
+    Col(Vec<f64>),
+}
+
+/// A worker's local state: its block plus a one-cell halo on all sides.
+struct BlockWorker {
+    rows: usize,
+    cols: usize,
+    row0: usize,
+    col0: usize,
+    /// `(rows + 2) x (cols + 2)`, halo included.
+    data: Vec<f64>,
+}
+
+impl BlockWorker {
+    fn new(grid: &Grid, block: &Block) -> Self {
+        let rows = block.n_rows();
+        let cols = block.n_cols();
+        let w = cols + 2;
+        let mut data = Vec::with_capacity((rows + 2) * w);
+        for gi in (block.rows.start - 1)..=(block.rows.end) {
+            for gj in (block.cols.start - 1)..=(block.cols.end) {
+                data.push(grid.get(gi, gj));
+            }
+        }
+        Self {
+            rows,
+            cols,
+            row0: block.rows.start,
+            col0: block.cols.start,
+            data,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, li: usize, lj: usize) -> usize {
+        li * (self.cols + 2) + lj
+    }
+
+    fn sweep(&mut self, color: Color, omega: f64) {
+        for li in 1..=self.rows {
+            let gi = self.row0 + li - 1;
+            for lj in 1..=self.cols {
+                let gj = self.col0 + lj - 1;
+                if (gi + gj) % 2 != color.parity() {
+                    continue;
+                }
+                let c = self.idx(li, lj);
+                let u = self.data[c];
+                let sum = self.data[self.idx(li - 1, lj)]
+                    + self.data[self.idx(li + 1, lj)]
+                    + self.data[self.idx(li, lj - 1)]
+                    + self.data[self.idx(li, lj + 1)];
+                self.data[c] = u + omega * 0.25 * (sum - 4.0 * u);
+            }
+        }
+    }
+
+    fn top_row(&self) -> Vec<f64> {
+        (1..=self.cols).map(|j| self.data[self.idx(1, j)]).collect()
+    }
+    fn bottom_row(&self) -> Vec<f64> {
+        (1..=self.cols)
+            .map(|j| self.data[self.idx(self.rows, j)])
+            .collect()
+    }
+    fn left_col(&self) -> Vec<f64> {
+        (1..=self.rows).map(|i| self.data[self.idx(i, 1)]).collect()
+    }
+    fn right_col(&self) -> Vec<f64> {
+        (1..=self.rows)
+            .map(|i| self.data[self.idx(i, self.cols)])
+            .collect()
+    }
+    fn set_top_halo(&mut self, row: &[f64]) {
+        for (j, &v) in row.iter().enumerate() {
+            let idx = self.idx(0, j + 1);
+            self.data[idx] = v;
+        }
+    }
+    fn set_bottom_halo(&mut self, row: &[f64]) {
+        for (j, &v) in row.iter().enumerate() {
+            let idx = self.idx(self.rows + 1, j + 1);
+            self.data[idx] = v;
+        }
+    }
+    fn set_left_halo(&mut self, col: &[f64]) {
+        for (i, &v) in col.iter().enumerate() {
+            let idx = self.idx(i + 1, 0);
+            self.data[idx] = v;
+        }
+    }
+    fn set_right_halo(&mut self, col: &[f64]) {
+        for (i, &v) in col.iter().enumerate() {
+            let idx = self.idx(i + 1, self.cols + 1);
+            self.data[idx] = v;
+        }
+    }
+}
+
+/// Channels to/from the four neighbours.
+#[derive(Default)]
+struct BlockLinks {
+    to_up: Option<Sender<Edge>>,
+    from_up: Option<Receiver<Edge>>,
+    to_down: Option<Sender<Edge>>,
+    from_down: Option<Receiver<Edge>>,
+    to_left: Option<Sender<Edge>>,
+    from_left: Option<Receiver<Edge>>,
+    to_right: Option<Sender<Edge>>,
+    from_right: Option<Receiver<Edge>>,
+}
+
+/// Solves in parallel over a 2D block decomposition, updating `grid` in
+/// place. Bit-for-bit equal to [`crate::seq::solve_seq`].
+///
+/// # Panics
+///
+/// Panics on invalid `omega` or a layout finer than the interior.
+pub fn solve_parallel_blocks(grid: &mut Grid, params: SorParams, layout: BlockLayout) {
+    assert!(
+        params.omega > 0.0 && params.omega < 2.0,
+        "omega must lie in (0,2)"
+    );
+    if layout.len() == 1 {
+        crate::seq::solve_seq(grid, params);
+        return;
+    }
+    let blocks = partition_blocks(grid.n(), layout);
+    assert!(blocks.iter().all(|b| b.elements() > 0));
+
+    let mut links: Vec<BlockLinks> = (0..layout.len()).map(|_| BlockLinks::default()).collect();
+    // Vertical links.
+    for br in 0..layout.pr.saturating_sub(1) {
+        for bc in 0..layout.pc {
+            let a = br * layout.pc + bc;
+            let b = (br + 1) * layout.pc + bc;
+            let (tx_down, rx_down) = unbounded();
+            let (tx_up, rx_up) = unbounded();
+            links[a].to_down = Some(tx_down);
+            links[a].from_down = Some(rx_up);
+            links[b].to_up = Some(tx_up);
+            links[b].from_up = Some(rx_down);
+        }
+    }
+    // Horizontal links.
+    for br in 0..layout.pr {
+        for bc in 0..layout.pc.saturating_sub(1) {
+            let a = br * layout.pc + bc;
+            let b = br * layout.pc + bc + 1;
+            let (tx_right, rx_right) = unbounded();
+            let (tx_left, rx_left) = unbounded();
+            links[a].to_right = Some(tx_right);
+            links[a].from_right = Some(rx_left);
+            links[b].to_left = Some(tx_left);
+            links[b].from_left = Some(rx_right);
+        }
+    }
+
+    let mut workers: Vec<BlockWorker> = blocks.iter().map(|b| BlockWorker::new(grid, b)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(layout.len());
+        for (worker, link) in workers.iter_mut().zip(links) {
+            handles.push(scope.spawn(move |_| {
+                for _ in 0..params.iterations {
+                    for color in [Color::Red, Color::Black] {
+                        worker.sweep(color, params.omega);
+                        if let Some(tx) = &link.to_up {
+                            tx.send(Edge::Row(worker.top_row())).expect("send up");
+                        }
+                        if let Some(tx) = &link.to_down {
+                            tx.send(Edge::Row(worker.bottom_row())).expect("send down");
+                        }
+                        if let Some(tx) = &link.to_left {
+                            tx.send(Edge::Col(worker.left_col())).expect("send left");
+                        }
+                        if let Some(tx) = &link.to_right {
+                            tx.send(Edge::Col(worker.right_col())).expect("send right");
+                        }
+                        if let Some(rx) = &link.from_up {
+                            match rx.recv().expect("recv up") {
+                                Edge::Row(r) => worker.set_top_halo(&r),
+                                Edge::Col(_) => unreachable!("vertical link carries rows"),
+                            }
+                        }
+                        if let Some(rx) = &link.from_down {
+                            match rx.recv().expect("recv down") {
+                                Edge::Row(r) => worker.set_bottom_halo(&r),
+                                Edge::Col(_) => unreachable!("vertical link carries rows"),
+                            }
+                        }
+                        if let Some(rx) = &link.from_left {
+                            match rx.recv().expect("recv left") {
+                                Edge::Col(c) => worker.set_left_halo(&c),
+                                Edge::Row(_) => unreachable!("horizontal link carries cols"),
+                            }
+                        }
+                        if let Some(rx) = &link.from_right {
+                            match rx.recv().expect("recv right") {
+                                Edge::Col(c) => worker.set_right_halo(&c),
+                                Edge::Row(_) => unreachable!("horizontal link carries cols"),
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    })
+    .expect("scope failed");
+
+    // Assemble.
+    for (worker, block) in workers.iter().zip(&blocks) {
+        for (li, gi) in block.rows.clone().enumerate() {
+            for (lj, gj) in block.cols.clone().enumerate() {
+                grid.set(gi, gj, worker.data[worker.idx(li + 1, lj + 1)]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::solve_seq;
+
+    fn reference(n: usize, iters: usize) -> Grid {
+        let mut g = Grid::laplace_problem(n);
+        solve_seq(&mut g, SorParams::for_grid(n, iters));
+        g
+    }
+
+    #[test]
+    fn blocks_match_sequential_bitwise() {
+        for (pr, pc) in [(2, 2), (1, 3), (3, 1), (2, 3), (3, 3)] {
+            let n = 26;
+            let iters = 15;
+            let reference = reference(n, iters);
+            let mut g = Grid::laplace_problem(n);
+            solve_parallel_blocks(&mut g, SorParams::for_grid(n, iters), BlockLayout::new(pr, pc));
+            assert_eq!(
+                g.max_diff(&reference),
+                0.0,
+                "layout {pr}x{pc} differs from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn single_block_delegates() {
+        let n = 15;
+        let reference = reference(n, 8);
+        let mut g = Grid::laplace_problem(n);
+        solve_parallel_blocks(&mut g, SorParams::for_grid(n, 8), BlockLayout::new(1, 1));
+        assert_eq!(g.max_diff(&reference), 0.0);
+    }
+
+    #[test]
+    fn converges_with_blocks() {
+        let n = 33;
+        let mut g = Grid::laplace_problem(n);
+        solve_parallel_blocks(&mut g, SorParams::for_grid(n, 400), BlockLayout::new(2, 2));
+        assert!(g.max_residual() < 1e-9, "residual {}", g.max_residual());
+    }
+
+    #[test]
+    fn uneven_blocks_still_match() {
+        // Interior 11 split 3x2: ragged blocks.
+        let n = 13;
+        let iters = 10;
+        let reference = reference(n, iters);
+        let mut g = Grid::laplace_problem(n);
+        solve_parallel_blocks(&mut g, SorParams::for_grid(n, iters), BlockLayout::new(3, 2));
+        assert_eq!(g.max_diff(&reference), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The normal distribution — the family the paper uses to summarize "many
+//! real phenomena" (Section 2.1) and the one closed under the linear
+//! combinations that drive the arithmetic rules of Table 2.
+
+use super::{uniform01, uniform01_open, Distribution};
+use crate::special::{std_normal_cdf, std_normal_pdf, std_normal_quantile};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A (possibly degenerate) normal distribution `N(mu, sigma^2)`.
+///
+/// `sigma == 0` is allowed and models a point value: all mass at `mu`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates `N(mu, sigma^2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "normal mean must be finite");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "normal sigma must be finite and non-negative, got {sigma}"
+        );
+        Self { mu, sigma }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Mean parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard-deviation parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Whether this is the degenerate point distribution.
+    pub fn is_degenerate(&self) -> bool {
+        self.sigma == 0.0
+    }
+
+    /// The linear transform `a*X + b`, exact for normals.
+    pub fn affine(&self, a: f64, b: f64) -> Normal {
+        Normal::new(a * self.mu + b, a.abs() * self.sigma)
+    }
+
+    /// Sum of independent normals: `N(mu1+mu2, s1^2+s2^2)` — the closure
+    /// property (Larsen & Marx ch. 7.3) that Table 2's unrelated-addition
+    /// rule relies on.
+    pub fn convolve(&self, other: &Normal) -> Normal {
+        Normal::new(
+            self.mu + other.mu,
+            (self.sigma * self.sigma + other.sigma * other.sigma).sqrt(),
+        )
+    }
+}
+
+impl Distribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        if self.sigma == 0.0 {
+            return if x == self.mu { f64::INFINITY } else { 0.0 };
+        }
+        std_normal_pdf((x - self.mu) / self.sigma) / self.sigma
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if self.sigma == 0.0 {
+            return if x >= self.mu { 1.0 } else { 0.0 };
+        }
+        std_normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if self.sigma == 0.0 {
+            assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1)");
+            return self.mu;
+        }
+        self.mu + self.sigma * std_normal_quantile(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    /// Marsaglia polar (Box–Muller variant) sampling. One of the pair is
+    /// discarded to keep the trait stateless; throughput is not the concern
+    /// here (Criterion confirms tens of millions of draws per second).
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        if self.sigma == 0.0 {
+            return self.mu;
+        }
+        loop {
+            let u = 2.0 * uniform01(rng) - 1.0;
+            let v = 2.0 * uniform01(rng) - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                return self.mu + self.sigma * u * f;
+            }
+        }
+    }
+}
+
+/// A standard-normal draw, for callers that only need the raw variate.
+pub(crate) fn sample_std_normal(rng: &mut dyn RngCore) -> f64 {
+    // Quantile-transform: slower than polar but branch-free; used by the
+    // lognormal sampler where correlated pair consumption matters.
+    std_normal_quantile(uniform01_open(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pdf_peak_at_mean() {
+        let n = Normal::new(5.0, 2.0);
+        assert!(n.pdf(5.0) > n.pdf(4.0));
+        assert!(n.pdf(5.0) > n.pdf(6.0));
+        assert!((n.pdf(5.0) - 0.199_471_140).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_median_is_half() {
+        let n = Normal::new(-3.0, 0.5);
+        assert!((n.cdf(-3.0) - 0.5).abs() < 1e-12);
+        assert!((n.quantile(0.5) + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_sigma_covers_95_percent() {
+        let n = Normal::new(12.0, 0.3);
+        let cover = n.mass_between(12.0 - 0.6, 12.0 + 0.6);
+        assert!((cover - 0.9545).abs() < 1e-3);
+    }
+
+    #[test]
+    fn degenerate_point_behaviour() {
+        let p = Normal::new(4.0, 0.0);
+        assert!(p.is_degenerate());
+        assert_eq!(p.cdf(3.999), 0.0);
+        assert_eq!(p.cdf(4.0), 1.0);
+        assert_eq!(p.quantile(0.37), 4.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(p.sample(&mut rng), 4.0);
+        assert_eq!(p.pdf(5.0), 0.0);
+    }
+
+    #[test]
+    fn affine_transform() {
+        let n = Normal::new(2.0, 3.0);
+        let t = n.affine(-2.0, 1.0);
+        assert_eq!(t.mu(), -3.0);
+        assert_eq!(t.sigma(), 6.0);
+    }
+
+    #[test]
+    fn convolution_adds_variances() {
+        let a = Normal::new(1.0, 3.0);
+        let b = Normal::new(2.0, 4.0);
+        let c = a.convolve(&b);
+        assert_eq!(c.mu(), 3.0);
+        assert!((c.sigma() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let n = Normal::new(10.0, 2.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut s = Summary::new();
+        for _ in 0..50_000 {
+            s.push(n.sample(&mut rng));
+        }
+        assert!((s.mean() - 10.0).abs() < 0.05);
+        assert!((s.sd() - 2.5).abs() < 0.05);
+        // Normal has ~zero skew and excess kurtosis.
+        assert!(s.skewness().abs() < 0.05);
+        assert!(s.kurtosis().abs() < 0.1);
+    }
+
+    #[test]
+    fn sampling_empirical_two_sigma_coverage() {
+        let n = Normal::new(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut inside = 0u32;
+        let total = 20_000;
+        for _ in 0..total {
+            let x = n.sample(&mut rng);
+            if (-2.0..=2.0).contains(&x) {
+                inside += 1;
+            }
+        }
+        let frac = inside as f64 / total as f64;
+        assert!((frac - 0.9545).abs() < 0.01, "coverage {frac}");
+    }
+
+    #[test]
+    fn quantile_transform_sampler_sane() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = Summary::new();
+        for _ in 0..20_000 {
+            s.push(sample_std_normal(&mut rng));
+        }
+        assert!(s.mean().abs() < 0.03);
+        assert!((s.sd() - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_sigma() {
+        Normal::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Group operations — Max, Min — over stochastic values (paper §2.3.3).
+//!
+//! "The combination of stochastic values for operations over a group must
+//! often be addressed in a situation-dependent manner." The paper sketches
+//! two policies (largest mean; largest magnitude in range) and leaves the
+//! choice to "the usage of the resulting Max value and the quality of
+//! information required". We implement those two, plus two sharper
+//! estimators the structural SOR model can use: Clark's classical
+//! moment-matching approximation for the max of normals, and a seeded
+//! Monte-Carlo estimator as ground truth.
+
+use crate::special::{std_normal_cdf, std_normal_pdf};
+use crate::value::StochasticValue;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Policy for computing `Max` over stochastic values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MaxStrategy {
+    /// "choosing the largest mean of the stochastic value inputs":
+    /// the winner's whole stochastic value is returned.
+    ByMean,
+    /// "selecting the stochastic value with the largest magnitude value in
+    /// its entire range" (largest upper endpoint).
+    ByUpperBound,
+    /// Pessimistic-floor variant: the value with the largest *lower*
+    /// endpoint — the guaranteed-slowest participant.
+    ByLowerBound,
+    /// Clark's (1961) moment-matching approximation of the maximum of
+    /// independent normals, folded pairwise. Produces a genuinely new
+    /// distribution rather than selecting an input.
+    Clark,
+    /// Seeded Monte-Carlo estimate of the exact max distribution
+    /// (independent normals), summarized as mean ± 2 sd.
+    MonteCarlo {
+        /// Number of samples.
+        samples: usize,
+        /// RNG seed — group ops stay deterministic.
+        seed: u64,
+    },
+}
+
+impl Default for MaxStrategy {
+    /// `ByMean` — "on average, the values of A are likely to be higher".
+    fn default() -> Self {
+        MaxStrategy::ByMean
+    }
+}
+
+/// `Max` over a non-empty set of stochastic values under `strategy`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn max_of(values: &[StochasticValue], strategy: MaxStrategy) -> StochasticValue {
+    assert!(!values.is_empty(), "max over an empty set");
+    match strategy {
+        MaxStrategy::ByMean => *values
+            .iter()
+            .max_by(|a, b| a.mean().partial_cmp(&b.mean()).unwrap())
+            .unwrap(),
+        MaxStrategy::ByUpperBound => *values
+            .iter()
+            .max_by(|a, b| a.hi().partial_cmp(&b.hi()).unwrap())
+            .unwrap(),
+        MaxStrategy::ByLowerBound => *values
+            .iter()
+            .max_by(|a, b| a.lo().partial_cmp(&b.lo()).unwrap())
+            .unwrap(),
+        MaxStrategy::Clark => values
+            .iter()
+            .copied()
+            .reduce(|a, b| clark_max(&a, &b))
+            .unwrap(),
+        MaxStrategy::MonteCarlo { samples, seed } => monte_carlo_max(values, samples, seed),
+    }
+}
+
+/// `Min` over a non-empty set, by the duality `min(X) = -max(-X)`.
+pub fn min_of(values: &[StochasticValue], strategy: MaxStrategy) -> StochasticValue {
+    assert!(!values.is_empty(), "min over an empty set");
+    let negated: Vec<StochasticValue> = values.iter().map(|v| v.neg()).collect();
+    max_of(&negated, strategy).neg()
+}
+
+/// Clark's approximation for `max(X, Y)` of independent normals:
+/// moment-matches the true (non-normal) max distribution with a normal.
+///
+/// With `theta^2 = s1^2 + s2^2` and `alpha = (m1 - m2)/theta`:
+///
+/// ```text
+/// E[max]   = m1 Phi(alpha) + m2 Phi(-alpha) + theta phi(alpha)
+/// E[max^2] = (m1^2+s1^2) Phi(alpha) + (m2^2+s2^2) Phi(-alpha)
+///            + (m1+m2) theta phi(alpha)
+/// ```
+pub fn clark_max(a: &StochasticValue, b: &StochasticValue) -> StochasticValue {
+    let (m1, s1) = (a.mean(), a.sd());
+    let (m2, s2) = (b.mean(), b.sd());
+    let theta2 = s1 * s1 + s2 * s2;
+    if theta2 == 0.0 {
+        // Two point values: the exact max.
+        return StochasticValue::point(m1.max(m2));
+    }
+    let theta = theta2.sqrt();
+    let alpha = (m1 - m2) / theta;
+    let phi = std_normal_pdf(alpha);
+    let cap1 = std_normal_cdf(alpha);
+    let cap2 = std_normal_cdf(-alpha);
+    let mean = m1 * cap1 + m2 * cap2 + theta * phi;
+    let second = (m1 * m1 + s1 * s1) * cap1 + (m2 * m2 + s2 * s2) * cap2 + (m1 + m2) * theta * phi;
+    let var = (second - mean * mean).max(0.0);
+    StochasticValue::from_mean_sd(mean, var.sqrt())
+}
+
+fn monte_carlo_max(values: &[StochasticValue], samples: usize, seed: u64) -> StochasticValue {
+    use crate::dist::Distribution;
+    assert!(samples > 1, "Monte-Carlo max needs at least two samples");
+    let normals: Vec<crate::dist::Normal> = values.iter().map(|v| v.to_normal()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut summary = crate::stats::Summary::new();
+    for _ in 0..samples {
+        let mut m = f64::NEG_INFINITY;
+        for n in &normals {
+            m = m.max(n.sample(&mut rng));
+        }
+        summary.push(m);
+    }
+    StochasticValue::from_mean_sd(summary.mean(), summary.sd())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's worked example: A = 4 ± 0.5, B = 3 ± 2, C = 3 ± 1.
+    fn paper_values() -> [StochasticValue; 3] {
+        [
+            StochasticValue::new(4.0, 0.5),
+            StochasticValue::new(3.0, 2.0),
+            StochasticValue::new(3.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn by_mean_picks_a() {
+        // "A has the largest mean"
+        let m = max_of(&paper_values(), MaxStrategy::ByMean);
+        assert_eq!(m.mean(), 4.0);
+        assert_eq!(m.half_width(), 0.5);
+    }
+
+    #[test]
+    fn by_upper_bound_picks_b() {
+        // "B has the largest value within its range" (3 + 2 = 5)
+        let m = max_of(&paper_values(), MaxStrategy::ByUpperBound);
+        assert_eq!(m.mean(), 3.0);
+        assert_eq!(m.half_width(), 2.0);
+    }
+
+    #[test]
+    fn by_lower_bound_picks_a() {
+        // lower endpoints: 3.5, 1, 2 -> A
+        let m = max_of(&paper_values(), MaxStrategy::ByLowerBound);
+        assert_eq!(m.mean(), 4.0);
+    }
+
+    #[test]
+    fn clark_matches_monte_carlo() {
+        let vals = paper_values();
+        let clark = max_of(&vals, MaxStrategy::Clark);
+        let mc = max_of(
+            &vals,
+            MaxStrategy::MonteCarlo {
+                samples: 200_000,
+                seed: 42,
+            },
+        );
+        assert!(
+            (clark.mean() - mc.mean()).abs() < 0.02,
+            "clark {} vs mc {}",
+            clark.mean(),
+            mc.mean()
+        );
+        assert!((clark.half_width() - mc.half_width()).abs() < 0.05);
+    }
+
+    #[test]
+    fn clark_of_two_points_is_exact() {
+        let a = StochasticValue::point(4.0);
+        let b = StochasticValue::point(7.0);
+        let m = clark_max(&a, &b);
+        assert!(m.is_point());
+        assert_eq!(m.mean(), 7.0);
+    }
+
+    #[test]
+    fn clark_exceeds_both_means_for_overlapping_inputs() {
+        // E[max(X,Y)] > max(E[X], E[Y]) when distributions overlap — the
+        // skew the paper's SOR model's Max must capture.
+        let a = StochasticValue::new(10.0, 2.0);
+        let b = StochasticValue::new(10.0, 2.0);
+        let m = clark_max(&a, &b);
+        assert!(m.mean() > 10.0);
+    }
+
+    #[test]
+    fn clark_dominated_input_changes_nothing_much() {
+        let a = StochasticValue::new(100.0, 1.0);
+        let b = StochasticValue::new(1.0, 1.0);
+        let m = clark_max(&a, &b);
+        assert!((m.mean() - 100.0).abs() < 1e-6);
+        assert!((m.half_width() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let vals = paper_values();
+        let s = MaxStrategy::MonteCarlo {
+            samples: 10_000,
+            seed: 7,
+        };
+        let a = max_of(&vals, s);
+        let b = max_of(&vals, s);
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.half_width(), b.half_width());
+    }
+
+    #[test]
+    fn min_duality() {
+        let vals = paper_values();
+        let m = min_of(&vals, MaxStrategy::ByMean);
+        // Smallest mean is 3; ByMean duality picks one of the mean-3 values.
+        assert_eq!(m.mean(), 3.0);
+        let mc_min = min_of(
+            &vals,
+            MaxStrategy::MonteCarlo {
+                samples: 100_000,
+                seed: 1,
+            },
+        );
+        // E[min] must be below every individual mean.
+        assert!(mc_min.mean() < 3.0);
+    }
+
+    #[test]
+    fn max_single_value_is_identity() {
+        let v = [StochasticValue::new(5.0, 1.0)];
+        for s in [
+            MaxStrategy::ByMean,
+            MaxStrategy::ByUpperBound,
+            MaxStrategy::ByLowerBound,
+            MaxStrategy::Clark,
+        ] {
+            let m = max_of(&v, s);
+            assert!((m.mean() - 5.0).abs() < 1e-12);
+            assert!((m.half_width() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_max_panics() {
+        max_of(&[], MaxStrategy::ByMean);
+    }
+}

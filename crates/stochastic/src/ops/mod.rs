@@ -1,0 +1,267 @@
+//! Arithmetic over stochastic values (paper Section 2.3, Table 2).
+//!
+//! Two regimes exist for every binary combination:
+//!
+//! * **Related** distributions — "a causal connection between their values"
+//!   (heavy traffic lowers bandwidth *and* raises latency). Combination is
+//!   conservative: half-widths add.
+//! * **Unrelated** distributions — independent quantities. Combination uses
+//!   probability-based square-root (RSS) error propagation.
+//!
+//! Point values are the degenerate case and combine exactly (Table 2 row 1).
+//!
+//! Operator overloads (`+`, `-`, `*`, `/`) are provided and use the
+//! **unrelated** rules, the standard independence assumption; call the
+//! `*_related` methods when a causal connection exists.
+//!
+//! ```
+//! use prodpred_stochastic::{Dependence, StochasticValue};
+//!
+//! let latency = StochasticValue::new(0.002, 0.0005);
+//! let transfer = StochasticValue::new(0.125, 0.031);
+//! // Heavy traffic raises both: combine conservatively.
+//! let comm = latency.add(&transfer, Dependence::Related);
+//! assert!((comm.mean() - 0.127).abs() < 1e-12);
+//! assert!((comm.half_width() - 0.0315).abs() < 1e-12);
+//! // Independent quantities combine in quadrature (narrower).
+//! let indep = latency.add(&transfer, Dependence::Unrelated);
+//! assert!(indep.half_width() < comm.half_width());
+//! ```
+
+mod add;
+mod group;
+mod mul;
+
+pub use add::add_correlated;
+pub use group::{max_of, min_of, MaxStrategy};
+
+use crate::value::StochasticValue;
+use serde::{Deserialize, Serialize};
+
+/// Whether two stochastic values' distributions are causally connected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dependence {
+    /// Causally connected; combine conservatively (half-widths add).
+    Related,
+    /// Independent; combine by root-sum-of-squares error propagation.
+    Unrelated,
+}
+
+impl StochasticValue {
+    /// `(X ± a) + (Y ± b)` under the given dependence assumption.
+    pub fn add(&self, other: &StochasticValue, dep: Dependence) -> StochasticValue {
+        match dep {
+            Dependence::Related => add::add_related(self, other),
+            Dependence::Unrelated => add::add_unrelated(self, other),
+        }
+    }
+
+    /// Related addition: `sum X_i ± sum |a_i|` (Table 2, row 2).
+    pub fn add_related(&self, other: &StochasticValue) -> StochasticValue {
+        add::add_related(self, other)
+    }
+
+    /// Unrelated addition: `sum X_i ± sqrt(sum a_i^2)` (Table 2, row 3).
+    pub fn add_unrelated(&self, other: &StochasticValue) -> StochasticValue {
+        add::add_unrelated(self, other)
+    }
+
+    /// Correlation-parameterized addition: `rho = 0` is unrelated,
+    /// `rho = 1` related, negative `rho` anticorrelated (see
+    /// [`add_correlated`]).
+    pub fn add_with_correlation(&self, other: &StochasticValue, rho: f64) -> StochasticValue {
+        add::add_correlated(self, other, rho)
+    }
+
+    /// `(X ± a) - (Y ± b)`: "subtraction ... would have the same form as
+    /// addition, only with a negative value for one of the X_i".
+    pub fn sub(&self, other: &StochasticValue, dep: Dependence) -> StochasticValue {
+        self.add(&other.neg(), dep)
+    }
+
+    /// `(X ± a) * (Y ± b)` under the given dependence assumption.
+    pub fn mul(&self, other: &StochasticValue, dep: Dependence) -> StochasticValue {
+        match dep {
+            Dependence::Related => mul::mul_related(self, other),
+            Dependence::Unrelated => mul::mul_unrelated(self, other),
+        }
+    }
+
+    /// Related multiplication:
+    /// `X_i X_j ± (a_i |X_j| + a_j |X_i| + a_i a_j)` (Table 2, row 2).
+    pub fn mul_related(&self, other: &StochasticValue) -> StochasticValue {
+        mul::mul_related(self, other)
+    }
+
+    /// Unrelated multiplication:
+    /// `X_i X_j ± |X_i X_j| sqrt((a_i/X_i)^2 + (a_j/X_j)^2)` (Table 2, row 3),
+    /// with the paper's zero rule: a zero mean on either side makes the
+    /// product the zero point value.
+    pub fn mul_unrelated(&self, other: &StochasticValue) -> StochasticValue {
+        mul::mul_unrelated(self, other)
+    }
+
+    /// Division as multiplication by the reciprocal (paper footnote 5).
+    ///
+    /// Uses the first-order reciprocal [`recip`](Self::recip) rather than
+    /// the footnote's literal `Y^-1 ± b^-1`, which explodes as `b -> 0`;
+    /// see `recip_literal` and DESIGN.md.
+    pub fn div(&self, other: &StochasticValue, dep: Dependence) -> StochasticValue {
+        self.mul(&other.recip(), dep)
+    }
+
+    /// First-order reciprocal: `(Y ± b)^-1 = Y^-1 ± b/Y^2`. This preserves
+    /// the *relative* half-width, consistent with Table 2's unrelated
+    /// multiplication rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mean is zero.
+    pub fn recip(&self) -> StochasticValue {
+        mul::recip(self)
+    }
+
+    /// The footnote-5 literal reciprocal `Y^-1 ± b^-1`. Provided for
+    /// completeness; degenerates to the point reciprocal when `b == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mean is zero.
+    pub fn recip_literal(&self) -> StochasticValue {
+        mul::recip_literal(self)
+    }
+}
+
+/// Related sum over any number of values: `sum X_i ± sum |a_i|`.
+pub fn sum_related<'a>(values: impl IntoIterator<Item = &'a StochasticValue>) -> StochasticValue {
+    values
+        .into_iter()
+        .fold(StochasticValue::point(0.0), |acc, v| acc.add_related(v))
+}
+
+/// Unrelated sum over any number of values: `sum X_i ± sqrt(sum a_i^2)`.
+pub fn sum_unrelated<'a>(values: impl IntoIterator<Item = &'a StochasticValue>) -> StochasticValue {
+    let mut mean = 0.0;
+    let mut ss = 0.0;
+    for v in values {
+        mean += v.mean();
+        ss += v.half_width() * v.half_width();
+    }
+    StochasticValue::new(mean, ss.sqrt())
+}
+
+impl std::ops::Add for StochasticValue {
+    type Output = StochasticValue;
+    fn add(self, rhs: StochasticValue) -> StochasticValue {
+        self.add_unrelated(&rhs)
+    }
+}
+
+impl std::ops::Sub for StochasticValue {
+    type Output = StochasticValue;
+    fn sub(self, rhs: StochasticValue) -> StochasticValue {
+        StochasticValue::sub(&self, &rhs, Dependence::Unrelated)
+    }
+}
+
+impl std::ops::Mul for StochasticValue {
+    type Output = StochasticValue;
+    fn mul(self, rhs: StochasticValue) -> StochasticValue {
+        self.mul_unrelated(&rhs)
+    }
+}
+
+impl std::ops::Div for StochasticValue {
+    type Output = StochasticValue;
+    fn div(self, rhs: StochasticValue) -> StochasticValue {
+        StochasticValue::div(&self, &rhs, Dependence::Unrelated)
+    }
+}
+
+impl std::ops::Add<f64> for StochasticValue {
+    type Output = StochasticValue;
+    fn add(self, rhs: f64) -> StochasticValue {
+        self.shift(rhs)
+    }
+}
+
+impl std::ops::Sub<f64> for StochasticValue {
+    type Output = StochasticValue;
+    fn sub(self, rhs: f64) -> StochasticValue {
+        self.shift(-rhs)
+    }
+}
+
+impl std::ops::Mul<f64> for StochasticValue {
+    type Output = StochasticValue;
+    fn mul(self, rhs: f64) -> StochasticValue {
+        self.scale(rhs)
+    }
+}
+
+impl std::ops::Div<f64> for StochasticValue {
+    type Output = StochasticValue;
+    fn div(self, rhs: f64) -> StochasticValue {
+        assert!(rhs != 0.0, "division of a stochastic value by point zero");
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl std::ops::Neg for StochasticValue {
+    type Output = StochasticValue;
+    fn neg(self) -> StochasticValue {
+        StochasticValue::neg(&self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_overloads_use_unrelated_rules() {
+        let a = StochasticValue::new(10.0, 3.0);
+        let b = StochasticValue::new(20.0, 4.0);
+        let s = a + b;
+        assert_eq!(s.mean(), 30.0);
+        assert!((s.half_width() - 5.0).abs() < 1e-12); // sqrt(9+16)
+        let d = a - b;
+        assert_eq!(d.mean(), -10.0);
+        assert!((d.half_width() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_operators() {
+        let a = StochasticValue::new(10.0, 2.0);
+        assert_eq!((a + 5.0).mean(), 15.0);
+        assert_eq!((a + 5.0).half_width(), 2.0);
+        assert_eq!((a * 3.0).mean(), 30.0);
+        assert_eq!((a * 3.0).half_width(), 6.0);
+        assert_eq!((a / 2.0).mean(), 5.0);
+        assert_eq!((a / 2.0).half_width(), 1.0);
+        assert_eq!((-a).mean(), -10.0);
+    }
+
+    #[test]
+    fn sums_over_iterators() {
+        let vals = [
+            StochasticValue::new(1.0, 1.0),
+            StochasticValue::new(2.0, 2.0),
+            StochasticValue::new(3.0, 2.0),
+        ];
+        let rel = sum_related(&vals);
+        assert_eq!(rel.mean(), 6.0);
+        assert_eq!(rel.half_width(), 5.0);
+        let unrel = sum_unrelated(&vals);
+        assert_eq!(unrel.mean(), 6.0);
+        assert!((unrel.half_width() - 3.0).abs() < 1e-12); // sqrt(1+4+4)
+    }
+
+    #[test]
+    fn related_at_least_as_wide_as_unrelated() {
+        let a = StochasticValue::new(5.0, 2.0);
+        let b = StochasticValue::new(7.0, 3.0);
+        assert!(a.add_related(&b).half_width() >= a.add_unrelated(&b).half_width());
+        assert!(a.mul_related(&b).half_width() >= a.mul_unrelated(&b).half_width());
+    }
+}

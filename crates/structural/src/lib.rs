@@ -1,0 +1,34 @@
+//! # prodpred-structural
+//!
+//! Structural performance models (Schopf '97), extended with stochastic
+//! parameters per the paper's Section 2.2: "Structural models are composed
+//! of component models and equations representing their interactions.
+//! ... By parameterizing such models with stochastic values, we can
+//! calculate performance predictions which are also stochastic values."
+//!
+//! * [`param`] — point/stochastic model parameters with their sources,
+//! * [`component`] — the recursive component-model expression algebra,
+//! * [`comm`] — the `PtToPt` / `SendLR` / `ReceLR` communication models,
+//! * [`comp`] — operation-count and benchmark computation models, with the
+//!   production `Comp / load` form,
+//! * [`sor_model`] — the full Red-Black SOR `ExTime` model and the
+//!   Figure-7 skew bound.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod comm;
+pub mod comp;
+pub mod component;
+pub mod param;
+pub mod sor_model;
+pub mod validate;
+
+pub use comm::{phase_comm, phase_comm_messages, Neighbours, PtToPtModel};
+pub use comp::{phase_comp, BenchmarkModel, OpCountModel};
+pub use component::Component;
+pub use param::{Param, ParamSource};
+pub use validate::{monte_carlo, McResult};
+pub use sor_model::{
+    skew_bound, PhaseBreakdown, ProcessorInputs, SorModelInputs, SorStructuralModel,
+};

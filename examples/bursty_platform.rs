@@ -1,0 +1,45 @@
+//! Platform 2 in miniature: repeated SOR runs under bursty 4-modal load,
+//! comparing the stochastic predictions against both the actual times and
+//! the conventional point prediction — the paper's Section 3.2 study.
+//!
+//! Run with: `cargo run -p prodpred-examples --bin bursty_platform`
+
+use prodpred_core::platform2_experiment;
+use prodpred_core::report::render_table;
+
+fn main() {
+    let series = platform2_experiment(99, 1600, 8);
+    let rows: Vec<Vec<String>> = series
+        .records
+        .iter()
+        .map(|r| {
+            let sv = r.prediction.stochastic;
+            vec![
+                format!("t={:.0}", r.start),
+                format!("{sv}"),
+                format!("{:.1}", r.prediction.point),
+                format!("{:.1}", r.actual_secs),
+                if sv.contains(r.actual_secs) { "yes" } else { "NO" }.into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["run", "stochastic prediction (s)", "point (s)", "actual (s)", "covered"],
+            &rows
+        )
+    );
+    let acc = series.accuracy().unwrap();
+    println!(
+        "\ncoverage {:.0}%   stochastic max error {:.1}%   point max error {:.1}%",
+        acc.coverage * 100.0,
+        acc.max_range_error * 100.0,
+        acc.max_mean_error * 100.0
+    );
+    println!(
+        "\nUnder bursty load a point prediction is often badly wrong; the\n\
+         stochastic interval brackets most runs and is only slightly off\n\
+         for the rest (the paper's Figures 12-17)."
+    );
+}

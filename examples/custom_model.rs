@@ -1,0 +1,79 @@
+//! Building a custom structural model with the component algebra — for an
+//! application the library has never seen.
+//!
+//! The model: a master/worker image-processing job. Each worker fetches a
+//! tile over the shared network, processes it, and sends results back;
+//! the job ends when the slowest worker finishes.
+//!
+//! ```text
+//! Worker_w = Fetch + Compute/load_w + Return
+//! JobTime  = Max_w Worker_w
+//! ```
+//!
+//! Run with: `cargo run -p prodpred-examples --bin custom_model`
+
+use prodpred_stochastic::{Dependence, MaxStrategy, StochasticValue};
+use prodpred_structural::{monte_carlo, Component, Param};
+
+fn main() {
+    // Parameters, stochastic where a production system makes them so.
+    let tile_bytes = 4.0e6; // known exactly
+    let bandwidth = StochasticValue::new(0.9e6, 0.3e6); // B/s, shared segment
+    let compute_secs = StochasticValue::new(20.0, 1.0); // dedicated, benchmarked
+    let loads = [
+        StochasticValue::new(0.92, 0.03),
+        StochasticValue::new(0.48, 0.05),
+        StochasticValue::new(0.65, 0.20), // volatile machine
+    ];
+
+    let transfer = |dep| {
+        Component::Quotient(
+            Box::new(Component::point(tile_bytes)),
+            Box::new(Component::stochastic(bandwidth)),
+            dep,
+        )
+    };
+
+    let workers: Vec<Component> = loads
+        .iter()
+        .map(|&load| {
+            Component::Sum(
+                vec![
+                    transfer(Dependence::Related), // fetch
+                    Component::Quotient(
+                        Box::new(Component::stochastic(compute_secs)),
+                        Box::new(Component::Param(Param::stochastic(load))),
+                        Dependence::Unrelated,
+                    ),
+                    transfer(Dependence::Related), // return
+                ],
+                Dependence::Related, // same machine, same segment
+            )
+        })
+        .collect();
+
+    println!("per-worker stochastic times:");
+    for (i, w) in workers.iter().enumerate() {
+        println!("  worker {i}: {} s", w.evaluate());
+    }
+
+    for strategy in [MaxStrategy::ByMean, MaxStrategy::ByUpperBound, MaxStrategy::Clark] {
+        let job = Component::Max(workers.clone(), strategy);
+        let v = job.evaluate();
+        println!("\njob time under {strategy:?}: {v} s  (range {:.1}..{:.1})", v.lo(), v.hi());
+        // Score the closed form against sampling.
+        let mc = monte_carlo(&job, 50_000, 7);
+        println!(
+            "  Monte-Carlo truth: {}  | closed-form interval covers {:.1}% of samples",
+            mc.summary,
+            mc.closed_form_coverage * 100.0
+        );
+    }
+
+    println!(
+        "\nThe volatile worker dominates the job's uncertainty even though\n\
+         the loaded Sparc is slower on average — information a point model\n\
+         cannot express. Clark's strategy prices the max's upward shift;\n\
+         the selection strategies bracket it from below and above."
+    );
+}

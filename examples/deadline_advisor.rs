@@ -1,0 +1,63 @@
+//! From prediction to decision: grade a stochastic prediction's quality,
+//! price a deadline, and print the service range — the paper's closing
+//! argument that the *quality* of information is itself information.
+//!
+//! Run with: `cargo run -p prodpred-examples --bin deadline_advisor`
+
+use prodpred_core::advisor::{deadline_report, service_range, PredictionQuality};
+use prodpred_core::{decompose, DecompositionPolicy, PredictorConfig, SorPredictor};
+use prodpred_nws::{NwsConfig, NwsService};
+use prodpred_simgrid::Platform;
+use prodpred_sor::{simulate, DistSorConfig};
+
+fn main() {
+    for (name, platform) in [
+        ("Platform 1 (single-mode)", Platform::platform1(5, 20_000.0)),
+        ("Platform 2 (bursty)", Platform::platform2(5, 20_000.0)),
+    ] {
+        println!("=== {name} ===\n");
+        let nws = NwsService::attach(&platform, NwsConfig::default());
+        nws.advance_to(&platform, 600.0);
+        let n = 1600;
+        let strips = decompose(&platform, n, DecompositionPolicy::DedicatedSpeed, None);
+        let predictor = SorPredictor::new(&platform, &nws, PredictorConfig::default());
+        let prediction = predictor.predict(n, &strips).expect("warmed up");
+        let sv = prediction.stochastic;
+
+        println!("prediction: {sv} s  -> quality {:?}", PredictionQuality::of(sv));
+        println!("\nservice range (completion time at confidence):");
+        for (c, t) in service_range(sv) {
+            println!("  {:>4.0}%  <= {t:7.1} s", c * 100.0);
+        }
+
+        // Price two candidate deadlines.
+        for slack in [1.05, 1.5] {
+            let deadline = sv.mean() * slack;
+            let rep = deadline_report(sv, deadline, 0.95);
+            println!(
+                "\ndeadline {:.1} s ({}% over the point estimate): P(meet) = {:.0}%",
+                deadline,
+                ((slack - 1.0) * 100.0).round(),
+                rep.p_meet * 100.0
+            );
+        }
+
+        // And the ground truth.
+        let run = simulate(
+            &platform,
+            &strips,
+            DistSorConfig::new(n, predictor.config().iterations, 600.0),
+        );
+        println!(
+            "\nactual run: {:.1} s ({}within the predicted range)\n",
+            run.total_secs,
+            if sv.contains(run.total_secs) { "" } else { "NOT " }
+        );
+    }
+    println!(
+        "A point prediction can only say \"about X seconds\". The stochastic\n\
+         prediction prices deadlines: on the quiet platform a 5% slack\n\
+         deadline is already near-certain, while under bursty load the same\n\
+         slack is a coin flip — knowledge a scheduler can act on."
+    );
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the full prediction pipeline in one sitting.
+//!
+//! 1. Build a production platform (Platform 1 from the paper),
+//! 2. attach the Network Weather Service,
+//! 3. decompose the SOR grid across the machines,
+//! 4. issue a stochastic execution-time prediction,
+//! 5. run the application and compare.
+//!
+//! Run with: `cargo run -p prodpred-examples --bin quickstart`
+
+use prodpred_core::{decompose, DecompositionPolicy, PredictorConfig, SorPredictor};
+use prodpred_nws::{NwsConfig, NwsService};
+use prodpred_simgrid::Platform;
+use prodpred_sor::{simulate, DistSorConfig};
+
+fn main() {
+    // A production network of shared Sparc workstations on 10 Mbit
+    // ethernet, with the slow machines sitting in the 0.48 ± 0.05 load
+    // mode of the paper's Section 3.1.
+    let platform = Platform::platform1(42, 20_000.0);
+    println!("platform: {:?}", platform.names());
+
+    // The NWS monitors CPU availability and bandwidth at 5 s intervals.
+    let nws = NwsService::attach(&platform, NwsConfig::default());
+    nws.advance_to(&platform, 300.0); // five minutes of history
+
+    for (i, _) in platform.machines.iter().enumerate() {
+        println!(
+            "  cpu[{i}] = {}  (stochastic availability)",
+            nws.cpu_stochastic(i).unwrap()
+        );
+    }
+    println!(
+        "  bandwidth = {} (fraction of 10 Mbit)\n",
+        nws.bandwidth_fraction_stochastic().unwrap()
+    );
+
+    // Decompose a 1600x1600 grid proportionally to dedicated speed.
+    let n = 1600;
+    let strips = decompose(&platform, n, DecompositionPolicy::DedicatedSpeed, None);
+    for s in &strips {
+        println!(
+            "  strip[{}]: rows {:?} ({} elements)",
+            s.proc,
+            s.rows,
+            s.elements(n)
+        );
+    }
+
+    // Predict, then run.
+    let predictor = SorPredictor::new(&platform, &nws, PredictorConfig::default());
+    let prediction = predictor.predict(n, &strips).expect("NWS warmed up");
+    println!("\nstochastic prediction : {} s", prediction.stochastic);
+    println!("point prediction      : {:.2} s", prediction.point);
+    println!(
+        "interval              : [{:.2}, {:.2}] s",
+        prediction.stochastic.lo(),
+        prediction.stochastic.hi()
+    );
+
+    let run = simulate(
+        &platform,
+        &strips,
+        DistSorConfig {
+            paging: None,
+            n,
+            iterations: predictor.config().iterations,
+            start_time: 300.0,
+        },
+    );
+    println!("actual execution time : {:.2} s", run.total_secs);
+    println!(
+        "inside the stochastic range: {}",
+        prediction.stochastic.contains(run.total_secs)
+    );
+    println!(
+        "skew across processors: {:.3} s over {} iterations",
+        run.skew_secs,
+        run.iteration_secs.len()
+    );
+}

@@ -1,0 +1,61 @@
+//! The paper's Section-1.2 motivating example: two machines that look
+//! identical to a point-valued model (both average 12 s per unit of work)
+//! but differ radically in variance — and how a variance-aware scheduler
+//! exploits the difference.
+//!
+//! Run with: `cargo run -p prodpred-examples --bin two_machine_scheduling`
+
+use prodpred_core::{allocate_units, planned_completion, AllocationPolicy};
+use prodpred_stochastic::{Distribution, StochasticValue, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Machine A: slow but quiet (± 5%). Machine B: fast hardware, many
+    // users (± 30%). In production both *average* 12 s per unit.
+    let machine_a = StochasticValue::from_percent(12.0, 5.0);
+    let machine_b = StochasticValue::from_percent(12.0, 30.0);
+    println!("machine A unit time: {machine_a} s");
+    println!("machine B unit time: {machine_b} s\n");
+
+    let units = 120u64;
+    let policies = [
+        ("by mean (conventional)", AllocationPolicy::ByMean),
+        ("risk-averse lambda=2", AllocationPolicy::RiskAverse { lambda: 2.0 }),
+        ("optimistic lambda=1", AllocationPolicy::Optimistic { lambda: 1.0 }),
+    ];
+
+    // Evaluate each plan against 10 000 simulated production days.
+    let mut rng = StdRng::seed_from_u64(7);
+    let (na, nb) = (machine_a.to_normal(), machine_b.to_normal());
+    for (label, policy) in policies {
+        let alloc = allocate_units(units, &[machine_a, machine_b], policy);
+        let plan = planned_completion(&alloc, &[machine_a, machine_b]);
+        let mut outcomes = Summary::new();
+        let mut all = Vec::with_capacity(10_000);
+        for _ in 0..10_000 {
+            let ta = alloc[0] as f64 * na.sample(&mut rng);
+            let tb = alloc[1] as f64 * nb.sample(&mut rng);
+            let t = ta.max(tb);
+            outcomes.push(t);
+            all.push(t);
+        }
+        let p95 = prodpred_stochastic::stats::quantile(&all, 0.95).unwrap();
+        println!(
+            "{label:24} units [A,B] = [{:>3},{:>3}]  planned {plan}",
+            alloc[0], alloc[1]
+        );
+        println!(
+            "{:24} simulated mean {:.0} s, p95 {:.0} s\n",
+            "",
+            outcomes.mean(),
+            p95
+        );
+    }
+    println!(
+        "The conventional split is blind to machine B's spread. The\n\
+         risk-averse plan sacrifices a little average time for a much\n\
+         better 95th percentile; the optimistic plan does the reverse —\n\
+         exactly the trade-off the paper's Section 1.2 describes."
+    );
+}

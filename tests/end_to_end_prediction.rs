@@ -1,0 +1,98 @@
+//! End-to-end integration: platform → NWS → predictor → simulated run,
+//! exercising every crate in one flow.
+
+use prodpred_core::{decompose, DecompositionPolicy, PredictorConfig, SorPredictor};
+use prodpred_nws::{NwsConfig, NwsService};
+use prodpred_simgrid::Platform;
+use prodpred_sor::{simulate, DistSorConfig};
+
+#[test]
+fn pipeline_produces_consistent_prediction_and_run() {
+    let platform = Platform::platform1(7, 20_000.0);
+    let nws = NwsService::attach(&platform, NwsConfig::default());
+    nws.advance_to(&platform, 300.0);
+
+    let n = 1200;
+    let strips = decompose(&platform, n, DecompositionPolicy::DedicatedSpeed, None);
+    let predictor = SorPredictor::new(&platform, &nws, PredictorConfig::default());
+    let prediction = predictor.predict(n, &strips).expect("warmed up");
+
+    assert!(!prediction.stochastic.is_point());
+    assert!(prediction.stochastic.mean() > 0.0);
+    assert!((prediction.point - prediction.stochastic.mean()).abs() < 1e-6);
+
+    let run = simulate(
+        &platform,
+        &strips,
+        DistSorConfig {
+            paging: None,
+            n,
+            iterations: 50,
+            start_time: 300.0,
+        },
+    );
+    assert!(run.total_secs > 0.0);
+    // Single-mode regime: the widened interval must bracket the run even
+    // across seeds (the unwidened one does for almost all of them).
+    assert!(
+        prediction.stochastic.widen(2.0).contains(run.total_secs),
+        "prediction {} vs actual {}",
+        prediction.stochastic,
+        run.total_secs
+    );
+}
+
+#[test]
+fn prediction_tracks_problem_size_scaling() {
+    let platform = Platform::platform1(8, 20_000.0);
+    let nws = NwsService::attach(&platform, NwsConfig::default());
+    nws.advance_to(&platform, 300.0);
+    let predictor = SorPredictor::new(&platform, &nws, PredictorConfig::default());
+
+    let p1000 = predictor
+        .predict(
+            1000,
+            &decompose(&platform, 1000, DecompositionPolicy::DedicatedSpeed, None),
+        )
+        .unwrap();
+    let p2000 = predictor
+        .predict(
+            2000,
+            &decompose(&platform, 2000, DecompositionPolicy::DedicatedSpeed, None),
+        )
+        .unwrap();
+    let ratio = p2000.stochastic.mean() / p1000.stochastic.mean();
+    // Compute scales 4x; comm scales 2x; overall between 2x and 4x.
+    assert!(ratio > 2.0 && ratio < 4.5, "ratio {ratio}");
+}
+
+#[test]
+fn structural_model_tracks_simulator_on_dedicated_platform() {
+    // The §2.2.1 claim as an integration test, on a different machine mix
+    // than the harness default.
+    use prodpred_core::predict_dedicated;
+    use prodpred_simgrid::MachineClass;
+    let platform = Platform::dedicated(
+        &[
+            MachineClass::UltraSparc,
+            MachineClass::Sparc5,
+            MachineClass::Sparc10,
+        ],
+        1.0e6,
+    );
+    let n = 900;
+    let strips = decompose(&platform, n, DecompositionPolicy::DedicatedSpeed, None);
+    let predicted = predict_dedicated(&platform, n, &strips, 30);
+    let run = simulate(
+        &platform,
+        &strips,
+        DistSorConfig {
+            paging: None,
+            n,
+            iterations: 30,
+            start_time: 0.0,
+        },
+    );
+    let err = (predicted.mean() - run.total_secs).abs() / run.total_secs;
+    assert!(err < 0.02, "predicted {} actual {} err {err}", predicted.mean(), run.total_secs);
+}

@@ -1,0 +1,139 @@
+//! Scheduling integration: variance-aware allocation measurably improves
+//! tail completion times on the simulated platforms.
+
+use prodpred_core::{
+    allocate_units, decompose, AllocationPolicy, DecompositionPolicy,
+};
+use prodpred_simgrid::{MachineClass, Platform};
+use prodpred_sor::{simulate, DistSorConfig};
+use prodpred_stochastic::{Distribution, StochasticValue};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn risk_averse_beats_by_mean_on_p95_completion() {
+    // Table-1 machines; Monte-Carlo over production days.
+    let times = [
+        StochasticValue::from_percent(12.0, 5.0),
+        StochasticValue::from_percent(12.0, 30.0),
+    ];
+    let mean_alloc = allocate_units(100, &times, AllocationPolicy::ByMean);
+    let risk_alloc = allocate_units(100, &times, AllocationPolicy::RiskAverse { lambda: 2.0 });
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let normals = [times[0].to_normal(), times[1].to_normal()];
+    let completion = |alloc: &[u64], rng: &mut StdRng| -> Vec<f64> {
+        (0..8000)
+            .map(|_| {
+                let a = alloc[0] as f64 * normals[0].sample(rng);
+                let b = alloc[1] as f64 * normals[1].sample(rng);
+                a.max(b)
+            })
+            .collect()
+    };
+    let mean_runs = completion(&mean_alloc, &mut rng);
+    let risk_runs = completion(&risk_alloc, &mut rng);
+    let p95 = |v: &[f64]| prodpred_stochastic::stats::quantile(v, 0.95).unwrap();
+    assert!(
+        p95(&risk_runs) < p95(&mean_runs),
+        "risk-averse p95 {} should beat by-mean p95 {}",
+        p95(&risk_runs),
+        p95(&mean_runs)
+    );
+}
+
+#[test]
+fn speed_weighted_decomposition_beats_equal_on_heterogeneous_platform() {
+    let platform = Platform::dedicated(
+        &[
+            MachineClass::Sparc2,
+            MachineClass::Sparc5,
+            MachineClass::UltraSparc,
+            MachineClass::UltraSparc,
+        ],
+        1.0e6,
+    );
+    let n = 1000;
+    let cfg = |_: usize| DistSorConfig {
+        paging: None,
+        n,
+        iterations: 20,
+        start_time: 0.0,
+    };
+    let equal = simulate(
+        &platform,
+        &decompose(&platform, n, DecompositionPolicy::Equal, None),
+        cfg(0),
+    );
+    let weighted = simulate(
+        &platform,
+        &decompose(&platform, n, DecompositionPolicy::DedicatedSpeed, None),
+        cfg(1),
+    );
+    assert!(
+        weighted.total_secs < equal.total_secs * 0.7,
+        "weighted {} vs equal {}",
+        weighted.total_secs,
+        equal.total_secs
+    );
+}
+
+#[test]
+fn effective_speed_decomposition_adapts_to_load() {
+    // Two identical machines, one heavily loaded: the load-aware split
+    // beats the load-blind one.
+    use prodpred_simgrid::{Machine, MachineSpec, Trace};
+    let horizon = 1.0e6;
+    let quiet = Machine::new(
+        MachineSpec::new("quiet", MachineClass::Sparc10),
+        Trace::constant(0.0, 1.0, 0.95, horizon as usize),
+    );
+    let busy = Machine::new(
+        MachineSpec::new("busy", MachineClass::Sparc10),
+        Trace::constant(0.0, 1.0, 0.30, horizon as usize),
+    );
+    let network = Platform::dedicated(&[MachineClass::Sparc10], 10.0).network;
+    let platform = Platform {
+        machines: vec![quiet, busy],
+        network,
+        horizon,
+    };
+    let n = 800;
+    let loads = [
+        StochasticValue::new(0.95, 0.02),
+        StochasticValue::new(0.30, 0.02),
+    ];
+    let blind = simulate(
+        &platform,
+        &decompose(&platform, n, DecompositionPolicy::DedicatedSpeed, None),
+        DistSorConfig {
+            paging: None,
+            n,
+            iterations: 20,
+            start_time: 0.0,
+        },
+    );
+    let aware = simulate(
+        &platform,
+        &decompose(
+            &platform,
+            n,
+            DecompositionPolicy::EffectiveSpeed {
+                policy: AllocationPolicy::ByMean,
+            },
+            Some(&loads),
+        ),
+        DistSorConfig {
+            paging: None,
+            n,
+            iterations: 20,
+            start_time: 0.0,
+        },
+    );
+    assert!(
+        aware.total_secs < blind.total_secs * 0.75,
+        "aware {} vs blind {}",
+        aware.total_secs,
+        blind.total_secs
+    );
+}

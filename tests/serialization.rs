@@ -1,0 +1,65 @@
+//! Serde round-trips: experiment artifacts persist and reload intact, so
+//! traces and results can be archived and replotted.
+
+use prodpred_core::{platform2_experiment, ExperimentSeries};
+use prodpred_simgrid::{Platform, Trace};
+use prodpred_stochastic::StochasticValue;
+
+#[test]
+fn stochastic_value_round_trip() {
+    let v = StochasticValue::new(12.0, 0.6);
+    let json = serde_json::to_string(&v).unwrap();
+    let back: StochasticValue = serde_json::from_str(&json).unwrap();
+    assert_eq!(v, back);
+}
+
+#[test]
+fn trace_round_trip() {
+    let t = Trace::new(3.0, 0.5, vec![0.1, 0.9, 0.4]);
+    let json = serde_json::to_string(&t).unwrap();
+    let back: Trace = serde_json::from_str(&json).unwrap();
+    assert_eq!(t, back);
+    assert_eq!(back.at(3.6), 0.9);
+}
+
+#[test]
+fn platform_round_trip_preserves_behaviour() {
+    let p = Platform::platform1(5, 600.0);
+    let json = serde_json::to_string(&p).unwrap();
+    let back: Platform = serde_json::from_str(&json).unwrap();
+    assert_eq!(p.len(), back.len());
+    for (a, b) in p.machines.iter().zip(&back.machines) {
+        assert_eq!(a.spec.name, b.spec.name);
+        assert_eq!(a.load, b.load);
+    }
+    assert_eq!(p.network.avail, back.network.avail);
+    // Behavioural check: transfers agree.
+    assert_eq!(
+        p.network.transfer_secs(1.0e5, 100.0),
+        back.network.transfer_secs(1.0e5, 100.0)
+    );
+}
+
+#[test]
+fn experiment_series_round_trip() {
+    let series = platform2_experiment(3, 800, 3);
+    let json = serde_json::to_string(&series).unwrap();
+    let back: ExperimentSeries = serde_json::from_str(&json).unwrap();
+    assert_eq!(series.records.len(), back.records.len());
+    for (a, b) in series.records.iter().zip(&back.records) {
+        assert_eq!(a.actual_secs, b.actual_secs);
+        assert_eq!(
+            a.prediction.stochastic.mean(),
+            b.prediction.stochastic.mean()
+        );
+        assert_eq!(
+            a.prediction.stochastic.half_width(),
+            b.prediction.stochastic.half_width()
+        );
+    }
+    // Accuracy recomputes identically from the reloaded artifact.
+    let acc_a = series.accuracy().unwrap();
+    let acc_b = back.accuracy().unwrap();
+    assert_eq!(acc_a.coverage, acc_b.coverage);
+    assert_eq!(acc_a.max_range_error, acc_b.max_range_error);
+}

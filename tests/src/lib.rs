@@ -1,0 +1,2 @@
+//! Cross-crate integration test support. The tests themselves live in the
+//! package root (see `Cargo.toml` `[[test]]` entries).
