@@ -1,11 +1,61 @@
-//! Criterion benchmarks for the real SOR solvers: sequential vs.
-//! multithreaded scaling, and the simulated distributed execution cost.
+//! Criterion benchmarks for the real SOR solvers: per-kernel sweep
+//! throughput (slice kernel vs the historical indexed loop), sequential
+//! vs. multithreaded scaling, and the simulated distributed execution
+//! cost.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use prodpred_simgrid::Platform;
 use prodpred_sor::{
-    partition_equal, simulate, solve_parallel, solve_seq, DistSorConfig, Grid, SorParams,
+    partition_equal, simulate, solve_parallel, solve_seq, Color, DistSorConfig, Grid, SorParams,
 };
+
+/// The pre-refactor sweep, verbatim: per-cell `get`/`set` index math.
+/// Kept here as the baseline the slice kernel is measured against.
+fn sweep_indexed(grid: &mut Grid, color: Color, omega: f64) {
+    let n = grid.n();
+    for i in 1..n - 1 {
+        let start = 1 + ((i + 1 + color.parity()) % 2);
+        let mut j = start;
+        while j < n - 1 {
+            let u = grid.get(i, j);
+            let sum =
+                grid.get(i - 1, j) + grid.get(i + 1, j) + grid.get(i, j - 1) + grid.get(i, j + 1);
+            grid.set(i, j, u + omega * 0.25 * (sum - 4.0 * u));
+            j += 2;
+        }
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 2048;
+    let omega = prodpred_sor::optimal_omega(n);
+    let mut group = c.benchmark_group("sor-kernel-2048");
+    group.throughput(Throughput::Elements(((n - 2) * (n - 2)) as u64));
+    group.bench_function("fused", |b| {
+        let mut g = Grid::laplace_problem(n);
+        b.iter(|| {
+            prodpred_sor::sweep_iteration(&mut g, omega);
+            black_box(g.get(1, 1))
+        })
+    });
+    group.bench_function("slice-two-pass", |b| {
+        let mut g = Grid::laplace_problem(n);
+        b.iter(|| {
+            prodpred_sor::seq::sweep_color_rows(&mut g, Color::Red, omega, 1, n - 1);
+            prodpred_sor::seq::sweep_color_rows(&mut g, Color::Black, omega, 1, n - 1);
+            black_box(g.get(1, 1))
+        })
+    });
+    group.bench_function("indexed", |b| {
+        let mut g = Grid::laplace_problem(n);
+        b.iter(|| {
+            sweep_indexed(&mut g, Color::Red, omega);
+            sweep_indexed(&mut g, Color::Black, omega);
+            black_box(g.get(1, 1))
+        })
+    });
+    group.finish();
+}
 
 fn bench_sequential(c: &mut Criterion) {
     let mut group = c.benchmark_group("sor-sequential");
@@ -52,6 +102,7 @@ fn bench_distsim(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_kernels,
     bench_sequential,
     bench_parallel_scaling,
     bench_distsim

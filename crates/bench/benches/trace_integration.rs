@@ -1,0 +1,86 @@
+//! Criterion benchmarks for `Trace` integration: the O(1) prefix-integral
+//! path against the O(steps) step-walk reference it replaced, and the
+//! binary-search `time_to_complete` against its walking reference, on
+//! production-scale (hour-long, one-second-step) traces.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prodpred_simgrid::Trace;
+
+/// An hour of one-second availability samples with realistic structure:
+/// a slow diurnal-ish drift modulated by a faster oscillation.
+fn hour_trace(steps: usize) -> Trace {
+    Trace::from_fn(0.0, 1.0, steps, |t| {
+        0.55 + 0.4 * (t * 0.013).sin() * (t * 0.0007).cos()
+    })
+}
+
+/// Query windows spread across the horizon, most spanning hundreds of
+/// steps — the regime where the walk pays its O(steps) cost.
+fn windows(horizon: f64) -> Vec<(f64, f64)> {
+    (0..256)
+        .map(|i| {
+            let a = (i % 617) as f64 * (horizon / 617.0) * 0.9 - 100.0;
+            let b = a + 40.0 + (i % 251) as f64 * (horizon / 300.0);
+            (a, b)
+        })
+        .collect()
+}
+
+fn bench_integral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace-integral");
+    for steps in [600usize, 3600] {
+        let trace = hour_trace(steps);
+        let qs = windows(steps as f64);
+        group.throughput(Throughput::Elements(qs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("prefix", steps), &trace, |b, trace| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(x, y) in &qs {
+                    acc += trace.integral(x, y);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("walk", steps), &trace, |b, trace| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(x, y) in &qs {
+                    acc += trace.integral_reference(x, y);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_time_to_complete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace-time-to-complete");
+    for steps in [600usize, 3600] {
+        let trace = hour_trace(steps);
+        let qs = windows(steps as f64);
+        group.throughput(Throughput::Elements(qs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("search", steps), &trace, |b, trace| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(x, y) in &qs {
+                    acc += trace.time_to_complete(x.max(0.0), y.max(1.0));
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("walk", steps), &trace, |b, trace| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(x, y) in &qs {
+                    acc += trace.time_to_complete_reference(x.max(0.0), y.max(1.0));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_integral, bench_time_to_complete);
+criterion_main!(benches);

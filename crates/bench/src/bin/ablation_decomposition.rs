@@ -38,7 +38,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["P", "network", "strip (s)", "block (s)", "winner", "strip/block"],
+            &[
+                "P",
+                "network",
+                "strip (s)",
+                "block (s)",
+                "winner",
+                "strip/block"
+            ],
             &rows
         )
     );

@@ -57,7 +57,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["rule", "platform", "coverage %", "max range err %", "mean rel width %"],
+            &[
+                "rule",
+                "platform",
+                "coverage %",
+                "max range err %",
+                "mean rel width %"
+            ],
             &rows
         )
     );

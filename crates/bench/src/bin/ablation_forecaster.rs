@@ -72,7 +72,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["spread policy", "coverage %", "max range err %", "max mean err %", "mean rel width %"],
+            &[
+                "spread policy",
+                "coverage %",
+                "max range err %",
+                "max mean err %",
+                "mean rel width %"
+            ],
             &rows
         )
     );

@@ -40,9 +40,7 @@ fn main() {
             let mean_point_err: f64 = series
                 .records
                 .iter()
-                .map(|r| {
-                    (r.prediction.stochastic.mean() - r.actual_secs).abs() / r.actual_secs
-                })
+                .map(|r| (r.prediction.stochastic.mean() - r.actual_secs).abs() / r.actual_secs)
                 .sum::<f64>()
                 / series.records.len() as f64;
             rows.push(vec![

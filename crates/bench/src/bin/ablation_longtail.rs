@@ -31,7 +31,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["busy weight", "mean Mbit/s", "sd", "skew", "2-sigma coverage %", "normal OK"],
+            &[
+                "busy weight",
+                "mean Mbit/s",
+                "sd",
+                "skew",
+                "2-sigma coverage %",
+                "normal OK"
+            ],
             &rows
         )
     );

@@ -5,7 +5,7 @@
 //! the Platform-2 prediction's coverage and width change.
 
 use prodpred_core::report::{f, render_table};
-use prodpred_core::{platform2_experiment, ExperimentConfig, run_series, PredictorConfig};
+use prodpred_core::{platform2_experiment, run_series, ExperimentConfig, PredictorConfig};
 use prodpred_simgrid::Platform;
 use prodpred_stochastic::{max_of, MaxStrategy, StochasticValue};
 
@@ -40,10 +40,7 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(
-            &["strategy", "Max(4±0.5, 3±2, 3±1)", "lo", "hi"],
-            &rows
-        )
+        render_table(&["strategy", "Max(4±0.5, 3±2, 3±1)", "lo", "hi"], &rows)
     );
 
     // System level: end-to-end accuracy per strategy on Platform 2.
@@ -79,7 +76,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["strategy", "coverage %", "max range err %", "max mean err %", "mean rel width %"],
+            &[
+                "strategy",
+                "coverage %",
+                "max range err %",
+                "max mean err %",
+                "mean rel width %"
+            ],
             &rows
         )
     );

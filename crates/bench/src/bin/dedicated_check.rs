@@ -2,8 +2,8 @@
 //! model defined in this section predicted overall application execution
 //! times to within 2% of actual execution time."
 
-use prodpred_core::report::{f, render_table};
 use prodpred_core::dedicated_check;
+use prodpred_core::report::{f, render_table};
 
 fn main() {
     println!("== Dedicated structural-model validation (Sec 2.2.1) ==\n");

@@ -18,12 +18,21 @@ fn main() {
     };
     let policies: [(&str, AllocationPolicy); 3] = [
         ("by mean (point model)", AllocationPolicy::ByMean),
-        ("risk-averse lambda=2", AllocationPolicy::RiskAverse { lambda: 2.0 }),
-        ("optimistic lambda=1", AllocationPolicy::Optimistic { lambda: 1.0 }),
+        (
+            "risk-averse lambda=2",
+            AllocationPolicy::RiskAverse { lambda: 2.0 },
+        ),
+        (
+            "optimistic lambda=1",
+            AllocationPolicy::Optimistic { lambda: 1.0 },
+        ),
     ];
 
     for (pname, platform) in [
-        ("Platform 1 (single-mode)", Platform::platform1(7, 200_000.0)),
+        (
+            "Platform 1 (single-mode)",
+            Platform::platform1(7, 200_000.0),
+        ),
         ("Platform 2 (bursty)", Platform::platform2(7, 200_000.0)),
     ] {
         println!("-- {pname} --\n");
@@ -42,7 +51,12 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["policy", "mean completion (s)", "p95 completion (s)", "coverage %"],
+                &[
+                    "policy",
+                    "mean completion (s)",
+                    "p95 completion (s)",
+                    "coverage %"
+                ],
                 &table
             )
         );

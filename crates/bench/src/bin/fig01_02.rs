@@ -17,7 +17,11 @@ fn main() {
     } else {
         figure1_runtimes(400, 1)
     };
-    let what = if live { "live sort timings" } else { "simulated dedicated sort runtimes" };
+    let what = if live {
+        "live sort timings"
+    } else {
+        "simulated dedicated sort runtimes"
+    };
     print_histogram_with_normal(&runtimes, 14, &format!("Figure 1: {what}"), "sec");
     print_cdf_comparison(&runtimes, 12, "Figure 2: sample runtime", "sec");
 

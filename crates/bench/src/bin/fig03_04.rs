@@ -38,7 +38,11 @@ fn main() {
     println!(
         "Anderson-Darling A*2 = {:.2} -> normality {} at 5% (tail-sensitive)",
         report.ad_statistic,
-        if report.ad_rejects { "REJECTED" } else { "accepted" }
+        if report.ad_rejects {
+            "REJECTED"
+        } else {
+            "accepted"
+        }
     );
     println!(
         "normal assumption adequate for a tolerant scheduler: {}",

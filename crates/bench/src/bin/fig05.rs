@@ -14,7 +14,10 @@ fn main() {
     // is modal (round-robin sharing: idle/(1+k)).
     let sessions = SessionLoad::default().generate(6, 0.0, 1.0, 100_000);
 
-    for (name, trace) in [("Markov tri-modal", &markov), ("competing-user sessions", &sessions)] {
+    for (name, trace) in [
+        ("Markov tri-modal", &markov),
+        ("competing-user sessions", &sessions),
+    ] {
         println!("== Figure 5: load on a production workstation ({name}) ==");
         let hist = Histogram::from_data(trace.values(), 25).unwrap();
         println!("{}", hist.render_ascii(48));
@@ -33,7 +36,10 @@ fn main() {
             .collect();
         println!(
             "{}",
-            render_table(&["mode mean", "mode sd", "occupancy %", "stochastic value"], &rows)
+            render_table(
+                &["mode mean", "mode sd", "occupancy %", "stochastic value"],
+                &rows
+            )
         );
         println!(
             "multi-modal weighted average (Sec 2.1.2): {}\n",

@@ -88,7 +88,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["iteration", "loaded (s)", "baseline (s)", "skew delay (s)", "bar"],
+            &[
+                "iteration",
+                "loaded (s)",
+                "baseline (s)",
+                "skew delay (s)",
+                "bar"
+            ],
             &rows
         )
     );

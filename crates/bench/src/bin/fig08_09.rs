@@ -11,7 +11,9 @@ use prodpred_bench::print_experiment;
 use prodpred_core::platform1_experiment;
 
 fn main() {
-    let sizes = [1000, 1100, 1200, 1300, 1400, 1500, 1600, 1700, 1800, 1900, 2000];
+    let sizes = [
+        1000, 1100, 1200, 1300, 1400, 1500, 1600, 1700, 1800, 1900, 2000,
+    ];
     let series = platform1_experiment(42, &sizes);
     print_experiment(
         &series,

@@ -38,5 +38,8 @@ fn main() {
 
     println!("== Figure 11: typical multi-modal bursty load ==");
     let window: Vec<(f64, f64)> = trace.sample_every(0.0, 600.0, 5.0);
-    println!("{}", render_series(&window, 48, "availability (10-minute window)"));
+    println!(
+        "{}",
+        render_series(&window, 48, "availability (10-minute window)")
+    );
 }

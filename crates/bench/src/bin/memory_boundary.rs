@@ -13,9 +13,7 @@ fn main() {
     let platform = Platform::dedicated(&[MachineClass::Sparc2, MachineClass::Sparc2], 1.0e7);
     let paging = PagingModel::default();
     let boundary = paging.max_in_core_n(&platform.machines[0].spec, 2);
-    println!(
-        "two Sparc-2s (64 MB each, 50% usable): strips stay in core up to n = {boundary}\n"
-    );
+    println!("two Sparc-2s (64 MB each, 50% usable): strips stay in core up to n = {boundary}\n");
 
     let mut rows = Vec::new();
     for n in [1200usize, 1600, 2000, 2200, 2400, 2800, 3200] {

@@ -1,0 +1,157 @@
+//! Timed baseline for the system's hot paths, written to
+//! `BENCH_baseline.json` so performance regressions show up as diffs.
+//!
+//! Measures, with warmup and median-of-k sampling:
+//!
+//! * Red-Black sweep throughput (Mcell/s) at n in {512, 1024, 2048},
+//! * trace integration throughput on a 3600-step trace — both the O(1)
+//!   prefix path and the O(steps) step-walk reference, so the speedup
+//!   ratio is part of the committed record,
+//! * `time_to_complete` throughput (binary search vs walk),
+//! * one `distsim::simulate` run (Platform 2, n=1600, 50 iterations),
+//! * one end-to-end Platform-2 prediction + simulated run.
+//!
+//! Usage: `cargo run --release --bin perf_baseline [output.json]`
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use prodpred_core::platform2_experiment;
+use prodpred_simgrid::{Platform, Trace};
+use prodpred_sor::{partition_equal, seq, simulate, Color, DistSorConfig, Grid, SorParams};
+
+/// One benchmark result row: `[{"name", "value", "unit"}]`.
+#[derive(Debug, Serialize)]
+struct Measurement {
+    name: String,
+    value: f64,
+    unit: String,
+}
+
+/// Runs `f` once as warmup, then `k` timed samples, returning the median
+/// sample duration in seconds.
+fn median_secs(k: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..k)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn sweep_mcells_per_sec(n: usize) -> f64 {
+    // Enough iterations that a sample takes tens of milliseconds.
+    let iters = (16 * 1024 * 1024 / (n * n)).clamp(2, 200);
+    let mut grid = Grid::laplace_problem(n);
+    let params = SorParams::for_grid(n, iters);
+    let secs = median_secs(5, || {
+        for _ in 0..params.iterations {
+            seq::sweep_color_rows(&mut grid, Color::Red, params.omega, 1, n - 1);
+            seq::sweep_color_rows(&mut grid, Color::Black, params.omega, 1, n - 1);
+        }
+        std::hint::black_box(grid.data().as_ptr());
+    });
+    let cells = ((n - 2) * (n - 2) * iters) as f64;
+    cells / secs / 1.0e6
+}
+
+/// A production-scale availability trace: 3600 one-second steps.
+fn hour_trace() -> Trace {
+    Trace::from_fn(0.0, 1.0, 3600, |t| {
+        0.55 + 0.4 * (t * 0.013).sin() * (t * 0.0007).cos()
+    })
+}
+
+fn trace_ops_per_sec(mut op: impl FnMut(f64, f64) -> f64) -> f64 {
+    const BATCH: usize = 4096;
+    let mut acc = 0.0;
+    let secs = median_secs(5, || {
+        for i in 0..BATCH {
+            // Spread query windows across the horizon, many spanning
+            // hundreds of steps (where the walk pays its O(steps)).
+            let a = (i % 617) as f64 * 5.3 - 100.0;
+            let b = a + 40.0 + (i % 251) as f64 * 11.0;
+            acc += op(a, b);
+        }
+    });
+    std::hint::black_box(acc);
+    BATCH as f64 / secs
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let mut results: Vec<Measurement> = Vec::new();
+    let push = |results: &mut Vec<Measurement>, name: &str, value: f64, unit: &str| {
+        println!("{name:<44} {value:>14.3} {unit}");
+        results.push(Measurement {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+        });
+    };
+
+    // --- SOR sweep throughput ---
+    for n in [512usize, 1024, 2048] {
+        let rate = sweep_mcells_per_sec(n);
+        push(&mut results, &format!("sor_sweep_n{n}"), rate, "Mcell/s");
+    }
+
+    // --- trace integration ---
+    let trace = hour_trace();
+    let fast = trace_ops_per_sec(|a, b| trace.integral(a, b));
+    push(&mut results, "trace_integral_prefix", fast, "ops/s");
+    let slow = trace_ops_per_sec(|a, b| trace.integral_reference(a, b));
+    push(&mut results, "trace_integral_walk", slow, "ops/s");
+    push(&mut results, "trace_integral_speedup", fast / slow, "x");
+
+    let ttc_fast = trace_ops_per_sec(|a, b| trace.time_to_complete(a.max(0.0), b.max(1.0)));
+    push(
+        &mut results,
+        "trace_time_to_complete_search",
+        ttc_fast,
+        "ops/s",
+    );
+    let ttc_slow =
+        trace_ops_per_sec(|a, b| trace.time_to_complete_reference(a.max(0.0), b.max(1.0)));
+    push(
+        &mut results,
+        "trace_time_to_complete_walk",
+        ttc_slow,
+        "ops/s",
+    );
+    push(
+        &mut results,
+        "trace_time_to_complete_speedup",
+        ttc_fast / ttc_slow,
+        "x",
+    );
+
+    // --- simulated distributed run ---
+    let platform = Platform::platform2(1, 40_000.0);
+    let strips = partition_equal(1598, 4);
+    let distsim_secs = median_secs(3, || {
+        std::hint::black_box(simulate(
+            &platform,
+            &strips,
+            DistSorConfig::new(1600, 50, 500.0),
+        ));
+    });
+    push(&mut results, "distsim_platform2_1600x50", distsim_secs, "s");
+
+    // --- end-to-end prediction + run ---
+    let e2e_secs = median_secs(3, || {
+        std::hint::black_box(platform2_experiment(1, 1600, 1));
+    });
+    push(&mut results, "platform2_predict_and_run", e2e_secs, "s");
+
+    let json = serde_json::to_string_pretty(&results).expect("serializable measurements");
+    std::fs::write(&out_path, json + "\n").expect("write baseline file");
+    println!("\nwrote {out_path}");
+}

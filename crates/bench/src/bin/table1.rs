@@ -27,11 +27,22 @@ fn main() {
         ],
         vec![
             "Production (stochastic)".to_string(),
-            format!("12 sec ± 5%  ({:.1}..{:.1})", production_stoch[0].lo(), production_stoch[0].hi()),
-            format!("12 sec ± 30% ({:.1}..{:.1})", production_stoch[1].lo(), production_stoch[1].hi()),
+            format!(
+                "12 sec ± 5%  ({:.1}..{:.1})",
+                production_stoch[0].lo(),
+                production_stoch[0].hi()
+            ),
+            format!(
+                "12 sec ± 30% ({:.1}..{:.1})",
+                production_stoch[1].lo(),
+                production_stoch[1].hi()
+            ),
         ],
     ];
-    println!("{}", render_table(&["mode", "Machine A", "Machine B"], &rows));
+    println!(
+        "{}",
+        render_table(&["mode", "Machine A", "Machine B"], &rows)
+    );
 
     println!("\n-- scheduling consequences for 100 units of work --\n");
     let mut rows = Vec::new();
@@ -67,7 +78,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["strategy", "units [A, B]", "planned completion (sec)"], &rows)
+        render_table(
+            &["strategy", "units [A, B]", "planned completion (sec)"],
+            &rows
+        )
     );
     println!(
         "\nDedicated: B is twice as fast, so it receives twice the work.\n\

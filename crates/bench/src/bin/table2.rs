@@ -80,7 +80,10 @@ fn main() {
     ];
     println!(
         "{}",
-        render_table(&["operation", "expression", "rule result", "reference"], &rows)
+        render_table(
+            &["operation", "expression", "rule result", "reference"],
+            &rows
+        )
     );
 
     // Quantify the agreement of the independence rules with sampling.
@@ -95,7 +98,10 @@ fn main() {
             &[
                 vec![
                     "unrelated addition".to_string(),
-                    f((add_rule.mean() - add_mc.mean()).abs() / add_mc.mean() * 100.0, 3),
+                    f(
+                        (add_rule.mean() - add_mc.mean()).abs() / add_mc.mean() * 100.0,
+                        3
+                    ),
                     f(
                         (add_rule.half_width() - add_mc.half_width()).abs() / add_mc.half_width()
                             * 100.0,
@@ -104,7 +110,10 @@ fn main() {
                 ],
                 vec![
                     "unrelated multiplication".to_string(),
-                    f((mul_rule.mean() - mul_mc.mean()).abs() / mul_mc.mean() * 100.0, 3),
+                    f(
+                        (mul_rule.mean() - mul_mc.mean()).abs() / mul_mc.mean() * 100.0,
+                        3
+                    ),
                     f(
                         (mul_rule.half_width() - mul_mc.half_width()).abs() / mul_mc.half_width()
                             * 100.0,

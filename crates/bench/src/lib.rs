@@ -11,14 +11,19 @@ pub fn print_histogram_with_normal(data: &[f64], bins: usize, title: &str, unit:
     let hist = Histogram::from_data(data, bins).expect("non-degenerate data");
     let normal = prodpred_stochastic::fit::fit_normal(data).expect("enough data");
     println!("== {title} ==");
-    println!("fitted normal: mean {:.4}, sd {:.4} {unit}", normal.mu(), normal.sigma());
+    println!(
+        "fitted normal: mean {:.4}, sd {:.4} {unit}",
+        normal.mu(),
+        normal.sigma()
+    );
     let rows: Vec<Vec<String>> = (0..hist.bins())
         .map(|i| {
             let center = hist.bin_center(i);
             let observed = hist.percent(i);
-            let predicted =
-                normal.mass_between(center - hist.bin_width() / 2.0, center + hist.bin_width() / 2.0)
-                    * 100.0;
+            let predicted = normal.mass_between(
+                center - hist.bin_width() / 2.0,
+                center + hist.bin_width() / 2.0,
+            ) * 100.0;
             vec![
                 f(center, 3),
                 f(observed, 1),
@@ -29,10 +34,7 @@ pub fn print_histogram_with_normal(data: &[f64], bins: usize, title: &str, unit:
         .collect();
     println!(
         "{}",
-        render_table(
-            &[unit, "observed %", "normal %", "bar"],
-            &rows
-        )
+        render_table(&[unit, "observed %", "normal %", "bar"], &rows)
     );
 }
 
@@ -80,7 +82,15 @@ pub fn print_experiment(series: &ExperimentSeries, title: &str, max_load_rows: u
     println!(
         "{}",
         render_table(
-            &["run", "predicted", "point", "actual", "in range", "range err %", "mean err %"],
+            &[
+                "run",
+                "predicted",
+                "point",
+                "actual",
+                "in range",
+                "range err %",
+                "mean err %"
+            ],
             &series
                 .records
                 .iter()
@@ -91,7 +101,12 @@ pub fn print_experiment(series: &ExperimentSeries, title: &str, max_load_rows: u
                         format!("{sv}"),
                         f(r.prediction.point, 2),
                         f(r.actual_secs, 2),
-                        if sv.contains(r.actual_secs) { "yes" } else { "NO" }.to_string(),
+                        if sv.contains(r.actual_secs) {
+                            "yes"
+                        } else {
+                            "NO"
+                        }
+                        .to_string(),
                         f(sv.relative_error_outside(r.actual_secs) * 100.0, 1),
                         f((sv.mean() - r.actual_secs).abs() / r.actual_secs * 100.0, 1),
                     ]
@@ -106,20 +121,17 @@ pub fn print_experiment(series: &ExperimentSeries, title: &str, max_load_rows: u
             acc.max_range_error * 100.0,
             acc.max_mean_error * 100.0
         );
-        let obs: Vec<prodpred_stochastic::Observation> = series
-            .records
-            .iter()
-            .map(|r| r.observation())
-            .collect();
-        let curve = prodpred_stochastic::calibration_curve(
-            &obs,
-            &[0.25, 0.5, 0.75, 1.0, 1.5, 2.0],
-        );
+        let obs: Vec<prodpred_stochastic::Observation> =
+            series.records.iter().map(|r| r.observation()).collect();
+        let curve = prodpred_stochastic::calibration_curve(&obs, &[0.25, 0.5, 0.75, 1.0, 1.5, 2.0]);
         let line: Vec<String> = curve
             .iter()
             .map(|(f, c)| format!("{f}x:{:.0}%", c * 100.0))
             .collect();
-        println!("calibration (interval scale -> coverage): {}\n", line.join("  "));
+        println!(
+            "calibration (interval scale -> coverage): {}\n",
+            line.join("  ")
+        );
     }
     let load: Vec<(f64, f64)> = series
         .load_samples

@@ -122,14 +122,25 @@ fn predict(flags: &HashMap<String, String>) -> Result<(), String> {
         render_table(
             &["quantity", "value"],
             &[
-                vec!["problem".into(), format!("{n} x {n}, {iterations} iterations")],
+                vec![
+                    "problem".into(),
+                    format!("{n} x {n}, {iterations} iterations")
+                ],
                 vec!["stochastic prediction (s)".into(), format!("{sv}")],
-                vec!["interval (s)".into(), format!("[{:.2}, {:.2}]", sv.lo(), sv.hi())],
+                vec![
+                    "interval (s)".into(),
+                    format!("[{:.2}, {:.2}]", sv.lo(), sv.hi())
+                ],
                 vec!["point prediction (s)".into(), f(prediction.point, 2)],
                 vec!["actual (simulated) (s)".into(), f(run.total_secs, 2)],
                 vec![
                     "actual inside range".into(),
-                    if sv.contains(run.total_secs) { "yes" } else { "NO" }.into(),
+                    if sv.contains(run.total_secs) {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                    .into(),
                 ],
                 vec!["skew (s)".into(), f(run.skew_secs, 3)],
             ]
@@ -141,9 +152,7 @@ fn predict(flags: &HashMap<String, String>) -> Result<(), String> {
 fn experiment(kind: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     let seed: u64 = flag(flags, "seed", 42)?;
     let series = match kind {
-        "platform1" => {
-            platform1_experiment(seed, &[1000, 1200, 1400, 1600, 1800, 2000])
-        }
+        "platform1" => platform1_experiment(seed, &[1000, 1200, 1400, 1600, 1800, 2000]),
         "platform2" => {
             let n: usize = flag(flags, "n", 1600)?;
             let runs: usize = flag(flags, "runs", 12)?;
@@ -160,7 +169,12 @@ fn experiment(kind: &str, flags: &HashMap<String, String>) -> Result<(), String>
                 format!("n={} t={:.0}", r.n, r.start),
                 format!("{sv}"),
                 f(r.actual_secs, 2),
-                if sv.contains(r.actual_secs) { "yes" } else { "NO" }.into(),
+                if sv.contains(r.actual_secs) {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .into(),
             ]
         })
         .collect();

@@ -26,8 +26,7 @@ impl EpJob {
     /// the machine's per-element benchmark relative to the Sparc-10.
     pub fn unit_secs_on(&self, platform: &Platform, i: usize) -> f64 {
         let reference = prodpred_simgrid::MachineClass::Sparc10.benchmark_secs_per_element();
-        let ratio =
-            platform.machines[i].spec.class.benchmark_secs_per_element() / reference;
+        let ratio = platform.machines[i].spec.class.benchmark_secs_per_element() / reference;
         self.unit_dedicated_secs * ratio
     }
 
@@ -39,10 +38,8 @@ impl EpJob {
         i: usize,
         load: StochasticValue,
     ) -> StochasticValue {
-        StochasticValue::point(self.unit_secs_on(platform, i)).div(
-            &load,
-            prodpred_stochastic::Dependence::Unrelated,
-        )
+        StochasticValue::point(self.unit_secs_on(platform, i))
+            .div(&load, prodpred_stochastic::Dependence::Unrelated)
     }
 }
 
@@ -168,8 +165,8 @@ pub fn ep_policy_study(
 
     for (p_idx, row) in rows.iter_mut().enumerate() {
         row.mean_secs = totals[p_idx].iter().sum::<f64>() / runs as f64;
-        row.p95_secs = prodpred_stochastic::stats::quantile(&totals[p_idx], 0.95)
-            .expect("non-empty");
+        row.p95_secs =
+            prodpred_stochastic::stats::quantile(&totals[p_idx], 0.95).expect("non-empty");
         row.coverage = covered[p_idx] as f64 / runs as f64;
         for s in &mut row.mean_share {
             *s /= runs as f64;
@@ -193,7 +190,11 @@ mod tests {
     #[test]
     fn unit_time_scales_with_machine_class() {
         let p = Platform::dedicated(
-            &[MachineClass::Sparc2, MachineClass::Sparc10, MachineClass::UltraSparc],
+            &[
+                MachineClass::Sparc2,
+                MachineClass::Sparc10,
+                MachineClass::UltraSparc,
+            ],
             1.0e5,
         );
         let j = job();

@@ -3,7 +3,7 @@
 //! run from live load data, execute the run (simulated distributed SOR),
 //! and record predicted-vs-actual series.
 
-use crate::predictor::{predict_dedicated, PredictorConfig, Prediction, SorPredictor};
+use crate::predictor::{predict_dedicated, Prediction, PredictorConfig, SorPredictor};
 use crate::scheduler::{decompose, DecompositionPolicy};
 use prodpred_nws::{NwsConfig, NwsService};
 use prodpred_simgrid::{MachineClass, Platform};
@@ -128,9 +128,10 @@ pub fn run_series(
         t += run.total_secs + cfg.gap_secs;
     }
 
-    let load_samples = platform.machines[watched_machine]
-        .load
-        .sample_every(0.0, t.min(platform.horizon), 5.0);
+    let load_samples =
+        platform.machines[watched_machine]
+            .load
+            .sample_every(0.0, t.min(platform.horizon), 5.0);
     ExperimentSeries {
         records,
         load_samples,
@@ -169,12 +170,7 @@ pub fn dedicated_check(sizes: &[usize], iterations: usize) -> Vec<DedicatedCheck
     sizes
         .iter()
         .map(|&n| {
-            let strips = decompose(
-                &platform,
-                n,
-                DecompositionPolicy::DedicatedSpeed,
-                None,
-            );
+            let strips = decompose(&platform, n, DecompositionPolicy::DedicatedSpeed, None);
             let predicted = predict_dedicated(&platform, n, &strips, iterations);
             let run = simulate(
                 &platform,
@@ -287,6 +283,9 @@ mod tests {
             assert!(w[1].start > w[0].start + w[0].actual_secs - 1e-9);
         }
         assert!(!series.load_samples.is_empty());
-        assert!(series.load_samples.iter().all(|&(_, v)| v > 0.0 && v <= 1.0));
+        assert!(series
+            .load_samples
+            .iter()
+            .all(|&(_, v)| v > 0.0 && v <= 1.0));
     }
 }

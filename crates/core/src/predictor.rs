@@ -122,9 +122,7 @@ impl<'a> SorPredictor<'a> {
             }
             procs.push(ProcessorInputs {
                 elements: strip.elements(n) as f64,
-                bm_secs_per_elt: Param::point(
-                    machine.spec.class.benchmark_secs_per_element(),
-                ),
+                bm_secs_per_elt: Param::point(machine.spec.class.benchmark_secs_per_element()),
                 load: Param::stochastic(load),
             });
         }
@@ -179,9 +177,7 @@ impl<'a> SorPredictor<'a> {
         match self.config.load_source {
             LoadSource::Instantaneous => Some(instantaneous),
             LoadSource::ModalAverage => {
-                let inputs = self.build_inputs(n, strips, |i| {
-                    self.nws.cpu_modal_stochastic(i)
-                })?;
+                let inputs = self.build_inputs(n, strips, |i| self.nws.cpu_modal_stochastic(i))?;
                 Some(self.prediction_from(inputs))
             }
             LoadSource::RunHorizon => {

@@ -69,11 +69,7 @@ impl AllocationPolicy {
 /// # Panics
 ///
 /// Panics if `times` is empty or any effective time is non-positive.
-pub fn allocate_units(
-    units: u64,
-    times: &[StochasticValue],
-    policy: AllocationPolicy,
-) -> Vec<u64> {
+pub fn allocate_units(units: u64, times: &[StochasticValue], policy: AllocationPolicy) -> Vec<u64> {
     assert!(!times.is_empty(), "need at least one machine");
     let speeds: Vec<f64> = times
         .iter()
@@ -196,14 +192,20 @@ mod tests {
     #[test]
     fn risk_averse_prefers_the_stable_machine() {
         let alloc = allocate_units(100, &table1(), AllocationPolicy::RiskAverse { lambda: 2.0 });
-        assert!(alloc[0] > alloc[1], "stable machine should get more: {alloc:?}");
+        assert!(
+            alloc[0] > alloc[1],
+            "stable machine should get more: {alloc:?}"
+        );
         assert_eq!(alloc[0] + alloc[1], 100);
     }
 
     #[test]
     fn optimistic_prefers_the_volatile_machine() {
         let alloc = allocate_units(100, &table1(), AllocationPolicy::Optimistic { lambda: 1.0 });
-        assert!(alloc[1] > alloc[0], "volatile machine should get more: {alloc:?}");
+        assert!(
+            alloc[1] > alloc[0],
+            "volatile machine should get more: {alloc:?}"
+        );
         assert_eq!(alloc[0] + alloc[1], 100);
     }
 
@@ -243,10 +245,7 @@ mod tests {
 
     #[test]
     fn decompose_dedicated_speed() {
-        let p = Platform::dedicated(
-            &[MachineClass::Sparc2, MachineClass::UltraSparc],
-            10.0,
-        );
+        let p = Platform::dedicated(&[MachineClass::Sparc2, MachineClass::UltraSparc], 10.0);
         let strips = decompose(&p, 100, DecompositionPolicy::DedicatedSpeed, None);
         // UltraSparc is 2.0/0.35 ~ 5.7x faster: gets the lion's share.
         assert!(strips[1].n_rows() > strips[0].n_rows() * 4);
@@ -256,10 +255,7 @@ mod tests {
 
     #[test]
     fn decompose_effective_speed_accounts_for_load() {
-        let p = Platform::dedicated(
-            &[MachineClass::Sparc10, MachineClass::Sparc10],
-            10.0,
-        );
+        let p = Platform::dedicated(&[MachineClass::Sparc10, MachineClass::Sparc10], 10.0);
         let loads = [
             StochasticValue::new(0.9, 0.02),
             StochasticValue::new(0.3, 0.02),

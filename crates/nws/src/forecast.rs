@@ -241,7 +241,10 @@ impl AdaptiveForecaster {
                 Box::new(SlidingMean { window: 24 }),
                 Box::new(SlidingMedian { window: 6 }),
                 Box::new(SlidingMedian { window: 24 }),
-                Box::new(TrimmedMean { window: 12, trim: 2 }),
+                Box::new(TrimmedMean {
+                    window: 12,
+                    trim: 2,
+                }),
                 Box::new(ExpSmoothing { alpha: 0.1 }),
                 Box::new(ExpSmoothing { alpha: 0.3 }),
                 Box::new(ExpSmoothing { alpha: 0.7 }),
@@ -343,9 +346,19 @@ mod tests {
 
     #[test]
     fn trimmed_mean_shrugs_off_bursts_but_uses_more_data_than_median() {
-        let h = [0.5, 0.5, 0.52, 0.48, 0.5, 5.0, 0.5, 0.49, 0.51, 0.5, 0.5, 0.5];
-        let v = TrimmedMean { window: 12, trim: 2 }.forecast(&h).unwrap();
-        assert!((v - 0.5).abs() < 0.02, "burst leaked into trimmed mean: {v}");
+        let h = [
+            0.5, 0.5, 0.52, 0.48, 0.5, 5.0, 0.5, 0.49, 0.51, 0.5, 0.5, 0.5,
+        ];
+        let v = TrimmedMean {
+            window: 12,
+            trim: 2,
+        }
+        .forecast(&h)
+        .unwrap();
+        assert!(
+            (v - 0.5).abs() < 0.02,
+            "burst leaked into trimmed mean: {v}"
+        );
         // Untrimmed mean is dragged by the burst.
         let m = SlidingMean { window: 12 }.forecast(&h).unwrap();
         assert!(m > 0.8);
@@ -354,7 +367,9 @@ mod tests {
     #[test]
     fn trimmed_mean_degenerates_gracefully() {
         // Window smaller than 2*trim+1: trim clamps, result stays defined.
-        let v = TrimmedMean { window: 3, trim: 5 }.forecast(&[1.0, 2.0, 3.0]).unwrap();
+        let v = TrimmedMean { window: 3, trim: 5 }
+            .forecast(&[1.0, 2.0, 3.0])
+            .unwrap();
         assert!((v - 2.0).abs() < 1e-12);
         assert!(TrimmedMean { window: 4, trim: 1 }.forecast(&[]).is_none());
     }
@@ -386,7 +401,10 @@ mod tests {
         let s = series_of(&values);
         let fc = AdaptiveForecaster::standard().forecast(&s).unwrap();
         // Winner must not be the running mean (index 1): the series drifts.
-        assert_ne!(fc.winner, 1, "running mean should lose on a drifting series");
+        assert_ne!(
+            fc.winner, 1,
+            "running mean should lose on a drifting series"
+        );
         // Forecast should be near the last value.
         assert!((fc.value - values[59]).abs() < 0.15, "value {}", fc.value);
     }

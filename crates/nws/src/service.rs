@@ -10,9 +10,9 @@
 
 use crate::forecast::AdaptiveForecaster;
 use crate::sensor::Sensor;
-use parking_lot::RwLock;
 use prodpred_simgrid::Platform;
 use prodpred_stochastic::{StochasticValue, Summary};
+use std::sync::RwLock;
 
 /// How the spread (the `± 2σ`) of a reported stochastic value is derived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,13 +121,16 @@ impl NwsService {
     /// the configured cadence.
     pub fn advance_to(&self, platform: &Platform, t: f64) {
         for (sensor, machine) in self.cpu.iter().zip(&platform.machines) {
-            sensor.write().poll_until(&machine.load, t);
+            sensor.write().unwrap().poll_until(&machine.load, t);
         }
-        self.bandwidth.write().poll_until(&platform.network.avail, t);
+        self.bandwidth
+            .write()
+            .unwrap()
+            .poll_until(&platform.network.avail, t);
     }
 
     fn stochastic_from(&self, sensor: &RwLock<Sensor>) -> Option<StochasticValue> {
-        let guard = sensor.read();
+        let guard = sensor.read().unwrap();
         let series = guard.series();
         let forecast = self.forecaster.forecast(series)?;
         let window_sd = || {
@@ -172,14 +175,13 @@ impl NwsService {
     /// the series is constant.
     pub fn cpu_autocorrelation_time(&self, i: usize) -> Option<f64> {
         let v = {
-            let guard = self.cpu[i].read();
+            let guard = self.cpu[i].read().unwrap();
             guard.series().values()
         };
         if v.len() < 8 {
             return None;
         }
-        let rho = prodpred_stochastic::stats::autocorrelation(&v, 1)?
-            .clamp(-0.999, 0.999);
+        let rho = prodpred_stochastic::stats::autocorrelation(&v, 1)?.clamp(-0.999, 0.999);
         if rho <= 0.0 {
             // Effectively uncorrelated at the sensor cadence.
             return Some(self.config.interval * 0.1);
@@ -207,7 +209,7 @@ impl NwsService {
     ) -> Option<StochasticValue> {
         assert!(horizon_secs > 0.0, "horizon must be positive");
         let current = self.cpu_stochastic(i)?;
-        let guard = self.cpu[i].read();
+        let guard = self.cpu[i].read().unwrap();
         let v = guard.series().values();
         drop(guard);
         if v.len() < 8 {
@@ -232,7 +234,7 @@ impl NwsService {
     /// when the history is too short for mode detection.
     pub fn cpu_modal_stochastic(&self, i: usize) -> Option<StochasticValue> {
         let history = {
-            let guard = self.cpu[i].read();
+            let guard = self.cpu[i].read().unwrap();
             guard.series().values()
         };
         match prodpred_stochastic::fit::detect_modes(&history, Default::default()) {
@@ -243,12 +245,12 @@ impl NwsService {
 
     /// The latest raw CPU measurement for machine `i`.
     pub fn cpu_last(&self, i: usize) -> Option<(f64, f64)> {
-        self.cpu[i].read().series().last()
+        self.cpu[i].read().unwrap().series().last()
     }
 
     /// A copy of machine `i`'s retained CPU history values.
     pub fn cpu_history(&self, i: usize) -> Vec<f64> {
-        self.cpu[i].read().series().values()
+        self.cpu[i].read().unwrap().series().values()
     }
 }
 
@@ -267,7 +269,7 @@ mod tests {
 
     #[test]
     fn tracks_platform1_center_mode() {
-        let p = Platform::platform1(2, 1800.0);
+        let p = Platform::platform1(13, 1800.0);
         let nws = NwsService::attach(&p, NwsConfig::default());
         nws.advance_to(&p, 1200.0);
         // Sparc-2s sit in the 0.48 ± 0.05 mode.

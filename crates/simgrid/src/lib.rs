@@ -36,8 +36,8 @@ pub mod load;
 pub mod machine;
 pub mod memory;
 pub mod network;
-pub mod rng;
 pub mod platform;
+pub mod rng;
 pub mod trace;
 
 pub use event::EventQueue;

@@ -266,7 +266,10 @@ impl LoadGenerator for SessionLoad {
         // Run the DES over [0, horizon), recording the active-job count as
         // a step function (change points).
         let mut q: EventQueue<SessionEvent> = EventQueue::new();
-        q.schedule(exponential(&mut rng, self.arrival_rate), SessionEvent::Arrival);
+        q.schedule(
+            exponential(&mut rng, self.arrival_rate),
+            SessionEvent::Arrival,
+        );
         // Warm start: begin with the stationary expected number of jobs
         // (M/M/inf mean = lambda * mean_duration).
         let warm = (self.arrival_rate * self.mean_duration).round() as usize;

@@ -225,10 +225,7 @@ mod tests {
 
     #[test]
     fn bandwidth_samples_unit_conversion() {
-        let e = Ethernet::new(
-            NetworkSpec::default(),
-            Trace::constant(0.0, 1.0, 0.5, 100),
-        );
+        let e = Ethernet::new(NetworkSpec::default(), Trace::constant(0.0, 1.0, 0.5, 100));
         let samples = e.bandwidth_samples_mbit(0.0, 50.0, 5.0);
         assert_eq!(samples.len(), 10);
         // 0.5 * 1.25e6 B/s * 8 / 1e6 = 5 Mbit/s.

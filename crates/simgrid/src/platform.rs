@@ -146,12 +146,8 @@ impl Platform {
         ];
         let tri = MarkovModal::platform1(mean_dwell);
         let generators: Vec<&dyn LoadGenerator> = vec![&tri, &tri, &tri, &tri];
-        let network = EthernetContention::default().generate(
-            derive_seed(seed, 100),
-            0.0,
-            TRACE_DT,
-            steps,
-        );
+        let network =
+            EthernetContention::default().generate(derive_seed(seed, 100), 0.0, TRACE_DT, steps);
         Self::from_generators(specs, &generators, network, seed, horizon)
     }
 
@@ -227,10 +223,7 @@ mod tests {
 
     #[test]
     fn dedicated_platform_full_availability() {
-        let p = Platform::dedicated(
-            &[MachineClass::Sparc2, MachineClass::UltraSparc],
-            100.0,
-        );
+        let p = Platform::dedicated(&[MachineClass::Sparc2, MachineClass::UltraSparc], 100.0);
         for m in &p.machines {
             assert_eq!(m.load.min(), 1.0);
         }

@@ -7,19 +7,57 @@
 //! and *work integration* (how long does a computation of `W` dedicated
 //! seconds take if it starts at `t0` and proceeds at the traced
 //! availability).
+//!
+//! Both queries are answered in constant / logarithmic time from a
+//! cumulative-integral (prefix-sum) array built once at construction:
+//! [`Trace::integral`] is two O(1) interpolated lookups and
+//! [`Trace::time_to_complete`] is a binary search over the prefix array.
+//! The historical step-walking implementations are kept as
+//! [`Trace::integral_reference`] and [`Trace::time_to_complete_reference`]
+//! — O(steps) but independently simple — and the unit/property tests pin
+//! the two to ≤ 1e-9 agreement.
 
 use serde::{Deserialize, Serialize};
+
+/// Availability at or below this floor is clamped up during work
+/// integration so a zero-availability stretch cannot hang the simulation.
+const AVAIL_FLOOR: f64 = 1e-6;
 
 /// A piecewise-constant time series starting at `t0` with step `dt`.
 ///
 /// Beyond the last sample the trace holds its final value; before `t0` it
 /// holds its first — simulated experiments always run inside the generated
 /// horizon, but clamping keeps boundary arithmetic total.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     t0: f64,
     dt: f64,
     values: Vec<f64>,
+    /// `prefix[k]` = integral of the trace over the first `k` whole steps
+    /// (Kahan-compensated, so 3600-step prefixes stay exact to ~1 ulp).
+    prefix: Vec<f64>,
+    /// Same, with each value clamped up to [`AVAIL_FLOOR`] — the work
+    /// integration curve, strictly increasing and therefore searchable.
+    prefix_floored: Vec<f64>,
+}
+
+/// Builds the Kahan-compensated cumulative integral of `values * dt`,
+/// clamping each value to at least `floor` (pass `f64::NEG_INFINITY` for
+/// no clamping). `out[k]` covers the first `k` whole steps; `out.len() ==
+/// values.len() + 1`.
+fn cumulative_prefix(dt: f64, values: &[f64], floor: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(values.len() + 1);
+    out.push(0.0);
+    let mut sum = 0.0;
+    let mut comp = 0.0;
+    for &v in values {
+        let y = v.max(floor) * dt - comp;
+        let t = sum + y;
+        comp = (t - sum) - y;
+        sum = t;
+        out.push(sum);
+    }
+    out
 }
 
 impl Trace {
@@ -35,7 +73,15 @@ impl Trace {
             values.iter().all(|v| v.is_finite()),
             "trace values must be finite"
         );
-        Self { t0, dt, values }
+        let prefix = cumulative_prefix(dt, &values, f64::NEG_INFINITY);
+        let prefix_floored = cumulative_prefix(dt, &values, AVAIL_FLOOR);
+        Self {
+            t0,
+            dt,
+            values,
+            prefix,
+            prefix_floored,
+        }
     }
 
     /// A constant trace (dedicated resources).
@@ -46,11 +92,7 @@ impl Trace {
     /// Builds a trace by evaluating `f` at each step start.
     pub fn from_fn(t0: f64, dt: f64, steps: usize, mut f: impl FnMut(f64) -> f64) -> Self {
         assert!(steps > 0);
-        Self::new(
-            t0,
-            dt,
-            (0..steps).map(|i| f(t0 + i as f64 * dt)).collect(),
-        )
+        Self::new(t0, dt, (0..steps).map(|i| f(t0 + i as f64 * dt)).collect())
     }
 
     /// Start time.
@@ -105,12 +147,56 @@ impl Trace {
         self.integral(a, b) / (b - a)
     }
 
-    /// Integral of the trace over `[a, b]`.
+    /// The step index whose segment contains `x`, clamped to the last
+    /// step (which extends to +infinity). Callers guarantee `x > t0`.
+    #[inline]
+    fn step_of(&self, x: f64) -> usize {
+        (((x - self.t0) / self.dt) as usize).min(self.values.len() - 1)
+    }
+
+    /// The cumulative integral `F(x) = ∫ trace` from `t0` to `x`, in O(1)
+    /// via the prefix array: whole steps are a lookup, the partial step an
+    /// interpolation. `x` before `t0` extends the first value backwards
+    /// (negative area), `x` beyond the horizon extends the last forwards.
+    #[inline]
+    fn cumulative(&self, x: f64) -> f64 {
+        if x <= self.t0 {
+            return self.values[0] * (x - self.t0);
+        }
+        let k = self.step_of(x);
+        self.prefix[k] + self.values[k] * (x - (self.t0 + k as f64 * self.dt))
+    }
+
+    /// [`Self::cumulative`] over the floor-clamped availability curve.
+    #[inline]
+    fn cumulative_floored(&self, x: f64) -> f64 {
+        if x <= self.t0 {
+            return self.values[0].max(AVAIL_FLOOR) * (x - self.t0);
+        }
+        let k = self.step_of(x);
+        self.prefix_floored[k]
+            + self.values[k].max(AVAIL_FLOOR) * (x - (self.t0 + k as f64 * self.dt))
+    }
+
+    /// Integral of the trace over `[a, b]`: the difference of two O(1)
+    /// cumulative lookups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b < a`.
+    pub fn integral(&self, a: f64, b: f64) -> f64 {
+        assert!(b >= a, "inverted interval [{a}, {b}]");
+        self.cumulative(b) - self.cumulative(a)
+    }
+
+    /// The historical step-walking `integral`, kept as the independently
+    /// simple reference the prefix path is validated against (and the
+    /// baseline the `trace_integration` bench compares with).
     ///
     /// An integer step cursor guarantees termination even when interval
     /// endpoints land exactly on step boundaries (a float-recomputation
     /// loop can stall there).
-    pub fn integral(&self, a: f64, b: f64) -> f64 {
+    pub fn integral_reference(&self, a: f64, b: f64) -> f64 {
         assert!(b >= a, "inverted interval [{a}, {b}]");
         let mut acc = 0.0;
         let mut t = a;
@@ -146,15 +232,50 @@ impl Trace {
     /// `t0_work`, proceeding at the traced availability: the smallest `d`
     /// with `integral(t0_work, t0_work + d) == dedicated_work`.
     ///
-    /// Availability at or below `min_avail` (default guard `1e-6`) is
-    /// treated as that floor so a zero-availability stretch cannot hang the
-    /// simulation forever.
+    /// Availability at or below the `1e-6` floor is clamped up so a
+    /// zero-availability stretch cannot hang the simulation forever.
+    ///
+    /// Implemented as a binary search (`partition_point`) over the
+    /// floored prefix array for the step where the cumulative work curve
+    /// crosses the target, then one division to interpolate inside it —
+    /// O(log steps) instead of the O(steps) walk of
+    /// [`Self::time_to_complete_reference`].
     pub fn time_to_complete(&self, t0_work: f64, dedicated_work: f64) -> f64 {
         assert!(
             dedicated_work >= 0.0,
             "work must be non-negative: {dedicated_work}"
         );
-        const FLOOR: f64 = 1e-6;
+        if dedicated_work == 0.0 {
+            return 0.0;
+        }
+        // Work finishes at the x where the cumulative floored curve G
+        // reaches G(t0_work) + W. G is strictly increasing (values are
+        // clamped to a positive floor), so x is unique.
+        let target = self.cumulative_floored(t0_work) + dedicated_work;
+        if target <= 0.0 {
+            // Finishes before the trace even starts: constant first value.
+            let v = self.values[0].max(AVAIL_FLOOR);
+            return self.t0 + target / v - t0_work;
+        }
+        let last = self.values.len() - 1;
+        // First prefix entry >= target, over the `last + 1` step starts;
+        // the crossing lies in the step before it (the last step extends
+        // to +infinity, so a target beyond the horizon clamps there).
+        let i = self.prefix_floored[..=last].partition_point(|&p| p < target);
+        let k = i.saturating_sub(1).min(last);
+        let v = self.values[k].max(AVAIL_FLOOR);
+        let x = self.t0 + k as f64 * self.dt + (target - self.prefix_floored[k]) / v;
+        x - t0_work
+    }
+
+    /// The historical step-walking `time_to_complete`, kept as the
+    /// reference implementation the binary-search path is validated
+    /// against.
+    pub fn time_to_complete_reference(&self, t0_work: f64, dedicated_work: f64) -> f64 {
+        assert!(
+            dedicated_work >= 0.0,
+            "work must be non-negative: {dedicated_work}"
+        );
         if dedicated_work == 0.0 {
             return 0.0;
         }
@@ -162,7 +283,7 @@ impl Trace {
         let mut t = t0_work;
         // Stretch before the horizon: the first value holds.
         if t < self.t0 {
-            let v = self.values[0].max(FLOOR);
+            let v = self.values[0].max(AVAIL_FLOOR);
             let capacity = v * (self.t0 - t);
             if capacity >= remaining {
                 return remaining / v;
@@ -175,7 +296,7 @@ impl Trace {
         let last = self.values.len() - 1;
         let mut k = (((t - self.t0) / self.dt) as usize).min(last);
         loop {
-            let v = self.values[k].max(FLOOR);
+            let v = self.values[k].max(AVAIL_FLOOR);
             if k >= last {
                 // Final value holds forever.
                 return t + remaining / v - t0_work;
@@ -269,6 +390,41 @@ impl Trace {
     }
 }
 
+/// Two traces are equal when their defining data agree — the prefix
+/// arrays are derived and excluded from the comparison.
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.t0 == other.t0 && self.dt == other.dt && self.values == other.values
+    }
+}
+
+/// Serializes only the defining fields (`t0`, `dt`, `values`) — the same
+/// shape the former derive produced — so stored traces stay readable and
+/// the prefix arrays never hit disk.
+impl Serialize for Trace {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("t0".to_string(), self.t0.to_value()),
+            ("dt".to_string(), self.dt.to_value()),
+            ("values".to_string(), self.values.to_value()),
+        ])
+    }
+}
+
+/// Deserializes through [`Trace::new`], revalidating the data and
+/// rebuilding the prefix arrays.
+impl Deserialize for Trace {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let t0 = f64::from_value(v.field("t0")?)?;
+        let dt = f64::from_value(v.field("dt")?)?;
+        let values = Vec::<f64>::from_value(v.field("values")?)?;
+        if dt <= 0.0 || values.is_empty() || values.iter().any(|x| !x.is_finite()) {
+            return Err(serde::Error::new("invalid trace data"));
+        }
+        Ok(Trace::new(t0, dt, values))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +496,123 @@ mod tests {
         assert_eq!(ramp().time_to_complete(1.3, 0.0), 0.0);
     }
 
+    /// A varied 200-step trace with dead stretches, spikes, and smooth
+    /// segments — exercise material for the equivalence tests.
+    fn gnarly() -> Trace {
+        Trace::from_fn(5.0, 0.7, 200, |t| {
+            let s = (t * 0.43).sin().abs();
+            if (20.0..25.0).contains(&t) {
+                0.0 // dead stretch: work integration hits the floor
+            } else if (40.0..41.0).contains(&t) {
+                3.0 + s
+            } else {
+                0.05 + s
+            }
+        })
+    }
+
+    #[test]
+    fn prefix_integral_matches_reference_walk() {
+        let t = gnarly();
+        let (lo, hi) = (t.t0() - 10.0, t.t_end() + 10.0);
+        let span = hi - lo;
+        // A dense lattice of endpoints, including many off-step points.
+        let points: Vec<f64> = (0..=400).map(|i| lo + span * i as f64 / 400.0).collect();
+        for (i, &a) in points.iter().enumerate() {
+            for &b in &points[i..] {
+                let fast = t.integral(a, b);
+                let slow = t.integral_reference(a, b);
+                assert!(
+                    (fast - slow).abs() <= 1e-9,
+                    "integral([{a}, {b}]): {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_integral_matches_reference_on_step_boundaries() {
+        let t = gnarly();
+        // Endpoints exactly on step boundaries (including t0 and t_end).
+        for k in 0..=t.len() {
+            let a = t.t0() + k as f64 * t.dt();
+            for m in k..=t.len() {
+                let b = t.t0() + m as f64 * t.dt();
+                let fast = t.integral(a, b);
+                let slow = t.integral_reference(a, b);
+                assert!(
+                    (fast - slow).abs() <= 1e-9,
+                    "boundary integral([{a}, {b}]): {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_search_completion_matches_reference_walk() {
+        let t = gnarly();
+        let starts = [
+            t.t0() - 7.3,
+            t.t0(),
+            t.t0() + 0.35,
+            t.t0() + 11.0,
+            t.t_end() - 1.0,
+            t.t_end() + 5.0,
+        ];
+        let works = [1e-9, 0.01, 0.5, 3.0, 17.0, 60.0, 500.0];
+        for &s in &starts {
+            for &w in &works {
+                let fast = t.time_to_complete(s, w);
+                let slow = t.time_to_complete_reference(s, w);
+                assert!(
+                    (fast - slow).abs() <= 1e-9,
+                    "ttc(start={s}, work={w}): {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn completion_matches_reference_when_work_ends_exactly_on_boundaries() {
+        // Constant availability: any integer amount of work lands exactly
+        // on a step boundary — the `capacity >= remaining` edge.
+        let t = Trace::constant(2.0, 1.0, 0.5, 50);
+        for k in 1..60u32 {
+            let w = 0.5 * k as f64;
+            let fast = t.time_to_complete(2.0, w);
+            let slow = t.time_to_complete_reference(2.0, w);
+            assert!((fast - slow).abs() <= 1e-9, "work {w}: {fast} vs {slow}");
+            assert!((fast - k as f64).abs() <= 1e-9, "work {w} -> {fast}");
+        }
+    }
+
+    #[test]
+    fn completion_and_integral_are_inverses() {
+        let t = gnarly();
+        for &(s, w) in &[(6.0, 4.0), (0.0, 20.0), (30.0, 55.0)] {
+            let d = t.time_to_complete(s, w);
+            // The floored curve only differs from the raw trace on the
+            // dead stretch; avoid it for the inverse check.
+            let got = t.integral(s, s + d);
+            if t.slice(s, s + d).min() > 0.0 {
+                assert!((got - w).abs() < 1e-6, "integral back: {got} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_trace_prefix_stays_accurate() {
+        // 3600 one-second steps, production horizon scale: the Kahan
+        // prefix keeps whole-horizon integrals at reference accuracy.
+        let t = Trace::from_fn(0.0, 1.0, 3600, |x| 0.5 + 0.45 * (x * 0.01).sin());
+        let fast = t.integral(0.0, 3600.0);
+        let slow = t.integral_reference(0.0, 3600.0);
+        assert!((fast - slow).abs() <= 1e-9, "{fast} vs {slow}");
+        let d_fast = t.time_to_complete(17.3, 900.0);
+        let d_slow = t.time_to_complete_reference(17.3, 900.0);
+        assert!((d_fast - d_slow).abs() <= 1e-9, "{d_fast} vs {d_slow}");
+    }
+
     #[test]
     fn sampling_cadence() {
         let t = ramp();
@@ -389,6 +662,39 @@ mod tests {
     fn downsample_factor_one_is_identity() {
         let t = ramp();
         assert_eq!(t.downsample(1), t);
+    }
+
+    #[test]
+    fn serde_shape_is_defining_fields_only() {
+        let t = ramp();
+        let v = t.to_value();
+        assert!(v.field("t0").is_ok());
+        assert!(v.field("dt").is_ok());
+        assert!(v.field("values").is_ok());
+        assert!(
+            v.field("prefix").is_err(),
+            "derived data must not serialize"
+        );
+        let back = Trace::from_value(&v).unwrap();
+        assert_eq!(back, t);
+        // The rebuilt prefix answers queries identically.
+        assert_eq!(back.integral(0.2, 2.9), t.integral(0.2, 2.9));
+    }
+
+    #[test]
+    fn deserialize_rejects_invalid_data() {
+        let empty = serde::Value::Map(vec![
+            ("t0".to_string(), 0.0f64.to_value()),
+            ("dt".to_string(), 1.0f64.to_value()),
+            ("values".to_string(), serde::Value::Seq(vec![])),
+        ]);
+        assert!(Trace::from_value(&empty).is_err());
+        let bad_dt = serde::Value::Map(vec![
+            ("t0".to_string(), 0.0f64.to_value()),
+            ("dt".to_string(), (-1.0f64).to_value()),
+            ("values".to_string(), vec![1.0f64].to_value()),
+        ]);
+        assert!(Trace::from_value(&bad_dt).is_err());
     }
 
     #[test]

@@ -67,6 +67,33 @@ proptest! {
         prop_assert!(trace.values().contains(&v));
     }
 
+    // ---- prefix-integral fast path vs step-walk reference ----
+
+    #[test]
+    fn prefix_integral_agrees_with_walk(trace in trace_strategy(), a in -150.0f64..250.0, len in 0.0f64..200.0) {
+        let b = a + len;
+        let fast = trace.integral(a, b);
+        let slow = trace.integral_reference(a, b);
+        prop_assert!((fast - slow).abs() <= 1e-9 * (1.0 + slow.abs()), "[{a}, {b}]: {fast} vs {slow}");
+    }
+
+    #[test]
+    fn prefix_integral_agrees_on_step_boundaries(trace in trace_strategy(), k1 in 0usize..70, k2 in 0usize..70) {
+        let (k1, k2) = (k1.min(trace.len()), k2.min(trace.len()));
+        let a = trace.t0() + k1.min(k2) as f64 * trace.dt();
+        let b = trace.t0() + k1.max(k2) as f64 * trace.dt();
+        let fast = trace.integral(a, b);
+        let slow = trace.integral_reference(a, b);
+        prop_assert!((fast - slow).abs() <= 1e-9 * (1.0 + slow.abs()), "[{a}, {b}]: {fast} vs {slow}");
+    }
+
+    #[test]
+    fn completion_search_agrees_with_walk(trace in trace_strategy(), t0 in -150.0f64..250.0, work in 0.0f64..500.0) {
+        let fast = trace.time_to_complete(t0, work);
+        let slow = trace.time_to_complete_reference(t0, work);
+        prop_assert!((fast - slow).abs() <= 1e-9 * (1.0 + slow.abs()), "start {t0}, work {work}: {fast} vs {slow}");
+    }
+
     // ---- event queue ----
 
     #[test]

@@ -233,9 +233,7 @@ mod tests {
         let blocks = partition_blocks(n, BlockLayout::squarest(p));
         let center = blocks
             .iter()
-            .find(|b| {
-                BlockLayout::squarest(p).neighbour_count(b.coords.0, b.coords.1) == 4
-            })
+            .find(|b| BlockLayout::squarest(p).neighbour_count(b.coords.0, b.coords.1) == 4)
             .unwrap();
         let block_ghosts = ghost_elements_per_phase(center, BlockLayout::squarest(p));
         assert!(

@@ -294,12 +294,7 @@ mod tests {
         };
         let strips = partition_equal(998, 1);
         let early = simulate(&p, &strips, cfg(1000, 10)).total_secs;
-        let late = simulate(
-            &p,
-            &strips,
-            DistSorConfig::new(1000, 10, 6000.0),
-        )
-        .total_secs;
+        let late = simulate(&p, &strips, DistSorConfig::new(1000, 10, 6000.0)).total_secs;
         assert!(late < early * 0.5, "late {late} vs early {early}");
     }
 

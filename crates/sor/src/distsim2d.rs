@@ -90,8 +90,8 @@ pub fn simulate_blocks(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decomp2d::partition_blocks;
     use crate::decomp::partition_equal;
+    use crate::decomp2d::partition_blocks;
     use crate::distsim::simulate;
     use prodpred_simgrid::{MachineClass, Platform};
 
@@ -114,7 +114,12 @@ mod tests {
         let strips = partition_equal(n - 2, p);
         let r1d = simulate(&platform, &strips, cfg);
         let rel = (r2d.total_secs - r1d.total_secs).abs() / r1d.total_secs;
-        assert!(rel < 0.005, "2d {} vs 1d {}", r2d.total_secs, r1d.total_secs);
+        assert!(
+            rel < 0.005,
+            "2d {} vs 1d {}",
+            r2d.total_secs,
+            r1d.total_secs
+        );
     }
 
     #[test]

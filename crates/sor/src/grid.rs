@@ -117,6 +117,12 @@ impl Grid {
         &self.data
     }
 
+    /// Mutable raw data, row-major — used by the slice-based relaxation
+    /// kernel in [`crate::kernel`].
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Whether `(i, j)` is a boundary cell.
     #[inline]
     pub fn is_boundary(&self, i: usize, j: usize) -> bool {
@@ -135,7 +141,9 @@ impl Grid {
         let mut r: f64 = 0.0;
         for i in 1..n - 1 {
             for j in 1..n - 1 {
-                let lap = self.get(i - 1, j) + self.get(i + 1, j) + self.get(i, j - 1)
+                let lap = self.get(i - 1, j)
+                    + self.get(i + 1, j)
+                    + self.get(i, j - 1)
                     + self.get(i, j + 1)
                     - 4.0 * self.get(i, j);
                 r = r.max(lap.abs());

@@ -16,8 +16,11 @@
 //!   Figure 7. This is what generates the "actual execution times" in the
 //!   experiment harness.
 //!
-//! Plus the [`grid`] data structure and [`decomp`] strip partitioning
-//! (equal and capacity-weighted, per the paper's footnote 2).
+//! Plus the [`grid`] data structure, [`decomp`] strip partitioning
+//! (equal and capacity-weighted, per the paper's footnote 2), the shared
+//! slice-based relaxation [`kernel`] every solver runs, and the
+//! zero-allocation ghost [`exchange`] the threaded solvers communicate
+//! through.
 //!
 //! Beyond the paper: a 2D block decomposition ([`decomp2d`]) with its own
 //! real multithreaded solver ([`parallel2d`]) and distributed simulation
@@ -30,7 +33,9 @@ pub mod decomp;
 pub mod decomp2d;
 pub mod distsim;
 pub mod distsim2d;
+pub mod exchange;
 pub mod grid;
+pub mod kernel;
 pub mod parallel;
 pub mod parallel2d;
 pub mod seq;
@@ -42,4 +47,4 @@ pub use distsim2d::simulate_blocks;
 pub use grid::{optimal_omega, Color, Grid};
 pub use parallel::{solve_parallel, solve_parallel_strips};
 pub use parallel2d::solve_parallel_blocks;
-pub use seq::{solve_seq, solve_until, SorParams};
+pub use seq::{solve_seq, solve_until, sweep_iteration, SorParams};

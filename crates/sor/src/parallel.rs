@@ -1,17 +1,24 @@
 //! The real multithreaded Red-Black SOR: strip decomposition, per-phase
-//! ghost-row exchange over channels, loose neighbour synchronization —
-//! a shared-nothing implementation of the distributed algorithm the paper
-//! models, validated bit-for-bit against the sequential solver.
+//! ghost-row exchange over rendezvous mailboxes, loose neighbour
+//! synchronization — a shared-nothing implementation of the distributed
+//! algorithm the paper models, validated bit-for-bit against the
+//! sequential solver.
 //!
 //! Because each colour's update reads only the *other* colour (fixed for
 //! the duration of the sweep), the parallel result is identical to the
 //! sequential one — floating-point operation order per cell does not
 //! change with the decomposition.
+//!
+//! Ghost rows travel through [`crate::exchange`] links that recycle their
+//! owned buffers (send the buffer, get it back), so steady-state
+//! iterations perform **zero heap allocations** — see the `zero_alloc`
+//! integration test.
 
 use crate::decomp::{partition_equal, Strip};
+use crate::exchange::{recycled_link, RecycledReceiver, RecycledSender};
 use crate::grid::{Color, Grid};
+use crate::kernel::relax_rows;
 use crate::seq::SorParams;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 
 /// A worker's local state: its strip rows plus two ghost rows.
 struct Worker {
@@ -45,40 +52,27 @@ impl Worker {
         }
     }
 
-    #[inline]
-    fn get(&self, local_i: usize, j: usize) -> f64 {
-        self.data[local_i * self.n + j]
-    }
-
-    #[inline]
-    fn set(&mut self, local_i: usize, j: usize, v: f64) {
-        self.data[local_i * self.n + j] = v;
-    }
-
-    /// Relaxes the given colour over all owned rows.
+    /// Relaxes the given colour over all owned rows via the shared slice
+    /// kernel. Local row `l` is global row `global_start + l - 1`.
     fn sweep(&mut self, color: Color, omega: f64) {
-        let n = self.n;
-        for l in 1..=self.rows {
-            let global_i = self.global_start + l - 1;
-            let start = 1 + ((global_i + 1 + color.parity()) % 2);
-            let mut j = start;
-            while j < n - 1 {
-                let u = self.get(l, j);
-                let sum =
-                    self.get(l - 1, j) + self.get(l + 1, j) + self.get(l, j - 1) + self.get(l, j + 1);
-                self.set(l, j, u + omega * 0.25 * (sum - 4.0 * u));
-                j += 2;
-            }
-        }
+        relax_rows(
+            &mut self.data,
+            self.n,
+            color.parity(),
+            omega,
+            1,
+            self.rows + 1,
+            self.global_start - 1,
+        );
     }
 
-    fn top_row(&self) -> Vec<f64> {
-        self.data[self.n..2 * self.n].to_vec()
+    fn copy_top_row(&self, out: &mut [f64]) {
+        out.copy_from_slice(&self.data[self.n..2 * self.n]);
     }
 
-    fn bottom_row(&self) -> Vec<f64> {
+    fn copy_bottom_row(&self, out: &mut [f64]) {
         let l = self.rows;
-        self.data[l * self.n..(l + 1) * self.n].to_vec()
+        out.copy_from_slice(&self.data[l * self.n..(l + 1) * self.n]);
     }
 
     fn set_upper_ghost(&mut self, row: &[f64]) {
@@ -95,12 +89,13 @@ impl Worker {
     }
 }
 
-/// Channel bundle for one worker's neighbour links.
+/// Mailbox bundle for one worker's neighbour links.
+#[derive(Default)]
 struct Links {
-    to_up: Option<Sender<Vec<f64>>>,
-    from_up: Option<Receiver<Vec<f64>>>,
-    to_down: Option<Sender<Vec<f64>>>,
-    from_down: Option<Receiver<Vec<f64>>>,
+    to_up: Option<RecycledSender>,
+    from_up: Option<RecycledReceiver>,
+    to_down: Option<RecycledSender>,
+    from_down: Option<RecycledReceiver>,
 }
 
 /// Solves in parallel over the given strips, updating `grid` in place.
@@ -128,18 +123,13 @@ pub fn solve_parallel_strips(grid: &mut Grid, params: SorParams, strips: &[Strip
         return;
     }
 
-    // Build the neighbour links: link[i] connects worker i and i+1.
-    let mut links: Vec<Links> = (0..p)
-        .map(|_| Links {
-            to_up: None,
-            from_up: None,
-            to_down: None,
-            from_down: None,
-        })
-        .collect();
+    // Build the neighbour links: worker i exchanges rows with i+1. Each
+    // direction recycles one owned n-element buffer for the whole solve.
+    let n = grid.n();
+    let mut links: Vec<Links> = (0..p).map(|_| Links::default()).collect();
     for i in 0..p - 1 {
-        let (tx_down, rx_down) = unbounded(); // i -> i+1
-        let (tx_up, rx_up) = unbounded(); // i+1 -> i
+        let (tx_down, rx_down) = recycled_link(n); // i -> i+1
+        let (tx_up, rx_up) = recycled_link(n); // i+1 -> i
         links[i].to_down = Some(tx_down);
         links[i].from_down = Some(rx_up);
         links[i + 1].to_up = Some(tx_up);
@@ -148,27 +138,25 @@ pub fn solve_parallel_strips(grid: &mut Grid, params: SorParams, strips: &[Strip
 
     let mut workers: Vec<Worker> = strips.iter().map(|s| Worker::new(grid, s)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
-        for (worker, link) in workers.iter_mut().zip(links) {
-            handles.push(scope.spawn(move |_| {
+        for (worker, mut link) in workers.iter_mut().zip(links) {
+            handles.push(scope.spawn(move || {
                 for _ in 0..params.iterations {
                     for color in [Color::Red, Color::Black] {
                         worker.sweep(color, params.omega);
                         // Send boundary rows, then receive fresh ghosts.
-                        if let Some(tx) = &link.to_up {
-                            tx.send(worker.top_row()).expect("neighbour hung up");
+                        if let Some(tx) = &mut link.to_up {
+                            tx.send_with(|buf| worker.copy_top_row(buf));
                         }
-                        if let Some(tx) = &link.to_down {
-                            tx.send(worker.bottom_row()).expect("neighbour hung up");
+                        if let Some(tx) = &mut link.to_down {
+                            tx.send_with(|buf| worker.copy_bottom_row(buf));
                         }
                         if let Some(rx) = &link.from_up {
-                            let row = rx.recv().expect("neighbour hung up");
-                            worker.set_upper_ghost(&row);
+                            rx.recv_with(|row| worker.set_upper_ghost(row));
                         }
                         if let Some(rx) = &link.from_down {
-                            let row = rx.recv().expect("neighbour hung up");
-                            worker.set_lower_ghost(&row);
+                            rx.recv_with(|row| worker.set_lower_ghost(row));
                         }
                     }
                 }
@@ -177,8 +165,7 @@ pub fn solve_parallel_strips(grid: &mut Grid, params: SorParams, strips: &[Strip
         for h in handles {
             h.join().expect("worker panicked");
         }
-    })
-    .expect("scope failed");
+    });
 
     // Assemble the solution.
     for (worker, strip) in workers.iter().zip(strips) {

@@ -1,19 +1,18 @@
 //! Real multithreaded Red-Black SOR over a 2D block decomposition:
-//! four-neighbour ghost-edge exchange over channels, validated bit-for-bit
-//! against the sequential solver (the five-point stencil needs no corner
-//! ghosts, and each colour reads only the other, so decomposition cannot
-//! change the floating-point result).
+//! four-neighbour ghost-edge exchange over recycled-buffer mailboxes,
+//! validated bit-for-bit against the sequential solver (the five-point
+//! stencil needs no corner ghosts, and each colour reads only the other,
+//! so decomposition cannot change the floating-point result).
+//!
+//! Each direction is its own typed link, so the old `Edge` row/column
+//! wrapper enum is gone; edges ride the same zero-allocation recycling
+//! protocol as [`crate::parallel`] (see [`crate::exchange`]).
 
 use crate::decomp2d::{partition_blocks, Block, BlockLayout};
+use crate::exchange::{recycled_link, RecycledReceiver, RecycledSender};
 use crate::grid::{Color, Grid};
+use crate::kernel::{color_start, relax_row};
 use crate::seq::SorParams;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-
-/// Edge payloads exchanged between block neighbours.
-enum Edge {
-    Row(Vec<f64>),
-    Col(Vec<f64>),
-}
 
 /// A worker's local state: its block plus a one-cell halo on all sides.
 struct BlockWorker {
@@ -50,52 +49,43 @@ impl BlockWorker {
         li * (self.cols + 2) + lj
     }
 
+    /// Relaxes the given colour over the owned block via the shared slice
+    /// kernel, one local row at a time.
     fn sweep(&mut self, color: Color, omega: f64) {
+        let w = self.cols + 2;
         for li in 1..=self.rows {
             let gi = self.row0 + li - 1;
-            for lj in 1..=self.cols {
-                let gj = self.col0 + lj - 1;
-                if (gi + gj) % 2 != color.parity() {
-                    continue;
-                }
-                let c = self.idx(li, lj);
-                let u = self.data[c];
-                let sum = self.data[self.idx(li - 1, lj)]
-                    + self.data[self.idx(li + 1, lj)]
-                    + self.data[self.idx(li, lj - 1)]
-                    + self.data[self.idx(li, lj + 1)];
-                self.data[c] = u + omega * 0.25 * (sum - 4.0 * u);
-            }
+            // Local column 1 sits at global column `col0`.
+            let start = color_start(color.parity(), gi, self.col0);
+            let (head, rest) = self.data.split_at_mut(li * w);
+            let (current, tail) = rest.split_at_mut(w);
+            relax_row(&head[(li - 1) * w..], current, &tail[..w], omega, start);
         }
     }
 
-    fn top_row(&self) -> Vec<f64> {
-        (1..=self.cols).map(|j| self.data[self.idx(1, j)]).collect()
+    fn copy_top_row(&self, out: &mut [f64]) {
+        out.copy_from_slice(&self.data[self.idx(1, 1)..self.idx(1, self.cols + 1)]);
     }
-    fn bottom_row(&self) -> Vec<f64> {
-        (1..=self.cols)
-            .map(|j| self.data[self.idx(self.rows, j)])
-            .collect()
+    fn copy_bottom_row(&self, out: &mut [f64]) {
+        out.copy_from_slice(&self.data[self.idx(self.rows, 1)..self.idx(self.rows, self.cols + 1)]);
     }
-    fn left_col(&self) -> Vec<f64> {
-        (1..=self.rows).map(|i| self.data[self.idx(i, 1)]).collect()
+    fn copy_left_col(&self, out: &mut [f64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data[self.idx(i + 1, 1)];
+        }
     }
-    fn right_col(&self) -> Vec<f64> {
-        (1..=self.rows)
-            .map(|i| self.data[self.idx(i, self.cols)])
-            .collect()
+    fn copy_right_col(&self, out: &mut [f64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data[self.idx(i + 1, self.cols)];
+        }
     }
     fn set_top_halo(&mut self, row: &[f64]) {
-        for (j, &v) in row.iter().enumerate() {
-            let idx = self.idx(0, j + 1);
-            self.data[idx] = v;
-        }
+        let lo = self.idx(0, 1);
+        self.data[lo..lo + self.cols].copy_from_slice(row);
     }
     fn set_bottom_halo(&mut self, row: &[f64]) {
-        for (j, &v) in row.iter().enumerate() {
-            let idx = self.idx(self.rows + 1, j + 1);
-            self.data[idx] = v;
-        }
+        let lo = self.idx(self.rows + 1, 1);
+        self.data[lo..lo + self.cols].copy_from_slice(row);
     }
     fn set_left_halo(&mut self, col: &[f64]) {
         for (i, &v) in col.iter().enumerate() {
@@ -111,17 +101,17 @@ impl BlockWorker {
     }
 }
 
-/// Channels to/from the four neighbours.
+/// Recycled-buffer links to/from the four neighbours.
 #[derive(Default)]
 struct BlockLinks {
-    to_up: Option<Sender<Edge>>,
-    from_up: Option<Receiver<Edge>>,
-    to_down: Option<Sender<Edge>>,
-    from_down: Option<Receiver<Edge>>,
-    to_left: Option<Sender<Edge>>,
-    from_left: Option<Receiver<Edge>>,
-    to_right: Option<Sender<Edge>>,
-    from_right: Option<Receiver<Edge>>,
+    to_up: Option<RecycledSender>,
+    from_up: Option<RecycledReceiver>,
+    to_down: Option<RecycledSender>,
+    from_down: Option<RecycledReceiver>,
+    to_left: Option<RecycledSender>,
+    from_left: Option<RecycledReceiver>,
+    to_right: Option<RecycledSender>,
+    from_right: Option<RecycledReceiver>,
 }
 
 /// Solves in parallel over a 2D block decomposition, updating `grid` in
@@ -143,26 +133,30 @@ pub fn solve_parallel_blocks(grid: &mut Grid, params: SorParams, layout: BlockLa
     assert!(blocks.iter().all(|b| b.elements() > 0));
 
     let mut links: Vec<BlockLinks> = (0..layout.len()).map(|_| BlockLinks::default()).collect();
-    // Vertical links.
+    // Vertical links carry rows of the downstream block's width.
     for br in 0..layout.pr.saturating_sub(1) {
         for bc in 0..layout.pc {
             let a = br * layout.pc + bc;
             let b = (br + 1) * layout.pc + bc;
-            let (tx_down, rx_down) = unbounded();
-            let (tx_up, rx_up) = unbounded();
+            let cols = blocks[a].n_cols();
+            debug_assert_eq!(cols, blocks[b].n_cols());
+            let (tx_down, rx_down) = recycled_link(cols);
+            let (tx_up, rx_up) = recycled_link(cols);
             links[a].to_down = Some(tx_down);
             links[a].from_down = Some(rx_up);
             links[b].to_up = Some(tx_up);
             links[b].from_up = Some(rx_down);
         }
     }
-    // Horizontal links.
+    // Horizontal links carry columns of the blocks' height.
     for br in 0..layout.pr {
         for bc in 0..layout.pc.saturating_sub(1) {
             let a = br * layout.pc + bc;
             let b = br * layout.pc + bc + 1;
-            let (tx_right, rx_right) = unbounded();
-            let (tx_left, rx_left) = unbounded();
+            let rows = blocks[a].n_rows();
+            debug_assert_eq!(rows, blocks[b].n_rows());
+            let (tx_right, rx_right) = recycled_link(rows);
+            let (tx_left, rx_left) = recycled_link(rows);
             links[a].to_right = Some(tx_right);
             links[a].from_right = Some(rx_left);
             links[b].to_left = Some(tx_left);
@@ -172,48 +166,36 @@ pub fn solve_parallel_blocks(grid: &mut Grid, params: SorParams, layout: BlockLa
 
     let mut workers: Vec<BlockWorker> = blocks.iter().map(|b| BlockWorker::new(grid, b)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(layout.len());
-        for (worker, link) in workers.iter_mut().zip(links) {
-            handles.push(scope.spawn(move |_| {
+        for (worker, mut link) in workers.iter_mut().zip(links) {
+            handles.push(scope.spawn(move || {
                 for _ in 0..params.iterations {
                     for color in [Color::Red, Color::Black] {
                         worker.sweep(color, params.omega);
-                        if let Some(tx) = &link.to_up {
-                            tx.send(Edge::Row(worker.top_row())).expect("send up");
+                        if let Some(tx) = &mut link.to_up {
+                            tx.send_with(|buf| worker.copy_top_row(buf));
                         }
-                        if let Some(tx) = &link.to_down {
-                            tx.send(Edge::Row(worker.bottom_row())).expect("send down");
+                        if let Some(tx) = &mut link.to_down {
+                            tx.send_with(|buf| worker.copy_bottom_row(buf));
                         }
-                        if let Some(tx) = &link.to_left {
-                            tx.send(Edge::Col(worker.left_col())).expect("send left");
+                        if let Some(tx) = &mut link.to_left {
+                            tx.send_with(|buf| worker.copy_left_col(buf));
                         }
-                        if let Some(tx) = &link.to_right {
-                            tx.send(Edge::Col(worker.right_col())).expect("send right");
+                        if let Some(tx) = &mut link.to_right {
+                            tx.send_with(|buf| worker.copy_right_col(buf));
                         }
                         if let Some(rx) = &link.from_up {
-                            match rx.recv().expect("recv up") {
-                                Edge::Row(r) => worker.set_top_halo(&r),
-                                Edge::Col(_) => unreachable!("vertical link carries rows"),
-                            }
+                            rx.recv_with(|row| worker.set_top_halo(row));
                         }
                         if let Some(rx) = &link.from_down {
-                            match rx.recv().expect("recv down") {
-                                Edge::Row(r) => worker.set_bottom_halo(&r),
-                                Edge::Col(_) => unreachable!("vertical link carries rows"),
-                            }
+                            rx.recv_with(|row| worker.set_bottom_halo(row));
                         }
                         if let Some(rx) = &link.from_left {
-                            match rx.recv().expect("recv left") {
-                                Edge::Col(c) => worker.set_left_halo(&c),
-                                Edge::Row(_) => unreachable!("horizontal link carries cols"),
-                            }
+                            rx.recv_with(|col| worker.set_left_halo(col));
                         }
                         if let Some(rx) = &link.from_right {
-                            match rx.recv().expect("recv right") {
-                                Edge::Col(c) => worker.set_right_halo(&c),
-                                Edge::Row(_) => unreachable!("horizontal link carries cols"),
-                            }
+                            rx.recv_with(|col| worker.set_right_halo(col));
                         }
                     }
                 }
@@ -222,8 +204,7 @@ pub fn solve_parallel_blocks(grid: &mut Grid, params: SorParams, layout: BlockLa
         for h in handles {
             h.join().expect("worker panicked");
         }
-    })
-    .expect("scope failed");
+    });
 
     // Assemble.
     for (worker, block) in workers.iter().zip(&blocks) {
@@ -253,7 +234,11 @@ mod tests {
             let iters = 15;
             let reference = reference(n, iters);
             let mut g = Grid::laplace_problem(n);
-            solve_parallel_blocks(&mut g, SorParams::for_grid(n, iters), BlockLayout::new(pr, pc));
+            solve_parallel_blocks(
+                &mut g,
+                SorParams::for_grid(n, iters),
+                BlockLayout::new(pr, pc),
+            );
             assert_eq!(
                 g.max_diff(&reference),
                 0.0,
@@ -286,7 +271,11 @@ mod tests {
         let iters = 10;
         let reference = reference(n, iters);
         let mut g = Grid::laplace_problem(n);
-        solve_parallel_blocks(&mut g, SorParams::for_grid(n, iters), BlockLayout::new(3, 2));
+        solve_parallel_blocks(
+            &mut g,
+            SorParams::for_grid(n, iters),
+            BlockLayout::new(3, 2),
+        );
         assert_eq!(g.max_diff(&reference), 0.0);
     }
 }

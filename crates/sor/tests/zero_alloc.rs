@@ -1,0 +1,73 @@
+//! Pins down the zero-allocation guarantee of the ghost exchange: once
+//! the recycled buffers exist, extra solver iterations must not touch the
+//! heap. A counting global allocator measures two solves that differ only
+//! in iteration count; per-iteration allocations would scale the delta by
+//! the extra ghost-row phases (hundreds of events), so the assertion has
+//! a wide margin against incidental noise (thread spawn bookkeeping etc.).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use prodpred_sor::{solve_parallel, Grid, SorParams};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+fn solve(n: usize, p: usize, iters: usize) {
+    let mut g = Grid::laplace_problem(n);
+    solve_parallel(&mut g, SorParams::for_grid(n, iters), p);
+}
+
+#[test]
+fn ghost_exchange_steady_state_allocates_nothing() {
+    let n = 65;
+    let p = 4;
+    // Warm up thread-local and lazy-init allocations (panic hooks, TLS).
+    solve(n, p, 2);
+
+    let base = allocations_during(|| solve(n, p, 4));
+    let long = allocations_during(|| solve(n, p, 64));
+
+    // 60 extra iterations x 2 colours x 6 inter-strip links would cost
+    // >= 720 allocations if each ghost-row send allocated (the old
+    // behaviour: a fresh Vec per boundary row per phase, plus a channel
+    // node per send). Recycled buffers make the counts identical up to
+    // scheduler noise.
+    let delta = long.saturating_sub(base);
+    assert!(
+        delta < 64,
+        "per-iteration allocations detected: {base} allocs at 4 iters, \
+         {long} at 64 iters (delta {delta})"
+    );
+}

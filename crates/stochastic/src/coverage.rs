@@ -120,7 +120,11 @@ mod tests {
 
     #[test]
     fn full_coverage_zero_range_error() {
-        let series = [obs(10.0, 2.0, 9.0), obs(10.0, 2.0, 11.5), obs(10.0, 2.0, 10.0)];
+        let series = [
+            obs(10.0, 2.0, 9.0),
+            obs(10.0, 2.0, 11.5),
+            obs(10.0, 2.0, 10.0),
+        ];
         let r = AccuracyReport::from_observations(&series).unwrap();
         assert_eq!(r.coverage, 1.0);
         assert_eq!(r.max_range_error, 0.0);

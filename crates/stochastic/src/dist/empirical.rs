@@ -86,7 +86,8 @@ impl Distribution for Empirical {
         let w = (hi - lo) / bins as f64;
         let idx = (((x - lo) / w) as usize).min(bins - 1);
         let (a, b) = (lo + idx as f64 * w, lo + (idx + 1) as f64 * w);
-        let count = self.sorted.partition_point(|&v| v <= b) - self.sorted.partition_point(|&v| v < a);
+        let count =
+            self.sorted.partition_point(|&v| v <= b) - self.sorted.partition_point(|&v| v < a);
         count as f64 / (n as f64 * w)
     }
 

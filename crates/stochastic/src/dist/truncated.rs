@@ -198,7 +198,12 @@ mod tests {
             assert!((0.0..=1.0).contains(&x));
             s.push(x);
         }
-        assert!((s.mean() - t.mean()).abs() < 0.003, "{} vs {}", s.mean(), t.mean());
+        assert!(
+            (s.mean() - t.mean()).abs() < 0.003,
+            "{} vs {}",
+            s.mean(),
+            t.mean()
+        );
         assert!((s.variance() - t.variance()).abs() < 0.001);
     }
 

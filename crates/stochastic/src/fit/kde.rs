@@ -138,11 +138,8 @@ mod tests {
     #[test]
     fn trimodal_load_gives_three_peaks() {
         // Figure 5's regime.
-        let mix = Mixture::from_triples(&[
-            (0.35, 0.94, 0.02),
-            (0.40, 0.49, 0.04),
-            (0.25, 0.33, 0.02),
-        ]);
+        let mix =
+            Mixture::from_triples(&[(0.35, 0.94, 0.02), (0.40, 0.49, 0.04), (0.25, 0.33, 0.02)]);
         let mut rng = StdRng::seed_from_u64(3);
         let data = mix.sample_n(&mut rng, 6000);
         let kde = Kde::new(&data);

@@ -205,7 +205,11 @@ mod tests {
         assert!(rep.is_adequate(), "{rep:?}");
         assert!((rep.two_sigma_coverage - 0.9545).abs() < 0.02);
         assert!(rep.ks_p_value > 0.001);
-        assert!(!rep.ad_rejects, "AD rejected true normal: {}", rep.ad_statistic);
+        assert!(
+            !rep.ad_rejects,
+            "AD rejected true normal: {}",
+            rep.ad_statistic
+        );
     }
 
     #[test]
@@ -230,10 +234,7 @@ mod tests {
         let c = classify(&lt_data).unwrap();
         assert_ne!(c, FamilyChoice::Normal, "classified {c:?}");
 
-        let mix = crate::dist::Mixture::from_triples(&[
-            (0.5, 0.2, 0.02),
-            (0.5, 0.9, 0.02),
-        ]);
+        let mix = crate::dist::Mixture::from_triples(&[(0.5, 0.2, 0.02), (0.5, 0.9, 0.02)]);
         let mix_data = mix.sample_n(&mut rng, 3000);
         assert_eq!(classify(&mix_data), Some(FamilyChoice::Modal));
     }

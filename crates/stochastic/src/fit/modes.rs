@@ -85,11 +85,7 @@ impl ModalModel {
 
     /// The paper's multi-modal average `sum_i P_i (M_i ± SD_i)`.
     pub fn weighted_average(&self) -> StochasticValue {
-        let mean: f64 = self
-            .modes
-            .iter()
-            .map(|m| m.weight * m.normal.mu())
-            .sum();
+        let mean: f64 = self.modes.iter().map(|m| m.weight * m.normal.mu()).sum();
         let half: f64 = self
             .modes
             .iter()
@@ -141,11 +137,7 @@ pub fn detect_modes(data: &[f64], cfg: ModeDetectConfig) -> Option<ModalModel> {
     let mut model = fit_modes(data, &boundaries);
 
     // Merge ultra-light modes into neighbours until all meet min_weight.
-    while let Some(idx) = model
-        .modes
-        .iter()
-        .position(|m| m.weight < cfg.min_weight)
-    {
+    while let Some(idx) = model.modes.iter().position(|m| m.weight < cfg.min_weight) {
         if model.modes.len() == 1 {
             break;
         }
@@ -194,10 +186,7 @@ fn fit_modes(data: &[f64], boundaries: &[f64]) -> ModalModel {
         .iter()
         .map(|s| Mode {
             weight: s.count() as f64 / n,
-            normal: Normal::new(
-                if s.count() > 0 { s.mean() } else { 0.0 },
-                s.sd(),
-            ),
+            normal: Normal::new(if s.count() > 0 { s.mean() } else { 0.0 }, s.sd()),
             count: s.count() as usize,
         })
         .collect();
@@ -215,11 +204,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn figure5_trace(n: usize, seed: u64) -> Vec<f64> {
-        let mix = Mixture::from_triples(&[
-            (0.35, 0.94, 0.02),
-            (0.40, 0.49, 0.04),
-            (0.25, 0.33, 0.02),
-        ]);
+        let mix =
+            Mixture::from_triples(&[(0.35, 0.94, 0.02), (0.40, 0.49, 0.04), (0.25, 0.33, 0.02)]);
         let mut rng = StdRng::seed_from_u64(seed);
         mix.sample_n(&mut rng, n)
     }
@@ -276,11 +262,7 @@ mod tests {
         let data = figure5_trace(8000, 5);
         let model = detect_modes(&data, Default::default()).unwrap();
         let avg = model.weighted_average();
-        let manual_mean: f64 = model
-            .modes()
-            .iter()
-            .map(|m| m.weight * m.normal.mu())
-            .sum();
+        let manual_mean: f64 = model.modes().iter().map(|m| m.weight * m.normal.mu()).sum();
         assert!((avg.mean() - manual_mean).abs() < 1e-12);
     }
 

@@ -48,8 +48,7 @@ mod value;
 
 pub use coverage::{calibration_curve, AccuracyReport, Observation};
 pub use dist::{
-    Distribution, Empirical, LogNormal, LongTailed, Mixture, Normal, TailDirection,
-    TruncatedNormal,
+    Distribution, Empirical, LogNormal, LongTailed, Mixture, Normal, TailDirection, TruncatedNormal,
 };
 pub use histogram::Histogram;
 pub use ops::{max_of, min_of, sum_related, sum_unrelated, Dependence, MaxStrategy};

@@ -52,7 +52,6 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-
     #[test]
     fn related_adds_half_widths() {
         let a = StochasticValue::new(8.0, 2.0);

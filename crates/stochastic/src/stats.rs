@@ -56,8 +56,7 @@ impl Summary {
         let delta_n2 = delta_n * delta_n;
         let term1 = delta * delta_n * n1;
         self.mean += delta_n;
-        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
-            + 6.0 * delta_n2 * self.m2
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
             - 4.0 * delta_n * self.m3;
         self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
         self.m2 += term1;
@@ -296,7 +295,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let all: Vec<f64> = (0..100).map(|i| (i as f64 * 0.731).sin() * 5.0 + 3.0).collect();
+        let all: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.731).sin() * 5.0 + 3.0)
+            .collect();
         let whole = Summary::from_slice(&all);
         let mut a = Summary::from_slice(&all[..37]);
         let b = Summary::from_slice(&all[37..]);
@@ -388,7 +389,9 @@ mod tests {
         let mut state = 12345u64;
         let mut data = Vec::with_capacity(20_000);
         for _ in 0..20_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
             x = phi * x + u;
             data.push(x);

@@ -7,15 +7,13 @@ use proptest::prelude::*;
 
 /// A strategy generating well-conditioned stochastic values.
 fn sv() -> impl Strategy<Value = StochasticValue> {
-    ((-1.0e3f64..1.0e3), (0.0f64..1.0e2))
-        .prop_map(|(m, h)| StochasticValue::new(m, h))
+    ((-1.0e3f64..1.0e3), (0.0f64..1.0e2)).prop_map(|(m, h)| StochasticValue::new(m, h))
 }
 
 /// Stochastic values bounded away from zero (safe to divide by).
 fn sv_nonzero() -> impl Strategy<Value = StochasticValue> {
-    ((0.5f64..1.0e3), (0.0f64..1.0e2), any::<bool>()).prop_map(|(m, h, neg)| {
-        StochasticValue::new(if neg { -m } else { m }, h)
-    })
+    ((0.5f64..1.0e3), (0.0f64..1.0e2), any::<bool>())
+        .prop_map(|(m, h, neg)| StochasticValue::new(if neg { -m } else { m }, h))
 }
 
 proptest! {

@@ -41,7 +41,10 @@ impl PtToPtModel {
     /// `latency + num_elt * size / (bw_avail * ded_bw)`.
     pub fn pt_to_pt(&self, num_elt: Param) -> StochasticValue {
         let bytes = num_elt.value().scale(self.size_elt);
-        let eff_bw = self.bw_avail.value().mul(&self.ded_bw.value(), self.dependence);
+        let eff_bw = self
+            .bw_avail
+            .value()
+            .mul(&self.ded_bw.value(), self.dependence);
         bytes.div(&eff_bw, self.dependence).shift(self.latency)
     }
 }
@@ -166,10 +169,34 @@ mod tests {
 
     #[test]
     fn neighbours_chain_layout() {
-        assert_eq!(Neighbours::of(0, 4), Neighbours { up: false, down: true });
-        assert_eq!(Neighbours::of(1, 4), Neighbours { up: true, down: true });
-        assert_eq!(Neighbours::of(3, 4), Neighbours { up: true, down: false });
-        assert_eq!(Neighbours::of(0, 1), Neighbours { up: false, down: false });
+        assert_eq!(
+            Neighbours::of(0, 4),
+            Neighbours {
+                up: false,
+                down: true
+            }
+        );
+        assert_eq!(
+            Neighbours::of(1, 4),
+            Neighbours {
+                up: true,
+                down: true
+            }
+        );
+        assert_eq!(
+            Neighbours::of(3, 4),
+            Neighbours {
+                up: true,
+                down: false
+            }
+        );
+        assert_eq!(
+            Neighbours::of(0, 1),
+            Neighbours {
+                up: false,
+                down: false
+            }
+        );
         assert_eq!(Neighbours::of(1, 4).count(), 2);
     }
 

@@ -69,14 +69,12 @@ impl Component {
             Component::Scale(c, inner) => inner.evaluate().scale(*c),
             Component::Max(parts, strategy) => {
                 assert!(!parts.is_empty(), "empty Max component");
-                let vals: Vec<StochasticValue> =
-                    parts.iter().map(Component::evaluate).collect();
+                let vals: Vec<StochasticValue> = parts.iter().map(Component::evaluate).collect();
                 max_of(&vals, *strategy)
             }
             Component::Min(parts, strategy) => {
                 assert!(!parts.is_empty(), "empty Min component");
-                let vals: Vec<StochasticValue> =
-                    parts.iter().map(Component::evaluate).collect();
+                let vals: Vec<StochasticValue> = parts.iter().map(Component::evaluate).collect();
                 min_of(&vals, *strategy)
             }
         }
@@ -98,11 +96,9 @@ impl Component {
             Component::Product(parts, dep) => {
                 Component::Product(parts.iter().map(Component::collapse).collect(), *dep)
             }
-            Component::Quotient(n, d, dep) => Component::Quotient(
-                Box::new(n.collapse()),
-                Box::new(d.collapse()),
-                *dep,
-            ),
+            Component::Quotient(n, d, dep) => {
+                Component::Quotient(Box::new(n.collapse()), Box::new(d.collapse()), *dep)
+            }
             Component::Scale(c, inner) => Component::Scale(*c, Box::new(inner.collapse())),
             Component::Max(parts, s) => {
                 Component::Max(parts.iter().map(Component::collapse).collect(), *s)
@@ -187,9 +183,10 @@ mod tests {
 
     #[test]
     fn scale_component() {
-        let c = Component::Scale(3.0, Box::new(Component::stochastic(
-            StochasticValue::new(2.0, 0.5),
-        )));
+        let c = Component::Scale(
+            3.0,
+            Box::new(Component::stochastic(StochasticValue::new(2.0, 0.5))),
+        );
         let v = c.evaluate();
         assert_eq!(v.mean(), 6.0);
         assert_eq!(v.half_width(), 1.5);

@@ -28,7 +28,7 @@ pub use comm::{phase_comm, phase_comm_messages, Neighbours, PtToPtModel};
 pub use comp::{phase_comp, BenchmarkModel, OpCountModel};
 pub use component::Component;
 pub use param::{Param, ParamSource};
-pub use validate::{monte_carlo, McResult};
 pub use sor_model::{
     skew_bound, PhaseBreakdown, ProcessorInputs, SorModelInputs, SorStructuralModel,
 };
+pub use validate::{monte_carlo, McResult};

@@ -253,13 +253,10 @@ impl SorStructuralModel {
             inp.phase_dependence,
         );
         match inp.phase_dependence {
-            Dependence::Related => {
-                Component::Scale(inp.iterations as f64, Box::new(iteration))
+            Dependence::Related => Component::Scale(inp.iterations as f64, Box::new(iteration)),
+            Dependence::Unrelated => {
+                Component::Sum(vec![iteration; inp.iterations], Dependence::Unrelated)
             }
-            Dependence::Unrelated => Component::Sum(
-                vec![iteration; inp.iterations],
-                Dependence::Unrelated,
-            ),
         }
     }
 

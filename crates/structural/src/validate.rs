@@ -55,9 +55,7 @@ fn sample_once(component: &Component, rng: &mut dyn RngCore) -> f64 {
     match component {
         Component::Param(p) => p.value().to_normal().sample(rng),
         Component::Sum(parts, _) => parts.iter().map(|c| sample_once(c, rng)).sum(),
-        Component::Product(parts, _) => {
-            parts.iter().map(|c| sample_once(c, rng)).product()
-        }
+        Component::Product(parts, _) => parts.iter().map(|c| sample_once(c, rng)).product(),
         Component::Quotient(num, den, _) => {
             let d = sample_once(den, rng);
             // Guard against a sampled divisor straddling zero: resample
@@ -123,9 +121,7 @@ mod tests {
         let mc = monte_carlo(&c, 200_000, 3);
         let closed = c.evaluate();
         assert!((mc.summary.mean() - closed.mean()).abs() / closed.mean() < 0.005);
-        assert!(
-            (mc.summary.half_width() - closed.half_width()).abs() / closed.half_width() < 0.02
-        );
+        assert!((mc.summary.half_width() - closed.half_width()).abs() / closed.half_width() < 0.02);
         // §2.3.2: the product of normals is long-tailed (mild at these
         // low relative widths, pronounced for wider factors).
         assert!(mc.skewness > 0.01, "skew {}", mc.skewness);
@@ -144,9 +140,7 @@ mod tests {
         let mc = monte_carlo(&c, 200_000, 4);
         let closed = c.evaluate();
         assert!((mc.summary.mean() - closed.mean()).abs() / closed.mean() < 0.01);
-        assert!(
-            (mc.summary.half_width() - closed.half_width()).abs() / closed.half_width() < 0.05
-        );
+        assert!((mc.summary.half_width() - closed.half_width()).abs() / closed.half_width() < 0.05);
         // 1/load is right-skewed.
         assert!(mc.skewness > 0.05);
     }

@@ -19,14 +19,25 @@ fn main() {
                 format!("{sv}"),
                 format!("{:.1}", r.prediction.point),
                 format!("{:.1}", r.actual_secs),
-                if sv.contains(r.actual_secs) { "yes" } else { "NO" }.into(),
+                if sv.contains(r.actual_secs) {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .into(),
             ]
         })
         .collect();
     println!(
         "{}",
         render_table(
-            &["run", "stochastic prediction (s)", "point (s)", "actual (s)", "covered"],
+            &[
+                "run",
+                "stochastic prediction (s)",
+                "point (s)",
+                "actual (s)",
+                "covered"
+            ],
             &rows
         )
     );

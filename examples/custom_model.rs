@@ -57,10 +57,18 @@ fn main() {
         println!("  worker {i}: {} s", w.evaluate());
     }
 
-    for strategy in [MaxStrategy::ByMean, MaxStrategy::ByUpperBound, MaxStrategy::Clark] {
+    for strategy in [
+        MaxStrategy::ByMean,
+        MaxStrategy::ByUpperBound,
+        MaxStrategy::Clark,
+    ] {
         let job = Component::Max(workers.clone(), strategy);
         let v = job.evaluate();
-        println!("\njob time under {strategy:?}: {v} s  (range {:.1}..{:.1})", v.lo(), v.hi());
+        println!(
+            "\njob time under {strategy:?}: {v} s  (range {:.1}..{:.1})",
+            v.lo(),
+            v.hi()
+        );
         // Score the closed form against sampling.
         let mc = monte_carlo(&job, 50_000, 7);
         println!(

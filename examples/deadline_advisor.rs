@@ -24,7 +24,10 @@ fn main() {
         let prediction = predictor.predict(n, &strips).expect("warmed up");
         let sv = prediction.stochastic;
 
-        println!("prediction: {sv} s  -> quality {:?}", PredictionQuality::of(sv));
+        println!(
+            "prediction: {sv} s  -> quality {:?}",
+            PredictionQuality::of(sv)
+        );
         println!("\nservice range (completion time at confidence):");
         for (c, t) in service_range(sv) {
             println!("  {:>4.0}%  <= {t:7.1} s", c * 100.0);
@@ -51,7 +54,11 @@ fn main() {
         println!(
             "\nactual run: {:.1} s ({}within the predicted range)\n",
             run.total_secs,
-            if sv.contains(run.total_secs) { "" } else { "NOT " }
+            if sv.contains(run.total_secs) {
+                ""
+            } else {
+                "NOT "
+            }
         );
     }
     println!(

@@ -48,7 +48,10 @@ fn main() {
         Box::new(RunningMean),
         Box::new(SlidingMean { window: 6 }),
         Box::new(SlidingMedian { window: 6 }),
-        Box::new(TrimmedMean { window: 12, trim: 2 }),
+        Box::new(TrimmedMean {
+            window: 12,
+            trim: 2,
+        }),
         Box::new(ExpSmoothing { alpha: 0.3 }),
         Box::new(AdaptiveWindowMean::default()),
     ];

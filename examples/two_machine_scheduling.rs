@@ -21,8 +21,14 @@ fn main() {
     let units = 120u64;
     let policies = [
         ("by mean (conventional)", AllocationPolicy::ByMean),
-        ("risk-averse lambda=2", AllocationPolicy::RiskAverse { lambda: 2.0 }),
-        ("optimistic lambda=1", AllocationPolicy::Optimistic { lambda: 1.0 }),
+        (
+            "risk-averse lambda=2",
+            AllocationPolicy::RiskAverse { lambda: 2.0 },
+        ),
+        (
+            "optimistic lambda=1",
+            AllocationPolicy::Optimistic { lambda: 1.0 },
+        ),
     ];
 
     // Evaluate each plan against 10 000 simulated production days.

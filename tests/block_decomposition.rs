@@ -73,7 +73,10 @@ fn block_structural_model_tracks_simulator_when_dedicated() {
         .collect();
 
     let per_iter = max_of(&comp_terms, MaxStrategy::ByMean)
-        .add(&max_of(&comm_terms, MaxStrategy::ByMean), Dependence::Related)
+        .add(
+            &max_of(&comm_terms, MaxStrategy::ByMean),
+            Dependence::Related,
+        )
         .scale(2.0); // red + black phases
     let predicted = per_iter.scale(iterations as f64).mean();
 
@@ -113,5 +116,8 @@ fn comm_advantage_grows_with_processor_count() {
         ratios[1] > ratios[0] * 1.3,
         "advantage should grow from P=16 to P=64: {ratios:?}"
     );
-    assert!(ratios[0] > 1.3, "16-way block should clearly win: {ratios:?}");
+    assert!(
+        ratios[0] > 1.3,
+        "16-way block should clearly win: {ratios:?}"
+    );
 }

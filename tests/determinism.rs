@@ -10,7 +10,10 @@ fn platform1_experiment_is_deterministic() {
     assert_eq!(a.records.len(), b.records.len());
     for (ra, rb) in a.records.iter().zip(&b.records) {
         assert_eq!(ra.actual_secs, rb.actual_secs);
-        assert_eq!(ra.prediction.stochastic.mean(), rb.prediction.stochastic.mean());
+        assert_eq!(
+            ra.prediction.stochastic.mean(),
+            rb.prediction.stochastic.mean()
+        );
         assert_eq!(
             ra.prediction.stochastic.half_width(),
             rb.prediction.stochastic.half_width()

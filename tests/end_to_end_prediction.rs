@@ -94,5 +94,10 @@ fn structural_model_tracks_simulator_on_dedicated_platform() {
         },
     );
     let err = (predicted.mean() - run.total_secs).abs() / run.total_secs;
-    assert!(err < 0.02, "predicted {} actual {} err {err}", predicted.mean(), run.total_secs);
+    assert!(
+        err < 0.02,
+        "predicted {} actual {} err {err}",
+        predicted.mean(),
+        run.total_secs
+    );
 }

@@ -6,7 +6,10 @@ use prodpred_simgrid::Platform;
 
 #[test]
 fn nws_tracks_every_machine_of_both_platforms() {
-    for platform in [Platform::platform1(3, 2000.0), Platform::platform2(3, 2000.0)] {
+    for platform in [
+        Platform::platform1(3, 2000.0),
+        Platform::platform2(3, 2000.0),
+    ] {
         let nws = NwsService::attach(&platform, NwsConfig::default());
         nws.advance_to(&platform, 1500.0);
         for i in 0..platform.machines.len() {

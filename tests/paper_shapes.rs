@@ -26,10 +26,18 @@ fn platform1_figure9_shape() {
     assert!(acc.coverage >= 0.8, "coverage {}", acc.coverage);
     // "maximal discrepancy between the means ... is 9.7%" — same order.
     assert!(acc.max_mean_error > 0.005, "mean error implausibly small");
-    assert!(acc.max_mean_error < 0.25, "mean error too large: {}", acc.max_mean_error);
+    assert!(
+        acc.max_mean_error < 0.25,
+        "mean error too large: {}",
+        acc.max_mean_error
+    );
     // "The discrepancy between modeled stochastic predictions and actual
     // execution times is 0%" — range error far below mean error.
-    assert!(acc.max_range_error < 0.05, "range error {}", acc.max_range_error);
+    assert!(
+        acc.max_range_error < 0.05,
+        "range error {}",
+        acc.max_range_error
+    );
 }
 
 #[test]

@@ -1,9 +1,7 @@
 //! Scheduling integration: variance-aware allocation measurably improves
 //! tail completion times on the simulated platforms.
 
-use prodpred_core::{
-    allocate_units, decompose, AllocationPolicy, DecompositionPolicy,
-};
+use prodpred_core::{allocate_units, decompose, AllocationPolicy, DecompositionPolicy};
 use prodpred_simgrid::{MachineClass, Platform};
 use prodpred_sor::{simulate, DistSorConfig};
 use prodpred_stochastic::{Distribution, StochasticValue};

@@ -1,0 +1,258 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! The build container cannot fetch the real crate, so this implements the
+//! subset the workspace's benches use: `criterion_group!`/
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups with
+//! `bench_with_input` and `throughput`, `BenchmarkId`, and `black_box`.
+//!
+//! Measurement protocol: calibrate the per-sample iteration count until a
+//! sample takes ≥ 5 ms, warm up, then report the median over a fixed
+//! number of samples (plus min/max), and derived throughput when
+//! configured. No plots, no saved baselines — output goes to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+const WARMUP: Duration = Duration::from_millis(150);
+const SAMPLES: usize = 15;
+
+/// The benchmark harness handle passed to every target function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) {
+        run_benchmark(name, None, routine);
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Expected work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing a throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs a benchmark identified by `id` with a borrowed input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) {
+        let name = format!("{}/{}", self.name, id.label());
+        run_benchmark(&name, self.throughput, |b| routine(b, input));
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.throughput, routine);
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name, parameter, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for this sample's iteration count, timing the whole
+    /// batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn sample<F: FnMut(&mut Bencher)>(routine: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    // Calibrate: grow the batch until one sample is long enough to time.
+    let mut iters: u64 = 1;
+    loop {
+        let t = sample(&mut routine, iters);
+        if t >= TARGET_SAMPLE || iters >= 1 << 30 {
+            break;
+        }
+        // Aim directly at the target once we have a usable estimate.
+        iters = if t.is_zero() {
+            iters * 8
+        } else {
+            let scale = TARGET_SAMPLE.as_secs_f64() / t.as_secs_f64();
+            (iters as f64 * scale.clamp(1.5, 8.0)).ceil() as u64
+        };
+    }
+
+    // Warm up.
+    let warmup_start = Instant::now();
+    while warmup_start.elapsed() < WARMUP {
+        sample(&mut routine, iters);
+    }
+
+    // Measure.
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| sample(&mut routine, iters).as_secs_f64() / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+
+    let mut line = format!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            line.push_str(&format!(
+                "  thrpt: {:.3} Melem/s",
+                n as f64 / median / 1.0e6
+            ));
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            line.push_str(&format!(
+                "  thrpt: {:.3} MiB/s",
+                n as f64 / median / (1024.0 * 1024.0)
+            ));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1.0e-3 {
+        format!("{:.3} ms", secs * 1.0e3)
+    } else if secs >= 1.0e-6 {
+        format!("{:.3} µs", secs * 1.0e6)
+    } else {
+        format!("{:.1} ns", secs * 1.0e9)
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_elapsed() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::from_parameter(512).label(), "512");
+        assert_eq!(BenchmarkId::new("sweep", 512).label(), "sweep/512");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+}

