@@ -1,0 +1,85 @@
+//! Criterion benchmarks for the deterministic work pool: how Monte-Carlo
+//! validation and multi-seed experiment sweeps scale with worker count,
+//! and what the pool's fixed overhead costs on trivial tasks.
+//!
+//! The thread axis is explicit (1, 2, 4) rather than auto so the
+//! committed numbers mean the same thing on any host; the repeat axis
+//! shows whether pool overhead is amortized as the task list grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prodpred_core::platform2_seed_sweep;
+use prodpred_stochastic::{Dependence, StochasticValue};
+use prodpred_structural::{monte_carlo_par, Component};
+
+/// A component tree shaped like the SOR model: per-processor products
+/// folded by an unrelated sum.
+fn model_tree() -> Component {
+    let sv = |m: f64, h: f64| Component::stochastic(StochasticValue::new(m, h));
+    Component::Sum(
+        (0..4)
+            .map(|i| {
+                Component::Product(
+                    vec![sv(12.0 + i as f64, 0.6), sv(5.0, 1.0)],
+                    Dependence::Unrelated,
+                )
+            })
+            .collect(),
+        Dependence::Unrelated,
+    )
+}
+
+fn bench_mc_validate(c: &mut Criterion) {
+    let tree = model_tree();
+    let mut group = c.benchmark_group("sweep-scaling/mc-validate-100k");
+    group.throughput(Throughput::Elements(100_000));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| black_box(monte_carlo_par(&tree, 100_000, 7, t)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_seed_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep-scaling/platform2-sweep");
+    for repeats in [2usize, 8] {
+        let seeds: Vec<u64> = (1..=repeats as u64).collect();
+        group.throughput(Throughput::Elements(repeats as u64));
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("r{repeats}/threads"), threads),
+                &threads,
+                |b, &t| {
+                    b.iter(|| black_box(platform2_seed_sweep(&seeds, 1000, 3, t)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep-scaling/pool-overhead");
+    // 256 near-empty tasks: measures spawn + self-scheduling + ordered
+    // merge, the fixed cost a sweep must amortize.
+    let items: Vec<u64> = (0..256).collect();
+    group.throughput(Throughput::Elements(items.len() as u64));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(prodpred_pool::parallel_map(&items, t, |i, &x| {
+                    x.wrapping_mul(i as u64 + 1)
+                }))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mc_validate,
+    bench_seed_sweep,
+    bench_pool_overhead
+);
+criterion_main!(benches);

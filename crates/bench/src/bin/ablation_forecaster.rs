@@ -54,21 +54,23 @@ fn run_with(spread: SpreadPolicy, seed: u64, runs: usize) -> (AccuracyReport, f6
 
 fn main() {
     println!("== Ablation: NWS spread policy (Platform 2, 1600², 12 runs) ==\n");
-    let mut rows = Vec::new();
-    for (name, spread) in [
+    // Each policy replays its own platform from the same seed, so the
+    // three studies are independent and fan out over the work pool.
+    let policies: Vec<(&str, SpreadPolicy)> = vec![
         ("forecast RMSE (NWS-style)", SpreadPolicy::ForecastRmse),
         ("window variance", SpreadPolicy::WindowVariance),
         ("combined", SpreadPolicy::Combined),
-    ] {
+    ];
+    let rows = prodpred_pool::parallel_map(&policies, 0, |_, &(name, spread)| {
         let (acc, width) = run_with(spread, 1600, 12);
-        rows.push(vec![
+        vec![
             name.to_string(),
             f(acc.coverage * 100.0, 0),
             f(acc.max_range_error * 100.0, 1),
             f(acc.max_mean_error * 100.0, 1),
             f(width * 100.0, 1),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         render_table(

@@ -12,47 +12,51 @@ use prodpred_simgrid::Platform;
 
 fn main() {
     println!("== Ablation: load source for bursty-platform predictions ==\n");
-    let mut rows = Vec::new();
-    for (name, source) in [
+    // The 3x3 configuration grid: every cell is an independent series
+    // (its own platform, clock, and NWS), so the grid fans out over the
+    // work pool; rows come back in grid order regardless of thread count.
+    let grid: Vec<(&str, LoadSource, usize)> = [
         ("instantaneous NWS value", LoadSource::Instantaneous),
         ("run-horizon scaled", LoadSource::RunHorizon),
         ("modal average (Sec 2.1.2)", LoadSource::ModalAverage),
-    ] {
-        for n in [1000usize, 1600, 2000] {
-            let platform = Platform::platform2(n as u64, 60_000.0);
-            let cfg = ExperimentConfig {
-                seed: n as u64,
-                gap_secs: 20.0,
-                predictor: PredictorConfig {
-                    load_source: source,
-                    ..Default::default()
-                },
+    ]
+    .into_iter()
+    .flat_map(|(name, source)| [1000usize, 1600, 2000].map(|n| (name, source, n)))
+    .collect();
+    let rows = prodpred_pool::parallel_map(&grid, 0, |_, &(name, source, n)| {
+        let platform = Platform::platform2(n as u64, 60_000.0);
+        let cfg = ExperimentConfig {
+            seed: n as u64,
+            gap_secs: 20.0,
+            predictor: PredictorConfig {
+                load_source: source,
                 ..Default::default()
-            };
-            let series = run_series(&platform, &[n; 12], &cfg, 0);
-            let acc = series.accuracy().unwrap();
-            let mean_width: f64 = series
-                .records
-                .iter()
-                .map(|r| r.prediction.stochastic.half_width() / r.prediction.stochastic.mean())
-                .sum::<f64>()
-                / series.records.len() as f64;
-            let mean_point_err: f64 = series
-                .records
-                .iter()
-                .map(|r| (r.prediction.stochastic.mean() - r.actual_secs).abs() / r.actual_secs)
-                .sum::<f64>()
-                / series.records.len() as f64;
-            rows.push(vec![
-                name.to_string(),
-                n.to_string(),
-                f(acc.coverage * 100.0, 0),
-                f(acc.max_range_error * 100.0, 1),
-                f(mean_point_err * 100.0, 1),
-                f(mean_width * 100.0, 1),
-            ]);
-        }
-    }
+            },
+            ..Default::default()
+        };
+        let series = run_series(&platform, &[n; 12], &cfg, 0);
+        let acc = series.accuracy().unwrap();
+        let mean_width: f64 = series
+            .records
+            .iter()
+            .map(|r| r.prediction.stochastic.half_width() / r.prediction.stochastic.mean())
+            .sum::<f64>()
+            / series.records.len() as f64;
+        let mean_point_err: f64 = series
+            .records
+            .iter()
+            .map(|r| (r.prediction.stochastic.mean() - r.actual_secs).abs() / r.actual_secs)
+            .sum::<f64>()
+            / series.records.len() as f64;
+        vec![
+            name.to_string(),
+            n.to_string(),
+            f(acc.coverage * 100.0, 0),
+            f(acc.max_range_error * 100.0, 1),
+            f(mean_point_err * 100.0, 1),
+            f(mean_width * 100.0, 1),
+        ]
+    });
     println!(
         "{}",
         render_table(

@@ -1,22 +1,13 @@
 //! Figures 14 and 15: the Platform-2 bursty-load study at the small
-//! (1000x1000) problem size.
+//! (1000x1000) problem size, plus a parallel multi-seed replication.
 
-use prodpred_bench::print_experiment;
-use prodpred_core::platform2_experiment;
+use prodpred_bench::platform2_figure;
 
 fn main() {
-    let series = platform2_experiment(1000, 1000, 14);
-    print_experiment(
-        &series,
+    platform2_figure(
+        1000,
+        14,
         "Figures 14-15: Platform 2, bursty load, 1000x1000 repeats",
-        40,
-    );
-    let acc = series.accuracy().unwrap();
-    println!(
-        "paper: almost all actuals within range, small out-of-range errors\n\
-         here : coverage {:.0}%, stochastic max {:.1}%, mean-point max {:.1}%",
-        acc.coverage * 100.0,
-        acc.max_range_error * 100.0,
-        acc.max_mean_error * 100.0
+        "almost all actuals within range, small out-of-range errors",
     );
 }

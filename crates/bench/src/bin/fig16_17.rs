@@ -1,22 +1,13 @@
 //! Figures 16 and 17: the Platform-2 bursty-load study at the large
-//! (2000x2000) problem size.
+//! (2000x2000) problem size, plus a parallel multi-seed replication.
 
-use prodpred_bench::print_experiment;
-use prodpred_core::platform2_experiment;
+use prodpred_bench::platform2_figure;
 
 fn main() {
-    let series = platform2_experiment(2000, 2000, 14);
-    print_experiment(
-        &series,
+    platform2_figure(
+        2000,
+        14,
         "Figures 16-17: Platform 2, bursty load, 2000x2000 repeats",
-        40,
-    );
-    let acc = series.accuracy().unwrap();
-    println!(
-        "paper: almost all actuals within range, small out-of-range errors\n\
-         here : coverage {:.0}%, stochastic max {:.1}%, mean-point max {:.1}%",
-        acc.coverage * 100.0,
-        acc.max_range_error * 100.0,
-        acc.max_mean_error * 100.0
+        "almost all actuals within range, small out-of-range errors",
     );
 }

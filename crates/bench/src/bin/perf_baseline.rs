@@ -9,7 +9,11 @@
 //!   ratio is part of the committed record,
 //! * `time_to_complete` throughput (binary search vs walk),
 //! * one `distsim::simulate` run (Platform 2, n=1600, 50 iterations),
-//! * one end-to-end Platform-2 prediction + simulated run.
+//! * one end-to-end Platform-2 prediction + simulated run,
+//! * the deterministic work pool: chunked Monte-Carlo validation and the
+//!   multi-seed Platform-2 sweep at 1 worker vs. all workers, with the
+//!   wall-clock speedup and worker count as committed entries (the
+//!   speedup scales with the host's cores; `PRODPRED_THREADS` pins it).
 //!
 //! Usage: `cargo run --release --bin perf_baseline [output.json]`
 
@@ -17,9 +21,11 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-use prodpred_core::platform2_experiment;
+use prodpred_core::{platform2_experiment, platform2_seed_sweep};
 use prodpred_simgrid::{Platform, Trace};
 use prodpred_sor::{partition_equal, seq, simulate, Color, DistSorConfig, Grid, SorParams};
+use prodpred_stochastic::{Dependence, StochasticValue};
+use prodpred_structural::{monte_carlo_par, Component};
 
 /// One benchmark result row: `[{"name", "value", "unit"}]`.
 #[derive(Debug, Serialize)]
@@ -150,6 +156,46 @@ fn main() {
         std::hint::black_box(platform2_experiment(1, 1600, 1));
     });
     push(&mut results, "platform2_predict_and_run", e2e_secs, "s");
+
+    // --- deterministic work pool: Monte-Carlo validation ---
+    let threads = prodpred_pool::num_threads();
+    push(&mut results, "pool_threads", threads as f64, "workers");
+    let tree = Component::Sum(
+        (0..4)
+            .map(|i| {
+                Component::Product(
+                    vec![
+                        Component::stochastic(StochasticValue::new(12.0 + i as f64, 0.6)),
+                        Component::stochastic(StochasticValue::new(5.0, 1.0)),
+                    ],
+                    Dependence::Unrelated,
+                )
+            })
+            .collect(),
+        Dependence::Unrelated,
+    );
+    const MC_SAMPLES: usize = 400_000;
+    let mc_seq = median_secs(5, || {
+        std::hint::black_box(monte_carlo_par(&tree, MC_SAMPLES, 7, 1));
+    });
+    push(&mut results, "mc_validate_seq", mc_seq, "s");
+    let mc_par = median_secs(5, || {
+        std::hint::black_box(monte_carlo_par(&tree, MC_SAMPLES, 7, threads));
+    });
+    push(&mut results, "mc_validate_par", mc_par, "s");
+    push(&mut results, "mc_validate_speedup", mc_seq / mc_par, "x");
+
+    // --- deterministic work pool: multi-seed experiment sweep ---
+    let seeds: Vec<u64> = (1..=8).collect();
+    let sweep_seq = median_secs(3, || {
+        std::hint::black_box(platform2_seed_sweep(&seeds, 1600, 4, 1));
+    });
+    push(&mut results, "sweep_seq", sweep_seq, "s");
+    let sweep_par = median_secs(3, || {
+        std::hint::black_box(platform2_seed_sweep(&seeds, 1600, 4, threads));
+    });
+    push(&mut results, "sweep_par", sweep_par, "s");
+    push(&mut results, "sweep_speedup", sweep_seq / sweep_par, "x");
 
     let json = serde_json::to_string_pretty(&results).expect("serializable measurements");
     std::fs::write(&out_path, json + "\n").expect("write baseline file");

@@ -1,7 +1,7 @@
 //! Shared helpers for the figure/table regeneration binaries.
 
 use prodpred_core::report::{f, render_interval_chart, render_series, render_table};
-use prodpred_core::ExperimentSeries;
+use prodpred_core::{platform2_experiment, platform2_seed_sweep, ExperimentSeries, SweepSummary};
 use prodpred_stochastic::{Distribution, Histogram, Normal};
 
 /// Prints a histogram with its fitted-normal overlay, in the style of the
@@ -143,6 +143,69 @@ pub fn print_experiment(series: &ExperimentSeries, title: &str, max_load_rows: u
         println!(
             "{}",
             render_series(&load, 48, "watched machine CPU availability")
+        );
+    }
+}
+
+/// One Platform-2 repeated-run figure (the shared shape of Figures 12–13,
+/// 14–15, and 16–17): the headline series at seed `n`, rendered with
+/// [`print_experiment`], its accuracy against `paper_line`, and a
+/// multi-seed replication table (run in parallel over the work pool) that
+/// quantifies how stable the claim is across reseeded replays.
+pub fn platform2_figure(n: usize, runs: usize, title: &str, paper_line: &str) -> ExperimentSeries {
+    let series = platform2_experiment(n as u64, n, runs);
+    print_experiment(&series, title, 40);
+    let acc = series.accuracy().expect("figure series has runs");
+    println!(
+        "paper: {paper_line}\n\
+         here : coverage {:.0}%, stochastic max {:.1}%, mean-point max {:.1}%",
+        acc.coverage * 100.0,
+        acc.max_range_error * 100.0,
+        acc.max_mean_error * 100.0
+    );
+    let seeds: Vec<u64> = (1..=6).map(|i| n as u64 + i * 1000).collect();
+    let sweep = platform2_seed_sweep(&seeds, n, runs, 0);
+    print_replication_table(
+        &seeds,
+        &sweep,
+        &format!("replication across seeds ({n}x{n}, {runs} runs each)"),
+    );
+    series
+}
+
+/// Prints a per-seed accuracy table for a replication sweep, plus the
+/// aggregate [`SweepSummary`] line.
+pub fn print_replication_table(seeds: &[u64], sweep: &[ExperimentSeries], title: &str) {
+    println!("\n-- {title} --\n");
+    let rows: Vec<Vec<String>> = seeds
+        .iter()
+        .zip(sweep)
+        .filter_map(|(seed, series)| {
+            let acc = series.accuracy()?;
+            Some(vec![
+                seed.to_string(),
+                f(acc.coverage * 100.0, 0),
+                f(acc.max_range_error * 100.0, 1),
+                f(acc.max_mean_error * 100.0, 1),
+            ])
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["seed", "coverage %", "max range err %", "max mean err %"],
+            &rows
+        )
+    );
+    if let Some(s) = SweepSummary::from_sweep(sweep) {
+        println!(
+            "across {} replications: mean coverage {:.0}%  worst coverage {:.0}%  \
+             worst range err {:.1}%  worst mean err {:.1}%\n",
+            s.replications,
+            s.mean_coverage * 100.0,
+            s.min_coverage * 100.0,
+            s.worst_range_error * 100.0,
+            s.worst_mean_error * 100.0
         );
     }
 }

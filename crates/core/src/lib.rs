@@ -12,7 +12,10 @@
 //! * [`experiment`] — the Section-3 experiment harness: the dedicated
 //!   2%-validation, the Platform-1 single-mode sweep (Figures 8–9), and
 //!   the Platform-2 bursty repetition study (Figures 12–17),
-//! * [`report`] — text rendering of every table and figure.
+//! * [`report`] — text rendering of every table and figure,
+//! * [`sweep`] — deterministic parallel fan-out of independent
+//!   experiment replications (seeds, sizes, configurations) over the
+//!   [`prodpred_pool`] work pool.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@ pub mod experiment;
 pub mod predictor;
 pub mod report;
 pub mod scheduler;
+pub mod sweep;
 
 pub use advisor::{deadline_report, service_range, DeadlineReport, PredictionQuality};
 pub use ep::{ep_policy_study, predict_ep, simulate_ep, EpJob, EpRun, EpStudyRow};
@@ -49,3 +53,4 @@ pub use predictor::{predict_dedicated, LoadSource, Prediction, PredictorConfig, 
 pub use scheduler::{
     allocate_units, decompose, planned_completion, AllocationPolicy, DecompositionPolicy,
 };
+pub use sweep::{platform1_seed_sweep, platform2_seed_sweep, sweep_accuracy, SweepSummary};

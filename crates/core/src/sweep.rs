@@ -1,0 +1,128 @@
+//! Parallel experiment sweeps: the paper's repeated-runs methodology,
+//! fanned across cores without giving up bit-reproducibility.
+//!
+//! Every production figure (8–17) is a *series* of runs sharing one
+//! platform clock and NWS history, so a single [`ExperimentSeries`] must
+//! stay sequential. What parallelizes is the layer above: independent
+//! seeds (replications of a figure), independent problem sizes, and
+//! independent configurations (the ablation grids). Each sweep task
+//! builds its own platform from its own seed, so tasks share nothing,
+//! and [`prodpred_pool::parallel_map`] merges results in input order —
+//! the sweep output is bit-identical to the sequential loop at any
+//! thread count (including under the `PRODPRED_THREADS` override).
+
+use crate::experiment::{platform1_experiment, platform2_experiment, ExperimentSeries};
+use prodpred_pool::parallel_map;
+use prodpred_stochastic::AccuracyReport;
+
+/// Replicates the Platform-1 size sweep (Figures 8–9) across independent
+/// seeds, one full series per seed, fanned over `threads` workers
+/// (0 = auto). Results are in `seeds` order.
+pub fn platform1_seed_sweep(
+    seeds: &[u64],
+    sizes: &[usize],
+    threads: usize,
+) -> Vec<ExperimentSeries> {
+    parallel_map(seeds, threads, |_, &seed| platform1_experiment(seed, sizes))
+}
+
+/// Replicates the Platform-2 repeated-run study (Figures 12–17) across
+/// independent seeds, fanned over `threads` workers (0 = auto). Results
+/// are in `seeds` order.
+pub fn platform2_seed_sweep(
+    seeds: &[u64],
+    n: usize,
+    runs: usize,
+    threads: usize,
+) -> Vec<ExperimentSeries> {
+    parallel_map(seeds, threads, |_, &seed| {
+        platform2_experiment(seed, n, runs)
+    })
+}
+
+/// Per-seed accuracy of a sweep, in sweep order. Series with no runs are
+/// skipped.
+pub fn sweep_accuracy(sweep: &[ExperimentSeries]) -> Vec<AccuracyReport> {
+    sweep
+        .iter()
+        .filter_map(ExperimentSeries::accuracy)
+        .collect()
+}
+
+/// Aggregate view of a multi-seed replication: how stable the headline
+/// claim (coverage, range error) is across reseeded replays.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepSummary {
+    /// Number of replications aggregated.
+    pub replications: usize,
+    /// Mean coverage across replications.
+    pub mean_coverage: f64,
+    /// Worst (lowest) coverage across replications.
+    pub min_coverage: f64,
+    /// Worst maximum range error across replications.
+    pub worst_range_error: f64,
+    /// Worst maximum mean-point error across replications.
+    pub worst_mean_error: f64,
+}
+
+impl SweepSummary {
+    /// Aggregates per-seed accuracy reports. `None` if `sweep` has no
+    /// series with runs.
+    pub fn from_sweep(sweep: &[ExperimentSeries]) -> Option<Self> {
+        let reports = sweep_accuracy(sweep);
+        if reports.is_empty() {
+            return None;
+        }
+        Some(Self {
+            replications: reports.len(),
+            mean_coverage: reports.iter().map(|r| r.coverage).sum::<f64>() / reports.len() as f64,
+            min_coverage: reports
+                .iter()
+                .map(|r| r.coverage)
+                .fold(f64::INFINITY, f64::min),
+            worst_range_error: reports
+                .iter()
+                .map(|r| r.max_range_error)
+                .fold(0.0, f64::max),
+            worst_mean_error: reports.iter().map(|r| r.max_mean_error).fold(0.0, f64::max),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_sequential_loop_bitwise() {
+        let seeds = [3u64, 5, 9, 21];
+        let sequential: Vec<ExperimentSeries> = seeds
+            .iter()
+            .map(|&s| platform2_experiment(s, 1000, 3))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let sweep = platform2_seed_sweep(&seeds, 1000, 3, threads);
+            assert_eq!(sweep.len(), sequential.len());
+            for (a, b) in sweep.iter().zip(&sequential) {
+                for (ra, rb) in a.records.iter().zip(&b.records) {
+                    assert_eq!(ra.actual_secs.to_bits(), rb.actual_secs.to_bits());
+                    assert_eq!(
+                        ra.prediction.stochastic.mean().to_bits(),
+                        rb.prediction.stochastic.mean().to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_each_replication() {
+        let sweep = platform2_seed_sweep(&[1, 2, 3], 1000, 4, 0);
+        let summary = SweepSummary::from_sweep(&sweep).unwrap();
+        assert_eq!(summary.replications, 3);
+        assert!(summary.min_coverage <= summary.mean_coverage);
+        assert!((0.0..=1.0).contains(&summary.mean_coverage));
+        assert!(summary.worst_range_error <= summary.worst_mean_error + 1e-12);
+        assert!(SweepSummary::from_sweep(&[]).is_none());
+    }
+}

@@ -25,13 +25,22 @@ pub struct McResult {
     pub closed_form_coverage: f64,
 }
 
+/// Sample count per Monte-Carlo chunk. Fixed — never derived from the
+/// thread count — so the chunk structure, the per-chunk RNG streams, and
+/// the floating-point merge order are a function of `n` alone.
+pub const MC_CHUNK: usize = 4096;
+
 /// Evaluates `component` by sampling `n` times with the given seed and
 /// compares against its closed-form evaluation.
 ///
 /// Group `Max`/`Min` nodes are sampled exactly (the max of the sampled
 /// children), so the comparison also scores the Max-strategy choice.
+///
+/// Fewer than two samples cannot estimate a spread, so `n` saturates to
+/// 2 (a sampled standard deviation needs `n - 1 >= 1`); this keeps the
+/// library panic-free on degenerate requests.
 pub fn monte_carlo(component: &Component, n: usize, seed: u64) -> McResult {
-    assert!(n >= 2, "need at least two samples");
+    let n = n.max(2);
     let closed = component.evaluate();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut s = Summary::new();
@@ -42,6 +51,93 @@ pub fn monte_carlo(component: &Component, n: usize, seed: u64) -> McResult {
         if closed.contains(x) {
             inside += 1;
         }
+    }
+    McResult {
+        summary: StochasticValue::from_mean_sd(s.mean(), s.sd()),
+        skewness: s.skewness(),
+        closed_form_coverage: inside as f64 / n as f64,
+    }
+}
+
+/// Parallel Monte-Carlo evaluation: the samples are split into fixed
+/// [`MC_CHUNK`]-size chunks, chunk `i` draws from its own RNG stream
+/// seeded by `derive_seed(seed, i)`, and the per-chunk moment
+/// accumulators are combined **in chunk order** with Chan's parallel
+/// mean/variance merge ([`Summary::merge`]).
+///
+/// Because neither the chunk structure nor the merge order depends on
+/// the worker count, the result is bit-identical to
+/// [`monte_carlo_par_reference`] at every `threads` value (0 = auto /
+/// `PRODPRED_THREADS`). The sample *stream* differs from the
+/// single-stream [`monte_carlo`] — same distribution, different draws —
+/// which is why the serial chunked reference exists as the oracle.
+///
+/// `n` saturates to 2, as in [`monte_carlo`].
+pub fn monte_carlo_par(component: &Component, n: usize, seed: u64, threads: usize) -> McResult {
+    let n = n.max(2);
+    let chunks = prodpred_pool::chunk_lengths(n, MC_CHUNK);
+    let closed = component.evaluate();
+    let partials = prodpred_pool::parallel_map(&chunks, threads, |i, &len| {
+        mc_chunk(
+            component,
+            &closed,
+            len,
+            prodpred_pool::derive_seed(seed, i as u64),
+        )
+    });
+    merge_mc_partials(&partials, n)
+}
+
+/// Serial oracle for [`monte_carlo_par`]: the same chunked seed scheme
+/// and ordered Chan merge, executed on the calling thread. Kept (like
+/// the `*_reference` trace oracles) so tier-1 tests can assert the
+/// parallel path is bit-identical at 1, 2, 4, and 8 threads.
+pub fn monte_carlo_par_reference(component: &Component, n: usize, seed: u64) -> McResult {
+    let n = n.max(2);
+    let closed = component.evaluate();
+    let partials: Vec<(Summary, usize)> = prodpred_pool::chunk_lengths(n, MC_CHUNK)
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| {
+            mc_chunk(
+                component,
+                &closed,
+                len,
+                prodpred_pool::derive_seed(seed, i as u64),
+            )
+        })
+        .collect();
+    merge_mc_partials(&partials, n)
+}
+
+/// Samples one chunk: `len` draws from a fresh stream, accumulated into
+/// a local [`Summary`] plus the closed-form interval hit count.
+fn mc_chunk(
+    component: &Component,
+    closed: &StochasticValue,
+    len: usize,
+    seed: u64,
+) -> (Summary, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = Summary::new();
+    let mut inside = 0usize;
+    for _ in 0..len {
+        let x = sample_once(component, &mut rng);
+        s.push(x);
+        if closed.contains(x) {
+            inside += 1;
+        }
+    }
+    (s, inside)
+}
+
+/// Ordered reduction of per-chunk partials into one [`McResult`].
+fn merge_mc_partials(partials: &[(Summary, usize)], n: usize) -> McResult {
+    let mut s = Summary::new();
+    let mut inside = 0usize;
+    for (part, hits) in partials {
+        s.merge(part);
+        inside += hits;
     }
     McResult {
         summary: StochasticValue::from_mean_sd(s.mean(), s.sd()),
@@ -170,5 +266,68 @@ mod tests {
         let a = monte_carlo(&c, 1000, 7);
         let b = monte_carlo(&c, 1000, 7);
         assert_eq!(a.summary.mean(), b.summary.mean());
+    }
+
+    #[test]
+    fn small_n_saturates_instead_of_panicking() {
+        let c = sv(3.0, 1.0);
+        for n in [0usize, 1, 2] {
+            let r = monte_carlo(&c, n, 7);
+            assert!(r.summary.mean().is_finite(), "n={n}");
+            assert!(r.closed_form_coverage.is_finite());
+            let p = monte_carlo_par(&c, n, 7, 2);
+            assert!(p.summary.mean().is_finite(), "par n={n}");
+        }
+        // n=0 and n=1 both clamp to the two-sample result.
+        let r0 = monte_carlo(&c, 0, 7);
+        let r2 = monte_carlo(&c, 2, 7);
+        assert_eq!(r0.summary.mean().to_bits(), r2.summary.mean().to_bits());
+    }
+
+    #[test]
+    fn parallel_bitwise_matches_reference_across_thread_counts() {
+        // A tree with every node kind, spanning several chunks.
+        let c = Component::Sum(
+            vec![
+                Component::Product(vec![sv(12.0, 0.6), sv(5.0, 1.0)], Dependence::Unrelated),
+                Component::Max(vec![sv(10.0, 2.0), sv(10.0, 2.0)], MaxStrategy::Clark),
+                Component::Scale(2.0, Box::new(sv(3.0, 0.4))),
+            ],
+            Dependence::Unrelated,
+        );
+        let n = 3 * MC_CHUNK + 101;
+        let reference = monte_carlo_par_reference(&c, n, 11);
+        for threads in [1usize, 2, 4, 8] {
+            let par = monte_carlo_par(&c, n, 11, threads);
+            assert_eq!(
+                par.summary.mean().to_bits(),
+                reference.summary.mean().to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                par.summary.half_width().to_bits(),
+                reference.summary.half_width().to_bits()
+            );
+            assert_eq!(par.skewness.to_bits(), reference.skewness.to_bits());
+            assert_eq!(
+                par.closed_form_coverage.to_bits(),
+                reference.closed_form_coverage.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_estimates_the_same_distribution_as_single_stream() {
+        // Different streams, same law: the chunked estimator must agree
+        // with the single-stream path to Monte-Carlo accuracy.
+        let c = Component::Sum(
+            vec![sv(12.0, 0.6), sv(5.0, 1.0), sv(3.0, 0.4)],
+            Dependence::Unrelated,
+        );
+        let serial = monte_carlo(&c, 100_000, 1);
+        let par = monte_carlo_par(&c, 100_000, 1, 0);
+        assert!((serial.summary.mean() - par.summary.mean()).abs() < 0.02);
+        assert!((serial.summary.half_width() - par.summary.half_width()).abs() < 0.02);
+        assert!((serial.closed_form_coverage - par.closed_form_coverage).abs() < 0.01);
     }
 }

@@ -1,0 +1,114 @@
+//! The parallel evaluation layer must be invisible in the numbers: at
+//! any worker count — and under the `PRODPRED_THREADS` override the CI
+//! determinism smoke job exercises — every parallel path produces bits
+//! identical to its sequential reference. Three layers are pinned here:
+//! the raw pool primitive, chunked Monte-Carlo validation, and the
+//! multi-seed experiment sweep.
+
+use prodpred_core::{platform2_experiment, platform2_seed_sweep};
+use prodpred_pool::{derive_seed, parallel_map};
+use prodpred_stochastic::{Dependence, StochasticValue};
+use prodpred_structural::{monte_carlo_par, monte_carlo_par_reference, Component, MC_CHUNK};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn parallel_map_is_bit_identical_at_every_thread_count() {
+    // Each task folds a per-index RNG stream into a float — exactly the
+    // shape of a sweep task. Any schedule leak changes the bits.
+    let masters: Vec<u64> = (0..57).collect();
+    let task = |i: usize, &m: &u64| -> f64 {
+        let mut rng = StdRng::seed_from_u64(derive_seed(m, i as u64));
+        let mut acc = 0.0f64;
+        for _ in 0..500 {
+            acc += (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        }
+        acc
+    };
+    let reference: Vec<u64> = masters
+        .iter()
+        .enumerate()
+        .map(|(i, m)| task(i, m).to_bits())
+        .collect();
+    for threads in THREAD_COUNTS {
+        let got: Vec<u64> = parallel_map(&masters, threads, task)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        assert_eq!(got, reference, "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_monte_carlo_is_bit_identical_to_sequential_reference() {
+    let sv = |m: f64, h: f64| Component::stochastic(StochasticValue::new(m, h));
+    let tree = Component::Sum(
+        vec![
+            Component::Product(vec![sv(12.0, 0.6), sv(5.0, 1.0)], Dependence::Unrelated),
+            Component::Quotient(
+                Box::new(Component::point(1.0)),
+                Box::new(sv(0.48, 0.05)),
+                Dependence::Unrelated,
+            ),
+            sv(3.0, 0.4),
+        ],
+        Dependence::Unrelated,
+    );
+    // Span several chunks plus a ragged tail.
+    let n = 2 * MC_CHUNK + 771;
+    let reference = monte_carlo_par_reference(&tree, n, 13);
+    for threads in THREAD_COUNTS {
+        let par = monte_carlo_par(&tree, n, 13, threads);
+        assert_eq!(
+            par.summary.mean().to_bits(),
+            reference.summary.mean().to_bits(),
+            "mean, threads={threads}"
+        );
+        assert_eq!(
+            par.summary.half_width().to_bits(),
+            reference.summary.half_width().to_bits(),
+            "half-width, threads={threads}"
+        );
+        assert_eq!(
+            par.skewness.to_bits(),
+            reference.skewness.to_bits(),
+            "skewness, threads={threads}"
+        );
+        assert_eq!(
+            par.closed_form_coverage.to_bits(),
+            reference.closed_form_coverage.to_bits(),
+            "coverage, threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn parallel_seed_sweep_is_bit_identical_to_sequential_loop() {
+    let seeds = [2u64, 11, 29];
+    let reference: Vec<_> = seeds
+        .iter()
+        .map(|&s| platform2_experiment(s, 1000, 3))
+        .collect();
+    for threads in THREAD_COUNTS {
+        let sweep = platform2_seed_sweep(&seeds, 1000, 3, threads);
+        assert_eq!(sweep.len(), reference.len(), "threads={threads}");
+        for (series, expected) in sweep.iter().zip(&reference) {
+            assert_eq!(series.records.len(), expected.records.len());
+            for (got, want) in series.records.iter().zip(&expected.records) {
+                assert_eq!(got.start.to_bits(), want.start.to_bits());
+                assert_eq!(got.actual_secs.to_bits(), want.actual_secs.to_bits());
+                assert_eq!(
+                    got.prediction.stochastic.mean().to_bits(),
+                    want.prediction.stochastic.mean().to_bits()
+                );
+                assert_eq!(
+                    got.prediction.stochastic.half_width().to_bits(),
+                    want.prediction.stochastic.half_width().to_bits()
+                );
+            }
+            assert_eq!(series.load_samples.len(), expected.load_samples.len());
+        }
+    }
+}
