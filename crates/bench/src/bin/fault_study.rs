@@ -1,0 +1,80 @@
+//! Fault study: prediction accuracy vs fault intensity, on both platforms.
+//!
+//! The paper's production experiments assume a healthy measurement
+//! substrate. This study asks how gracefully the stochastic predictions
+//! degrade when the substrate is not healthy: sensors drop, delay,
+//! spike, and corrupt polls, a monitoring blackout opens mid-series, and
+//! the watched machine weathers a load storm — all scaled by one
+//! intensity knob ([`prodpred_simgrid::faults::FaultConfig::with_intensity`]).
+//!
+//! Each intensity is replicated over independent seeds; the whole
+//! (intensity × seed) grid fans out over the work pool and the output is
+//! bit-identical at any thread count.
+
+use prodpred_core::report::{f, render_table};
+use prodpred_core::{platform1_fault_sweep, platform2_fault_sweep, FaultStudyRow};
+
+const SEEDS: [u64; 4] = [11, 23, 47, 95];
+const INTENSITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+fn rows_to_table(rows: &[FaultStudyRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                f(r.intensity, 2),
+                format!("{}", r.runs),
+                format!("{}", r.skipped_runs),
+                f(r.mean_coverage * 100.0, 0),
+                f(r.min_coverage * 100.0, 0),
+                f(r.mean_abs_error * 100.0, 1),
+                f(r.worst_mean_error * 100.0, 1),
+                f(r.degraded_fraction * 100.0, 0),
+                f(r.max_stale_intervals, 0),
+                format!("{}", r.missed_polls),
+                format!("{}", r.corrupt_polls),
+            ]
+        })
+        .collect()
+}
+
+const HEADERS: [&str; 11] = [
+    "intensity",
+    "runs",
+    "skipped",
+    "mean cov %",
+    "min cov %",
+    "mean |err| %",
+    "worst mean err %",
+    "degraded %",
+    "max stale",
+    "missed",
+    "corrupt",
+];
+
+fn main() {
+    println!(
+        "== Fault study: prediction accuracy vs fault intensity ==\n\
+         {} seeds per intensity; faults: dropout/delay/spike/corruption\n\
+         scaled by intensity, blackout from t=360s, load storm on the\n\
+         watched machine from t=320s.\n",
+        SEEDS.len()
+    );
+
+    println!("-- Platform 1 (Figures 8-9 series, sizes 1000..2000) --\n");
+    let sizes = [1000, 1200, 1400, 1600, 1800, 2000];
+    let p1 = platform1_fault_sweep(&SEEDS, &sizes, &INTENSITIES, 0);
+    println!("{}", render_table(&HEADERS, &rows_to_table(&p1)));
+
+    println!("\n-- Platform 2 (Figures 12-17 series, 1600^2 x 10 runs) --\n");
+    let p2 = platform2_fault_sweep(&SEEDS, 1600, 10, &INTENSITIES, 0);
+    println!("{}", render_table(&HEADERS, &rows_to_table(&p2)));
+
+    println!(
+        "\nReading: coverage is the fraction of actual times inside the\n\
+         predicted mean +/- 2 sigma. The staleness-aware query chain widens\n\
+         its intervals as measurements age, so coverage should erode slowly\n\
+         while the mean-point error grows with intensity; 'degraded' counts\n\
+         queries answered from a fallback estimator or stale data, and\n\
+         'skipped' counts runs the service declined to predict at all."
+    );
+}

@@ -6,6 +6,7 @@
 use crate::predictor::{predict_dedicated, Prediction, PredictorConfig, SorPredictor};
 use crate::scheduler::{decompose, DecompositionPolicy};
 use prodpred_nws::{NwsConfig, NwsService};
+use prodpred_simgrid::faults::{FaultConfig, FaultPlan};
 use prodpred_simgrid::{MachineClass, Platform};
 use prodpred_sor::{simulate, DistSorConfig};
 use prodpred_stochastic::{AccuracyReport, Observation};
@@ -85,6 +86,39 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// Degradation accounting over one faulted series: how much the
+/// measurement substrate decayed, and how often the prediction service
+/// had to fall below full quality to keep answering.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DegradationStats {
+    /// CPU queries issued for prediction accounting (one per in-use
+    /// machine per run).
+    pub queries: usize,
+    /// Queries answered in a degraded mode (fallback estimator, stale
+    /// data) or not answerable at all.
+    pub degraded_queries: usize,
+    /// Largest staleness, in whole sensor cadences, seen by any query.
+    pub max_stale_intervals: f64,
+    /// Runs skipped because no machine had any retained measurements
+    /// (total sensor blackout outlasting the retention window).
+    pub skipped_runs: usize,
+    /// Scheduled sensor polls that delivered nothing, summed over all
+    /// CPU sensors.
+    pub missed_polls: u64,
+    /// Measurements discarded as corrupt, summed over all CPU sensors.
+    pub corrupt_polls: u64,
+}
+
+/// An experiment series run under fault injection, with its degradation
+/// accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultedSeries {
+    /// The predicted-vs-actual records (skipped runs excluded).
+    pub series: ExperimentSeries,
+    /// How degraded the measurement substrate and query service were.
+    pub stats: DegradationStats,
+}
+
 /// Runs a sequence of problem sizes (or repeated runs of one size) on a
 /// platform: advance NWS → predict → simulate → record.
 pub fn run_series(
@@ -93,11 +127,42 @@ pub fn run_series(
     cfg: &ExperimentConfig,
     watched_machine: usize,
 ) -> ExperimentSeries {
+    run_series_inner(platform, sizes, cfg, watched_machine, None).series
+}
+
+/// Like [`run_series`], but every sensor poll is routed through `plan`
+/// (the platform is expected to already carry the plan's load storms —
+/// see [`FaultPlan::apply_storms`]) and the predictor should normally be
+/// configured `staleness_aware`. Runs whose prediction cannot be issued
+/// at all (every in-use sensor history empty) are skipped and counted,
+/// not panicked on.
+pub fn run_series_faulted(
+    platform: &Platform,
+    sizes: &[usize],
+    cfg: &ExperimentConfig,
+    watched_machine: usize,
+    plan: FaultPlan,
+) -> FaultedSeries {
+    run_series_inner(platform, sizes, cfg, watched_machine, Some(plan))
+}
+
+fn run_series_inner(
+    platform: &Platform,
+    sizes: &[usize],
+    cfg: &ExperimentConfig,
+    watched_machine: usize,
+    plan: Option<FaultPlan>,
+) -> FaultedSeries {
     assert!(!sizes.is_empty(), "need at least one run");
     assert!(watched_machine < platform.machines.len());
-    let nws = NwsService::attach(platform, NwsConfig::default());
+    let faulted = plan.is_some();
+    let nws = match plan {
+        Some(plan) => NwsService::attach_with_faults(platform, NwsConfig::default(), plan),
+        None => NwsService::attach(platform, NwsConfig::default()),
+    };
     let mut t = cfg.warmup_secs;
     let mut records = Vec::with_capacity(sizes.len());
+    let mut stats = DegradationStats::default();
 
     let mut predictor_cfg = cfg.predictor;
     predictor_cfg.iterations = cfg.iterations;
@@ -105,10 +170,33 @@ pub fn run_series(
     for &n in sizes {
         nws.advance_to(platform, t);
         let strips = decompose(platform, n, cfg.decomposition, None);
+        if faulted {
+            for i in 0..strips.len() {
+                stats.queries += 1;
+                match nws.cpu_query(i) {
+                    Ok(q) => {
+                        if q.degraded {
+                            stats.degraded_queries += 1;
+                        }
+                        stats.max_stale_intervals =
+                            stats.max_stale_intervals.max(q.stale_intervals);
+                    }
+                    Err(_) => stats.degraded_queries += 1,
+                }
+            }
+        }
         let predictor = SorPredictor::new(platform, &nws, predictor_cfg);
-        let prediction = predictor
-            .predict(n, &strips)
-            .expect("NWS has data after warmup");
+        let prediction = match predictor.predict(n, &strips) {
+            Some(p) => p,
+            None if faulted => {
+                // Nothing to predict from: a total measurement outage.
+                // Skip the run rather than panic; the study counts it.
+                stats.skipped_runs += 1;
+                t += cfg.gap_secs;
+                continue;
+            }
+            None => panic!("NWS has data after warmup"),
+        };
         let run = simulate(
             platform,
             &strips,
@@ -128,14 +216,23 @@ pub fn run_series(
         t += run.total_secs + cfg.gap_secs;
     }
 
+    for i in 0..platform.machines.len() {
+        let (missed, corrupt) = nws.cpu_sensor_health(i);
+        stats.missed_polls += missed;
+        stats.corrupt_polls += corrupt;
+    }
+
     let load_samples =
         platform.machines[watched_machine]
             .load
             .sample_every(0.0, t.min(platform.horizon), 5.0);
-    ExperimentSeries {
-        records,
-        load_samples,
-        watched_machine,
+    FaultedSeries {
+        series: ExperimentSeries {
+            records,
+            load_samples,
+            watched_machine,
+        },
+        stats,
     }
 }
 
@@ -220,6 +317,53 @@ pub fn platform2_experiment(seed: u64, n: usize, runs: usize) -> ExperimentSerie
     run_series(&platform, &sizes, &cfg, 0)
 }
 
+/// Shared setup of the fault-injected experiments: apply the plan's load
+/// storms to the ground truth, attach a fault-routed NWS, and predict
+/// through the staleness-aware query path.
+fn faulted_config(seed: u64, faults: &FaultConfig) -> (FaultPlan, ExperimentConfig) {
+    let plan = FaultPlan::new(faults.clone());
+    let mut cfg = ExperimentConfig {
+        seed,
+        ..Default::default()
+    };
+    cfg.predictor.staleness_aware = true;
+    (plan, cfg)
+}
+
+/// The Platform-1 experiment under fault injection: same size sweep as
+/// [`platform1_experiment`], but sensors miss/delay/corrupt polls per
+/// `faults`, load storms perturb the ground truth, and predictions flow
+/// through the degradation-aware query chain.
+pub fn platform1_experiment_with_faults(
+    seed: u64,
+    sizes: &[usize],
+    faults: &FaultConfig,
+) -> FaultedSeries {
+    let horizon = 40_000.0;
+    let mut platform = Platform::platform1(seed, horizon);
+    let (plan, cfg) = faulted_config(seed, faults);
+    plan.apply_storms(&mut platform);
+    run_series_faulted(&platform, sizes, &cfg, 0, plan)
+}
+
+/// The Platform-2 experiment under fault injection; see
+/// [`platform1_experiment_with_faults`].
+pub fn platform2_experiment_with_faults(
+    seed: u64,
+    n: usize,
+    runs: usize,
+    faults: &FaultConfig,
+) -> FaultedSeries {
+    assert!(runs > 0);
+    let horizon = 60_000.0;
+    let mut platform = Platform::platform2(seed, horizon);
+    let (plan, mut cfg) = faulted_config(seed, faults);
+    cfg.gap_secs = 20.0;
+    plan.apply_storms(&mut platform);
+    let sizes = vec![n; runs];
+    run_series_faulted(&platform, &sizes, &cfg, 0, plan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +417,44 @@ mod tests {
             acc.max_range_error,
             acc.max_mean_error
         );
+    }
+
+    #[test]
+    fn faultless_faulted_experiment_matches_the_healthy_one_bitwise() {
+        let healthy = platform2_experiment(31, 1000, 4);
+        let faulted = platform2_experiment_with_faults(31, 1000, 4, &FaultConfig::none(31));
+        assert_eq!(faulted.stats.skipped_runs, 0);
+        assert_eq!(faulted.stats.missed_polls, 0);
+        assert_eq!(faulted.stats.corrupt_polls, 0);
+        assert_eq!(faulted.series.records.len(), healthy.records.len());
+        for (a, b) in faulted.series.records.iter().zip(&healthy.records) {
+            assert_eq!(a.actual_secs.to_bits(), b.actual_secs.to_bits());
+            // The staleness-aware path answers from fresh forecasts on
+            // healthy data, so predictions agree bit-for-bit too.
+            assert_eq!(
+                a.prediction.stochastic.mean().to_bits(),
+                b.prediction.stochastic.mean().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_experiment_is_deterministic_and_counts_degradation() {
+        let faults = FaultConfig::with_intensity(31, 0.8);
+        let a = platform1_experiment_with_faults(31, &[1000, 1400], &faults);
+        let b = platform1_experiment_with_faults(31, &[1000, 1400], &faults);
+        assert_eq!(a.stats.queries, b.stats.queries);
+        assert_eq!(a.stats.degraded_queries, b.stats.degraded_queries);
+        assert_eq!(a.stats.missed_polls, b.stats.missed_polls);
+        assert!(a.stats.missed_polls > 0, "dropout never fired");
+        assert!(a.stats.queries > 0);
+        for (ra, rb) in a.series.records.iter().zip(&b.series.records) {
+            assert_eq!(ra.actual_secs.to_bits(), rb.actual_secs.to_bits());
+            assert_eq!(
+                ra.prediction.stochastic.mean().to_bits(),
+                rb.prediction.stochastic.mean().to_bits()
+            );
+        }
     }
 
     #[test]

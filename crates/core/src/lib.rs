@@ -46,11 +46,15 @@ pub mod sweep;
 pub use advisor::{deadline_report, service_range, DeadlineReport, PredictionQuality};
 pub use ep::{ep_policy_study, predict_ep, simulate_ep, EpJob, EpRun, EpStudyRow};
 pub use experiment::{
-    dedicated_check, platform1_experiment, platform2_experiment, run_series, DedicatedCheck,
-    ExperimentConfig, ExperimentSeries, RunRecord,
+    dedicated_check, platform1_experiment, platform1_experiment_with_faults, platform2_experiment,
+    platform2_experiment_with_faults, run_series, run_series_faulted, DedicatedCheck,
+    DegradationStats, ExperimentConfig, ExperimentSeries, FaultedSeries, RunRecord,
 };
 pub use predictor::{predict_dedicated, LoadSource, Prediction, PredictorConfig, SorPredictor};
 pub use scheduler::{
     allocate_units, decompose, planned_completion, AllocationPolicy, DecompositionPolicy,
 };
-pub use sweep::{platform1_seed_sweep, platform2_seed_sweep, sweep_accuracy, SweepSummary};
+pub use sweep::{
+    platform1_fault_sweep, platform1_seed_sweep, platform2_fault_sweep, platform2_seed_sweep,
+    sweep_accuracy, FaultStudyRow, SweepSummary,
+};

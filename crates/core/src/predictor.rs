@@ -47,6 +47,15 @@ pub struct PredictorConfig {
     pub max_load_rel_width: Option<f64>,
     /// Load-value source.
     pub load_source: LoadSource,
+    /// Draw instantaneous values through the NWS's fault-aware query path
+    /// ([`NwsService::cpu_query`]): spreads widen with measurement
+    /// staleness, and the forecast → window-stats → last-known fallback
+    /// chain keeps predictions flowing through sensor dropout and
+    /// blackouts. Off by default — the paper's healthy-substrate
+    /// methodology. Applies to [`LoadSource::Instantaneous`] and to the
+    /// bandwidth parameter; the horizon/modal sources keep their own
+    /// estimators.
+    pub staleness_aware: bool,
 }
 
 impl Default for PredictorConfig {
@@ -57,6 +66,7 @@ impl Default for PredictorConfig {
             phase_dependence: Dependence::Related,
             max_load_rel_width: None,
             load_source: LoadSource::Instantaneous,
+            staleness_aware: false,
         }
     }
 }
@@ -126,7 +136,11 @@ impl<'a> SorPredictor<'a> {
                 load: Param::stochastic(load),
             });
         }
-        let bw_avail = self.nws.bandwidth_fraction_stochastic()?;
+        let bw_avail = if self.config.staleness_aware {
+            self.nws.bandwidth_fraction_query().ok().map(|q| q.value)?
+        } else {
+            self.nws.bandwidth_fraction_stochastic()?
+        };
         Some(SorModelInputs {
             n,
             iterations: self.config.iterations,
@@ -143,12 +157,22 @@ impl<'a> SorPredictor<'a> {
         })
     }
 
+    /// The instantaneous load value for machine `i`, through the
+    /// fault-aware query path when the config asks for it.
+    fn instantaneous_load(&self, i: usize) -> Option<StochasticValue> {
+        if self.config.staleness_aware {
+            self.nws.cpu_query(i).ok().map(|q| q.value)
+        } else {
+            self.nws.cpu_stochastic(i)
+        }
+    }
+
     /// Builds the structural-model inputs for a run of an `n x n` grid
     /// over `strips`, using current (instantaneous) NWS stochastic values.
     ///
     /// Returns `None` until the NWS has data for every machine in use.
     pub fn model_inputs(&self, n: usize, strips: &[Strip]) -> Option<SorModelInputs> {
-        self.build_inputs(n, strips, |i| self.nws.cpu_stochastic(i))
+        self.build_inputs(n, strips, |i| self.instantaneous_load(i))
     }
 
     fn prediction_from(&self, inputs: SorModelInputs) -> Prediction {
@@ -314,6 +338,64 @@ mod tests {
         for l in &capped.loads {
             assert!(l.half_width() / l.mean() <= 0.1 + 1e-9);
         }
+    }
+
+    #[test]
+    fn staleness_aware_matches_legacy_on_healthy_data() {
+        let p = Platform::platform1(6, 3600.0);
+        let nws = NwsService::attach(&p, NwsConfig::default());
+        nws.advance_to(&p, 900.0);
+        let strips = partition_equal(998, 4);
+        let legacy = SorPredictor::new(&p, &nws, PredictorConfig::default())
+            .predict(1000, &strips)
+            .unwrap();
+        let aware_cfg = PredictorConfig {
+            staleness_aware: true,
+            ..Default::default()
+        };
+        let aware = SorPredictor::new(&p, &nws, aware_cfg)
+            .predict(1000, &strips)
+            .unwrap();
+        // With fresh, plentiful data the fault-aware path is the same
+        // forecast + spread — bit-identical predictions.
+        assert_eq!(
+            aware.stochastic.mean().to_bits(),
+            legacy.stochastic.mean().to_bits()
+        );
+        assert_eq!(
+            aware.stochastic.half_width().to_bits(),
+            legacy.stochastic.half_width().to_bits()
+        );
+    }
+
+    #[test]
+    fn staleness_aware_survives_a_blackout_with_wider_spread() {
+        use prodpred_simgrid::faults::{FaultConfig, FaultPlan};
+        let p = Platform::platform1(7, 8000.0);
+        let mut fault_cfg = FaultConfig::none(7);
+        fault_cfg.blackouts.push((1000.0, 2500.0));
+        let nws =
+            NwsService::attach_with_faults(&p, NwsConfig::default(), FaultPlan::new(fault_cfg));
+        nws.advance_to(&p, 995.0);
+        let strips = partition_equal(998, 4);
+        let cfg = PredictorConfig {
+            staleness_aware: true,
+            ..Default::default()
+        };
+        let fresh = SorPredictor::new(&p, &nws, cfg)
+            .predict(1000, &strips)
+            .unwrap();
+        nws.advance_to(&p, 2400.0);
+        let stale = SorPredictor::new(&p, &nws, cfg)
+            .predict(1000, &strips)
+            .unwrap();
+        assert!(stale.stochastic.mean().is_finite());
+        assert!(
+            stale.stochastic.half_width() > fresh.stochastic.half_width() * 3.0,
+            "blackout must widen the prediction: fresh {} vs stale {}",
+            fresh.stochastic,
+            stale.stochastic
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`forecast`] — the NWS's strategy ensemble (persistence, means,
 //!   medians, exponential smoothing) with adaptive best-of-MSE selection,
 //! * [`service::NwsService`] — the facade that turns sensor histories into
-//!   `mean ± 2σ` stochastic values for CPU availability and bandwidth.
+//!   `mean ± 2σ` stochastic values for CPU availability and bandwidth,
+//!   with fault-aware queries ([`service::QuerySummary`]) that degrade
+//!   gracefully (forecast → window statistics → last-known value,
+//!   spreads widened with measurement staleness) instead of failing.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,4 +30,4 @@ pub mod service;
 pub use forecast::{AdaptiveForecaster, Forecast, Forecaster};
 pub use sensor::Sensor;
 pub use series::TimeSeries;
-pub use service::{NwsConfig, NwsService, SpreadPolicy};
+pub use service::{NwsConfig, NwsService, QueryError, QueryMode, QuerySummary, SpreadPolicy};

@@ -4,8 +4,17 @@
 //! availability and point-to-point bandwidth on a fixed cadence. Here a
 //! sensor polls a [`Trace`] — the simulated ground truth — every
 //! `interval` seconds and retains the history in a [`TimeSeries`].
+//!
+//! Sensors are fault-aware: [`Sensor::poll_until_with`] routes every
+//! scheduled poll through an optional
+//! [`prodpred_simgrid::faults::SensorFaults`] view, which may drop the
+//! poll, deliver a stale (delayed) value, spike it, or corrupt it.
+//! Non-finite measurements — whatever their origin — are discarded and
+//! counted rather than pushed, so a corrupted reading can never poison
+//! the history or panic the service.
 
 use crate::series::TimeSeries;
+use prodpred_simgrid::faults::{PollOutcome, SensorFaults};
 use prodpred_simgrid::Trace;
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +26,14 @@ pub struct Sensor {
     interval: f64,
     next_poll: f64,
     series: TimeSeries,
+    /// Index of the next scheduled poll (monotone, counts *scheduled*
+    /// polls — missed ones included — so fault decisions are a pure
+    /// function of the schedule).
+    poll_index: u64,
+    /// Scheduled polls that delivered nothing (dropout or blackout).
+    missed_polls: u64,
+    /// Measurements discarded because they arrived non-finite.
+    corrupt_polls: u64,
 }
 
 impl Sensor {
@@ -29,14 +46,61 @@ impl Sensor {
             interval,
             next_poll: start,
             series: TimeSeries::new(capacity),
+            poll_index: 0,
+            missed_polls: 0,
+            corrupt_polls: 0,
         }
     }
 
     /// Polls `trace` at every due cadence point up to and including `until`.
+    ///
+    /// An `until` earlier than the next scheduled poll is a no-op (the
+    /// schedule never runs backwards, and nothing is recorded).
     pub fn poll_until(&mut self, trace: &Trace, until: f64) {
+        self.poll_until_with(trace, until, None);
+    }
+
+    /// Polls like [`Sensor::poll_until`], with each scheduled poll routed
+    /// through `faults` when present:
+    ///
+    /// * `Drop` — the poll is missed; the schedule still advances,
+    /// * `Stale { intervals }` — the value measured `intervals` cadences
+    ///   earlier arrives now (recorded at the delivery time, so the
+    ///   history stays monotone while its *content* runs late),
+    /// * `Spike { factor }` — the measured value is scaled by `factor`,
+    /// * `Corrupt` — the measurement arrives non-finite and is discarded.
+    ///
+    /// Regardless of faults, any non-finite value is discarded and
+    /// counted in [`Sensor::corrupt_polls`] instead of being pushed.
+    pub fn poll_until_with(&mut self, trace: &Trace, until: f64, faults: Option<&SensorFaults>) {
         while self.next_poll <= until {
-            self.series.push(self.next_poll, trace.at(self.next_poll));
+            let t = self.next_poll;
+            let outcome = match faults {
+                Some(f) => f.outcome(t, self.poll_index),
+                None => PollOutcome::Deliver,
+            };
+            let measured = match outcome {
+                PollOutcome::Deliver => Some(trace.at(t)),
+                PollOutcome::Drop => {
+                    self.missed_polls += 1;
+                    None
+                }
+                PollOutcome::Stale { intervals } => {
+                    let t_meas = (t - intervals as f64 * self.interval).max(trace.t0());
+                    Some(trace.at(t_meas))
+                }
+                PollOutcome::Spike { factor } => Some(trace.at(t) * factor),
+                PollOutcome::Corrupt => Some(f64::NAN),
+            };
+            if let Some(v) = measured {
+                if v.is_finite() {
+                    self.series.push(t, v);
+                } else {
+                    self.corrupt_polls += 1;
+                }
+            }
             self.next_poll += self.interval;
+            self.poll_index += 1;
         }
     }
 
@@ -54,11 +118,33 @@ impl Sensor {
     pub fn next_poll(&self) -> f64 {
         self.next_poll
     }
+
+    /// Scheduled polls that delivered nothing (dropout or blackout).
+    pub fn missed_polls(&self) -> u64 {
+        self.missed_polls
+    }
+
+    /// Measurements discarded because they arrived non-finite.
+    pub fn corrupt_polls(&self) -> u64 {
+        self.corrupt_polls
+    }
+
+    /// Age of the freshest retained measurement at time `now`, in
+    /// seconds. Infinite while the history is empty — with dropout or a
+    /// blackout the freshest data can be arbitrarily old, and queries
+    /// widen their spread accordingly.
+    pub fn age_at(&self, now: f64) -> f64 {
+        match self.series.last() {
+            Some((t, _)) => (now - t).max(0.0),
+            None => f64::INFINITY,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prodpred_simgrid::faults::{FaultConfig, FaultPlan};
 
     #[test]
     fn polls_on_cadence() {
@@ -97,5 +183,105 @@ mod tests {
         let mut s = Sensor::new("cpu:x", 5.0, 16, 2.5);
         s.poll_until(&trace, 12.5);
         assert_eq!(s.series().times(), vec![2.5, 7.5, 12.5]);
+    }
+
+    #[test]
+    fn until_before_next_poll_is_a_noop() {
+        let trace = Trace::constant(0.0, 1.0, 0.5, 100);
+        let mut s = Sensor::new("cpu:x", 5.0, 16, 0.0);
+        s.poll_until(&trace, 20.0);
+        let polled = s.series().len();
+        let next = s.next_poll();
+        // Asking for a time already covered — even far in the past —
+        // must not regress the schedule or record anything.
+        s.poll_until(&trace, 3.0);
+        s.poll_until(&trace, -100.0);
+        assert_eq!(s.series().len(), polled);
+        assert_eq!(s.next_poll(), next);
+    }
+
+    #[test]
+    fn negative_trace_values_are_recorded_not_fatal() {
+        // A (nonsensical but finite) negative availability flows through:
+        // the sensor records ground truth, the service's queries stay
+        // finite on top of it.
+        let trace = Trace::from_fn(0.0, 1.0, 50, |t| if t < 10.0 { 0.5 } else { -0.25 });
+        let mut s = Sensor::new("cpu:x", 5.0, 32, 0.0);
+        s.poll_until(&trace, 45.0);
+        assert_eq!(s.series().len(), 10);
+        assert!(s.series().values().iter().all(|v| v.is_finite()));
+        assert_eq!(s.series().last().unwrap().1, -0.25);
+        assert_eq!(s.corrupt_polls(), 0);
+    }
+
+    #[test]
+    fn corrupted_measurements_are_dropped_and_counted() {
+        let trace = Trace::constant(0.0, 1.0, 0.5, 10_000);
+        let mut cfg = FaultConfig::none(17);
+        cfg.corrupt = 1.0; // every measurement arrives as NaN
+        let plan = FaultPlan::new(cfg);
+        let mut s = Sensor::new("cpu:x", 5.0, 64, 0.0);
+        s.poll_until_with(&trace, 500.0, Some(&plan.sensor(0)));
+        assert_eq!(s.series().len(), 0, "NaN must never enter the history");
+        assert_eq!(s.corrupt_polls(), 101);
+        assert_eq!(s.missed_polls(), 0);
+        // The schedule still advanced past the corruption.
+        assert_eq!(s.next_poll(), 505.0);
+    }
+
+    #[test]
+    fn dropout_gap_then_catch_up_polling() {
+        let trace = Trace::from_fn(0.0, 1.0, 2000, |t| t);
+        let mut cfg = FaultConfig::none(3);
+        cfg.blackouts.push((100.0, 300.0));
+        let plan = FaultPlan::new(cfg);
+        let view = plan.sensor(0);
+        let mut s = Sensor::new("cpu:x", 5.0, 256, 0.0);
+        s.poll_until_with(&trace, 90.0, Some(&view));
+        assert_eq!(s.series().len(), 19);
+        // The whole gap is missed...
+        s.poll_until_with(&trace, 290.0, Some(&view));
+        assert_eq!(s.age_at(290.0), 195.0);
+        assert!(s.missed_polls() > 0);
+        // ...and one catch-up call after the blackout resumes cleanly at
+        // the cadence, with timestamps still monotone.
+        s.poll_until_with(&trace, 400.0, Some(&view));
+        assert_eq!(s.series().last().unwrap(), (400.0, 400.0));
+        let times = s.series().times();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.age_at(400.0) < 5.0 + 1e-9);
+        // No measurement inside the blackout window exists.
+        assert!(!times.iter().any(|&t| (100.0..300.0).contains(&t)));
+    }
+
+    #[test]
+    fn stale_delivery_records_old_values_at_new_times() {
+        let trace = Trace::from_fn(0.0, 1.0, 1000, |t| t);
+        let mut cfg = FaultConfig::none(5);
+        cfg.delay = 1.0;
+        cfg.max_delay_intervals = 3;
+        let plan = FaultPlan::new(cfg);
+        let mut s = Sensor::new("cpu:x", 5.0, 64, 0.0);
+        s.poll_until_with(&trace, 200.0, Some(&plan.sensor(0)));
+        // Every poll delivered, but late: the recorded value lags the
+        // timestamp by 1..=3 cadences (clamped at the trace start).
+        for (t, v) in s.series().times().into_iter().zip(s.series().values()) {
+            let lag = t - v;
+            assert!(
+                (0.0..=15.0).contains(&lag),
+                "t={t} v={v}: lag {lag} outside delay bound"
+            );
+        }
+        let times = s.series().times();
+        assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "history stays monotone"
+        );
+    }
+
+    #[test]
+    fn age_is_infinite_before_first_measurement() {
+        let s = Sensor::new("cpu:x", 5.0, 8, 0.0);
+        assert!(s.age_at(100.0).is_infinite());
     }
 }

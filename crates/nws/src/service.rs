@@ -10,9 +10,76 @@
 
 use crate::forecast::AdaptiveForecaster;
 use crate::sensor::Sensor;
+use prodpred_simgrid::faults::{FaultPlan, BANDWIDTH_RESOURCE};
 use prodpred_simgrid::Platform;
 use prodpred_stochastic::{StochasticValue, Summary};
 use std::sync::RwLock;
+
+/// Which estimator produced a [`QuerySummary`]. The service falls down
+/// this chain as the retained history thins out: the forecaster needs a
+/// few samples to postcast, window statistics need two, and a single
+/// measurement can still be reported as a point value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Full service: adaptive forecast mean + configured spread policy.
+    Forecast,
+    /// Degraded: mean ± sd of whatever window samples exist (2–3).
+    WindowStats,
+    /// Heavily degraded: the one retained measurement, zero spread.
+    LastKnown,
+}
+
+/// A fault-aware query result: the stochastic value plus everything a
+/// caller needs to judge how much to trust it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySummary {
+    /// The reported `mean ± 2σ`, already staleness-widened.
+    pub value: StochasticValue,
+    /// Which estimator in the fallback chain produced the value.
+    pub mode: QueryMode,
+    /// Age of the freshest measurement at query time, in seconds.
+    pub age_secs: f64,
+    /// Measurements retained for this resource.
+    pub samples: usize,
+    /// True when fewer than `variance_window` samples back the spread
+    /// estimate — the window statistics are computed over whatever
+    /// exists, which is normal at startup but a degradation signal once
+    /// the service has been running longer than the window.
+    pub partial_window: bool,
+    /// Whole sensor cadences by which the freshest measurement lags the
+    /// query time (0 when data is fresh). The spread is widened by
+    /// `sqrt(1 + stale_intervals)` — variance grows linearly with the
+    /// unobserved gap, as for a random walk.
+    pub stale_intervals: f64,
+    /// True when the result should be treated with suspicion: the
+    /// estimator is below [`QueryMode::Forecast`] or the data is stale.
+    pub degraded: bool,
+}
+
+/// Why a query could not produce a value at all. Queries degrade before
+/// they fail — this only surfaces when there is literally nothing to
+/// report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The resource has no retained measurements (sensor never ran, or a
+    /// blackout/dropout has outlived the retention window).
+    NoData {
+        /// The resource label, e.g. `"cpu:sparc2-a"`.
+        resource: String,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoData { resource } => {
+                write!(f, "no measurements retained for {resource}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// How the spread (the `± 2σ`) of a reported stochastic value is derived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,11 +143,28 @@ pub struct NwsService {
     cpu: Vec<RwLock<Sensor>>,
     bandwidth: RwLock<Sensor>,
     forecaster: AdaptiveForecaster,
+    faults: Option<FaultPlan>,
+    /// The furthest time the sensors have been advanced to — the "now"
+    /// against which measurement staleness is judged.
+    now: RwLock<f64>,
 }
 
 impl NwsService {
     /// Attaches a service to `platform`, with sensors starting at t = 0.
     pub fn attach(platform: &Platform, config: NwsConfig) -> Self {
+        Self::attach_inner(platform, config, None)
+    }
+
+    /// Like [`NwsService::attach`], but every sensor poll is routed
+    /// through `plan`: CPU sensor `i` uses fault stream `i`, the
+    /// bandwidth sensor uses [`BANDWIDTH_RESOURCE`]. The perturbations
+    /// are a pure function of the plan's seed and each poll's index, so
+    /// the same plan always yields bit-identical histories.
+    pub fn attach_with_faults(platform: &Platform, config: NwsConfig, plan: FaultPlan) -> Self {
+        Self::attach_inner(platform, config, Some(plan))
+    }
+
+    fn attach_inner(platform: &Platform, config: NwsConfig, faults: Option<FaultPlan>) -> Self {
         let cpu = platform
             .machines
             .iter()
@@ -104,7 +188,14 @@ impl NwsService {
             cpu,
             bandwidth,
             forecaster: AdaptiveForecaster::standard(),
+            faults,
+            now: RwLock::new(0.0),
         }
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The active configuration.
@@ -118,15 +209,29 @@ impl NwsService {
     }
 
     /// Advances every sensor to time `t`, polling the platform's traces on
-    /// the configured cadence.
+    /// the configured cadence. With an attached fault plan, each poll may
+    /// be dropped, delayed, spiked, or corrupted (see
+    /// [`crate::sensor::Sensor::poll_until_with`]).
     pub fn advance_to(&self, platform: &Platform, t: f64) {
-        for (sensor, machine) in self.cpu.iter().zip(&platform.machines) {
-            sensor.write().unwrap().poll_until(&machine.load, t);
+        for (i, (sensor, machine)) in self.cpu.iter().zip(&platform.machines).enumerate() {
+            let view = self.faults.as_ref().map(|p| p.sensor(i as u64));
+            sensor
+                .write()
+                .unwrap()
+                .poll_until_with(&machine.load, t, view.as_ref());
         }
+        let view = self.faults.as_ref().map(|p| p.sensor(BANDWIDTH_RESOURCE));
         self.bandwidth
             .write()
             .unwrap()
-            .poll_until(&platform.network.avail, t);
+            .poll_until_with(&platform.network.avail, t, view.as_ref());
+        let mut now = self.now.write().unwrap();
+        *now = now.max(t);
+    }
+
+    /// The furthest time the sensors have been advanced to.
+    pub fn now(&self) -> f64 {
+        *self.now.read().unwrap()
     }
 
     fn stochastic_from(&self, sensor: &RwLock<Sensor>) -> Option<StochasticValue> {
@@ -152,8 +257,107 @@ impl NwsService {
         Some(StochasticValue::from_mean_sd(forecast.value, sigma))
     }
 
+    fn query_from(&self, sensor: &RwLock<Sensor>) -> Result<QuerySummary, QueryError> {
+        let guard = sensor.read().unwrap();
+        let series = guard.series();
+        let samples = series.len();
+        if samples == 0 {
+            return Err(QueryError::NoData {
+                resource: guard.name.clone(),
+            });
+        }
+        let now = self.now();
+        let age_secs = guard.age_at(now);
+        // Fresh data lags "now" by less than one cadence; every whole
+        // extra cadence of silence is one unobserved interval.
+        let stale_intervals = (age_secs / guard.interval() - 1.0).max(0.0).floor();
+        let window_sd = || {
+            let recent = series.recent(self.config.variance_window);
+            Summary::from_slice(&recent).sd()
+        };
+        let (base, mode) = if samples >= 4 {
+            let forecast = self
+                .forecaster
+                .forecast(series)
+                .expect("forecast exists with >= 4 samples");
+            let sigma = match self.config.spread {
+                SpreadPolicy::ForecastRmse => forecast.rmse,
+                SpreadPolicy::WindowVariance => window_sd(),
+                SpreadPolicy::Combined => {
+                    let sd = window_sd();
+                    (sd * sd + forecast.rmse * forecast.rmse).sqrt()
+                }
+            };
+            (
+                StochasticValue::from_mean_sd(forecast.value, sigma),
+                QueryMode::Forecast,
+            )
+        } else if samples >= 2 {
+            let recent = series.recent(self.config.variance_window);
+            let s = Summary::from_slice(&recent);
+            (
+                StochasticValue::from_mean_sd(s.mean(), s.sd()),
+                QueryMode::WindowStats,
+            )
+        } else {
+            let (_, v) = series.last().expect("samples >= 1");
+            (StochasticValue::from_mean_sd(v, 0.0), QueryMode::LastKnown)
+        };
+        drop(guard);
+        let value = base.widen((1.0 + stale_intervals).sqrt());
+        let partial_window = samples < self.config.variance_window;
+        Ok(QuerySummary {
+            value,
+            mode,
+            age_secs,
+            samples,
+            partial_window,
+            stale_intervals,
+            degraded: mode != QueryMode::Forecast || stale_intervals > 0.0,
+        })
+    }
+
+    /// Fault-aware CPU availability query for machine `i`.
+    ///
+    /// Unlike [`NwsService::cpu_stochastic`] this never degrades
+    /// silently: the summary reports which estimator produced the value
+    /// (the chain is forecast → window statistics → last-known value),
+    /// how old the freshest measurement is, whether the variance window
+    /// is only partially filled, and the spread is widened by
+    /// `sqrt(1 + stale_intervals)` so confidence decays with sensor
+    /// silence. Only an empty history is an error.
+    pub fn cpu_query(&self, i: usize) -> Result<QuerySummary, QueryError> {
+        self.query_from(&self.cpu[i])
+    }
+
+    /// Fault-aware available-bandwidth-fraction query; see
+    /// [`NwsService::cpu_query`] for the degradation contract.
+    pub fn bandwidth_fraction_query(&self) -> Result<QuerySummary, QueryError> {
+        self.query_from(&self.bandwidth)
+    }
+
+    /// Fault-aware available-bandwidth query in bytes/second.
+    pub fn bandwidth_query(&self, platform: &Platform) -> Result<QuerySummary, QueryError> {
+        self.bandwidth_fraction_query().map(|mut q| {
+            q.value = q.value.scale(platform.network.spec.dedicated_bw);
+            q
+        })
+    }
+
+    /// Scheduled polls machine `i`'s sensor missed (dropout/blackout),
+    /// and measurements it discarded as corrupt.
+    pub fn cpu_sensor_health(&self, i: usize) -> (u64, u64) {
+        let guard = self.cpu[i].read().unwrap();
+        (guard.missed_polls(), guard.corrupt_polls())
+    }
+
     /// Stochastic CPU availability for machine `i` at the current horizon.
     /// `None` until the first measurement arrives.
+    ///
+    /// Degrades *silently*: with fewer than `variance_window` samples the
+    /// spread is computed over whatever window exists (and reads 0.0
+    /// below two samples) with no indication in the return value. Use
+    /// [`NwsService::cpu_query`] when that distinction matters.
     pub fn cpu_stochastic(&self, i: usize) -> Option<StochasticValue> {
         self.stochastic_from(&self.cpu[i])
     }
@@ -415,6 +619,116 @@ mod tests {
         }
         let cov = hits as f64 / total as f64;
         assert!(cov > 0.7, "horizon coverage {cov}");
+    }
+
+    #[test]
+    fn query_on_empty_history_is_typed_error() {
+        let p = Platform::platform1(1, 600.0);
+        let nws = NwsService::attach(&p, NwsConfig::default());
+        let err = nws.cpu_query(0).unwrap_err();
+        assert!(matches!(err, QueryError::NoData { .. }));
+        assert!(err.to_string().contains("cpu:"));
+    }
+
+    #[test]
+    fn query_fallback_chain_by_sample_count() {
+        let p = Platform::platform1(2, 600.0);
+        // 1 sample -> LastKnown.
+        let nws = NwsService::attach(&p, NwsConfig::default());
+        nws.advance_to(&p, 0.0);
+        let q = nws.cpu_query(0).unwrap();
+        assert_eq!(q.mode, QueryMode::LastKnown);
+        assert_eq!(q.samples, 1);
+        assert!(q.degraded);
+        assert!(q.partial_window);
+        // 3 samples -> WindowStats.
+        nws.advance_to(&p, 10.0);
+        let q = nws.cpu_query(0).unwrap();
+        assert_eq!(q.mode, QueryMode::WindowStats);
+        assert!(q.degraded);
+        // Plenty of samples -> full forecast service, not degraded.
+        nws.advance_to(&p, 600.0);
+        let q = nws.cpu_query(0).unwrap();
+        assert_eq!(q.mode, QueryMode::Forecast);
+        assert!(!q.degraded);
+        assert!(!q.partial_window);
+        assert_eq!(q.stale_intervals, 0.0);
+        // The healthy query agrees with the legacy silent path.
+        let legacy = nws.cpu_stochastic(0).unwrap();
+        assert_eq!(q.value.mean(), legacy.mean());
+        assert_eq!(q.value.half_width(), legacy.half_width());
+    }
+
+    #[test]
+    fn partial_window_is_surfaced_not_silent() {
+        let p = Platform::platform1(9, 600.0);
+        let nws = NwsService::attach(&p, NwsConfig::default());
+        // 10 samples: enough to forecast, fewer than variance_window (24).
+        nws.advance_to(&p, 45.0);
+        let q = nws.cpu_query(0).unwrap();
+        assert_eq!(q.samples, 10);
+        assert_eq!(q.mode, QueryMode::Forecast);
+        assert!(q.partial_window, "window only partially filled");
+        nws.advance_to(&p, 600.0);
+        assert!(!nws.cpu_query(0).unwrap().partial_window);
+    }
+
+    #[test]
+    fn staleness_widens_the_spread() {
+        use prodpred_simgrid::faults::{FaultConfig, FaultPlan};
+        let p = Platform::platform1(4, 4000.0);
+        let mut cfg = FaultConfig::none(21);
+        cfg.blackouts.push((1000.0, 2000.0));
+        let nws = NwsService::attach_with_faults(&p, NwsConfig::default(), FaultPlan::new(cfg));
+        nws.advance_to(&p, 995.0);
+        let fresh = nws.cpu_query(0).unwrap();
+        assert_eq!(fresh.stale_intervals, 0.0);
+        assert!(!fresh.degraded);
+        // Deep in the blackout the freshest data (t = 995) is 495 s old:
+        // 98 silent cadences, so the spread widens by sqrt(99) ≈ 10x.
+        // The blackout delivers nothing, so the history is unchanged.
+        nws.advance_to(&p, 1490.0);
+        let stale = nws.cpu_query(0).unwrap();
+        assert_eq!(stale.age_secs, 495.0);
+        assert_eq!(stale.stale_intervals, 98.0);
+        assert!(stale.degraded);
+        assert!(
+            (stale.value.half_width() - fresh.value.half_width() * 99.0_f64.sqrt()).abs()
+                < 1e-9 * fresh.value.half_width().max(1.0),
+            "fresh {fresh:?} vs stale {stale:?}"
+        );
+        // The mean itself is unchanged by staleness.
+        assert_eq!(stale.value.mean(), fresh.value.mean());
+    }
+
+    #[test]
+    fn faulty_service_is_deterministic() {
+        use prodpred_simgrid::faults::{FaultConfig, FaultPlan};
+        let run = || {
+            let p = Platform::platform1(8, 3000.0);
+            let plan = FaultPlan::new(FaultConfig::with_intensity(42, 0.8));
+            let nws = NwsService::attach_with_faults(&p, NwsConfig::default(), plan);
+            nws.advance_to(&p, 2500.0);
+            let q = nws.cpu_query(0).unwrap();
+            (
+                nws.cpu_history(0),
+                q.value.mean().to_bits(),
+                q.value.half_width().to_bits(),
+                nws.cpu_sensor_health(0),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bandwidth_query_scales_like_stochastic() {
+        let p = Platform::platform1(4, 600.0);
+        let nws = NwsService::attach(&p, NwsConfig::default());
+        nws.advance_to(&p, 300.0);
+        let frac = nws.bandwidth_fraction_query().unwrap();
+        let bytes = nws.bandwidth_query(&p).unwrap();
+        assert!((bytes.value.mean() - frac.value.mean() * 1.25e6).abs() < 1e-6);
+        assert_eq!(bytes.mode, QueryMode::Forecast);
     }
 
     #[test]

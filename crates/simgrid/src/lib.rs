@@ -25,13 +25,17 @@
 //! * [`platform`] — the two experimental platforms from Section 3 plus a
 //!   dedicated configuration,
 //! * [`benchmark`] — the in-core sort benchmark behind Figures 1–2, both
-//!   actually executed and simulated.
+//!   actually executed and simulated,
+//! * [`faults`] — deterministic, seeded fault injection (sensor dropout,
+//!   delayed/corrupted measurements, NWS blackouts, load storms, worker
+//!   death), the configuration surface of the robustness extension.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod benchmark;
 pub mod event;
+pub mod faults;
 pub mod load;
 pub mod machine;
 pub mod memory;
@@ -41,6 +45,7 @@ pub mod rng;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use faults::{FaultConfig, FaultPlan, LoadStorm, PollOutcome, SensorFaults, WorkerDeath};
 pub use machine::{Machine, MachineClass, MachineSpec};
 pub use memory::PagingModel;
 pub use network::{Ethernet, NetworkSpec};

@@ -21,8 +21,25 @@
 //! buffer the neighbour returns while draining the *previous* phase —
 //! which the neighbour reaches without needing anything from this
 //! worker's current phase, so no cycle of waits can form.
+//!
+//! Fault tolerance: the `try_*` variants bound every wait with an
+//! [`ExchangePolicy`] (per-attempt timeout plus bounded retries) and
+//! surface a dead neighbour as [`ExchangeError::Disconnected`] and a
+//! wedged one as [`ExchangeError::Timeout`] instead of blocking forever.
+//! All locking recovers from a peer's panic (no poisoned-lock panics);
+//! dropping either endpoint wakes and disconnects the other side.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Locks a mailbox mutex, recovering the guard if a peer panicked while
+/// holding it. The slot/closed state is a single word each and every
+/// transition leaves it consistent, so the data is always usable — a
+/// neighbour's panic must surface as `Disconnected`, not as a secondary
+/// poisoned-lock panic on this thread.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Shared state of one mailbox: the slot and a disconnect flag.
 struct Shared<T> {
@@ -49,6 +66,72 @@ pub struct MailReceiver<T> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Disconnected;
 
+/// Error returned by [`MailReceiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The sender dropped its endpoint (worker exited or panicked).
+    Disconnected,
+    /// Nothing arrived within the deadline; the peer may be wedged.
+    Timeout,
+}
+
+/// Error returned by [`MailSender::send_timeout`], carrying the
+/// undelivered value back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The receiver dropped its endpoint.
+    Disconnected(T),
+    /// The previous value was not consumed within the deadline.
+    Timeout(T),
+}
+
+/// A typed failure of one recycled-link exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeError {
+    /// The neighbour hung up: its endpoints were dropped, either because
+    /// it exited early or because it panicked.
+    Disconnected,
+    /// The neighbour is still connected but did not exchange within the
+    /// policy's deadline across every retry.
+    Timeout,
+}
+
+/// Timeout-and-retry policy for one fallible exchange. Each attempt
+/// waits up to `timeout`; after `retries` extra attempts the exchange
+/// surfaces [`ExchangeError::Timeout`]. A disconnected neighbour is
+/// reported immediately — retrying cannot resurrect it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangePolicy {
+    /// Deadline per attempt.
+    pub timeout: Duration,
+    /// Extra attempts after the first before giving up.
+    pub retries: u32,
+}
+
+impl Default for ExchangePolicy {
+    /// One second per attempt, four retries: five seconds of total
+    /// patience per exchange, far above any healthy phase latency.
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(1),
+            retries: 4,
+        }
+    }
+}
+
+impl ExchangePolicy {
+    /// The near-infinite policy backing the infallible solver entry
+    /// points: a wedged neighbour is waited out for an hour per attempt
+    /// (matching the old blocking behaviour for all practical purposes)
+    /// while a *dead* neighbour still surfaces immediately.
+    pub fn patient() -> Self {
+        Self {
+            timeout: Duration::from_secs(3600),
+            retries: 0,
+        }
+    }
+}
+
 /// Creates a connected capacity-one mailbox pair.
 pub fn mailbox<T>() -> (MailSender<T>, MailReceiver<T>) {
     let shared = Arc::new(Shared {
@@ -70,12 +153,42 @@ impl<T> MailSender<T> {
     /// Moves `value` into the slot, blocking while the previous value is
     /// still unconsumed. Returns the value back on a disconnected peer.
     pub fn send(&self, value: T) -> Result<(), T> {
-        let mut state = self.shared.state.lock().expect("mailbox poisoned");
+        let mut state = lock(&self.shared.state);
         while state.slot.is_some() && !state.closed {
-            state = self.shared.cond.wait(state).expect("mailbox poisoned");
+            state = self
+                .shared
+                .cond
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if state.closed {
             return Err(value);
+        }
+        state.slot = Some(value);
+        self.shared.cond.notify_all();
+        Ok(())
+    }
+
+    /// Like [`MailSender::send`], but gives up once `timeout` elapses
+    /// with the previous value still unconsumed. The value rides back in
+    /// the error either way.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = lock(&self.shared.state);
+        while state.slot.is_some() && !state.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(value));
+            }
+            let (guard, _) = self
+                .shared
+                .cond
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+        if state.closed {
+            return Err(SendTimeoutError::Disconnected(value));
         }
         state.slot = Some(value);
         self.shared.cond.notify_all();
@@ -86,7 +199,7 @@ impl<T> MailSender<T> {
 impl<T> MailReceiver<T> {
     /// Takes the value out of the slot, blocking until one arrives.
     pub fn recv(&self) -> Result<T, Disconnected> {
-        let mut state = self.shared.state.lock().expect("mailbox poisoned");
+        let mut state = lock(&self.shared.state);
         loop {
             if let Some(value) = state.slot.take() {
                 self.shared.cond.notify_all();
@@ -95,14 +208,44 @@ impl<T> MailReceiver<T> {
             if state.closed {
                 return Err(Disconnected);
             }
-            state = self.shared.cond.wait(state).expect("mailbox poisoned");
+            state = self
+                .shared
+                .cond
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`MailReceiver::recv`], but gives up once `timeout` elapses
+    /// with nothing delivered.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = lock(&self.shared.state);
+        loop {
+            if let Some(value) = state.slot.take() {
+                self.shared.cond.notify_all();
+                return Ok(value);
+            }
+            if state.closed {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .cond
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
         }
     }
 }
 
 impl<T> Drop for MailSender<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().expect("mailbox poisoned");
+        let mut state = lock(&self.shared.state);
         state.closed = true;
         self.shared.cond.notify_all();
     }
@@ -110,7 +253,7 @@ impl<T> Drop for MailSender<T> {
 
 impl<T> Drop for MailReceiver<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().expect("mailbox poisoned");
+        let mut state = lock(&self.shared.state);
         state.closed = true;
         self.shared.cond.notify_all();
     }
@@ -168,6 +311,51 @@ impl RecycledSender {
             panic!("neighbour hung up");
         }
     }
+
+    /// Fallible [`RecycledSender::send_with`]: a dead neighbour surfaces
+    /// as [`ExchangeError::Disconnected`], a wedged one as
+    /// [`ExchangeError::Timeout`] after the policy's retries run out. On
+    /// timeout the buffer is restashed, so a later retry of the whole
+    /// exchange still allocates nothing.
+    pub fn try_send_with(
+        &mut self,
+        policy: &ExchangePolicy,
+        fill: impl FnOnce(&mut [f64]),
+    ) -> Result<(), ExchangeError> {
+        let mut buf = match self.stash.take() {
+            Some(buf) => buf,
+            None => {
+                let mut reclaimed = None;
+                for _ in 0..=policy.retries {
+                    match self.returns.recv_timeout(policy.timeout) {
+                        Ok(b) => {
+                            reclaimed = Some(b);
+                            break;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(ExchangeError::Disconnected)
+                        }
+                        Err(RecvTimeoutError::Timeout) => continue,
+                    }
+                }
+                match reclaimed {
+                    Some(b) => b,
+                    None => return Err(ExchangeError::Timeout),
+                }
+            }
+        };
+        fill(&mut buf);
+        let mut pending = buf;
+        for _ in 0..=policy.retries {
+            match self.data.send_timeout(pending, policy.timeout) {
+                Ok(()) => return Ok(()),
+                Err(SendTimeoutError::Disconnected(_)) => return Err(ExchangeError::Disconnected),
+                Err(SendTimeoutError::Timeout(b)) => pending = b,
+            }
+        }
+        self.stash = Some(pending);
+        Err(ExchangeError::Timeout)
+    }
 }
 
 impl RecycledReceiver {
@@ -183,6 +371,36 @@ impl RecycledReceiver {
         // Returning the buffer can only fail if the sender is gone, at
         // which point recycling no longer matters.
         let _ = self.returns.send(row);
+    }
+
+    /// Fallible [`RecycledReceiver::recv_with`] with the same contract as
+    /// [`RecycledSender::try_send_with`].
+    pub fn try_recv_with(
+        &self,
+        policy: &ExchangePolicy,
+        consume: impl FnOnce(&[f64]),
+    ) -> Result<(), ExchangeError> {
+        let mut delivered = None;
+        for _ in 0..=policy.retries {
+            match self.data.recv_timeout(policy.timeout) {
+                Ok(row) => {
+                    delivered = Some(row);
+                    break;
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(ExchangeError::Disconnected),
+                Err(RecvTimeoutError::Timeout) => continue,
+            }
+        }
+        let row = match delivered {
+            Some(row) => row,
+            None => return Err(ExchangeError::Timeout),
+        };
+        consume(&row);
+        // Returning the buffer can only fail if the sender is gone or
+        // wedged, at which point recycling no longer matters — do not
+        // let the return leg block this worker.
+        let _ = self.returns.send_timeout(row, policy.timeout);
+        Ok(())
     }
 }
 
@@ -238,6 +456,127 @@ mod tests {
         // Steady state reuses one allocation: every delivery saw the same
         // buffer address.
         assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "buffer not recycled");
+    }
+
+    fn snappy() -> ExchangePolicy {
+        ExchangePolicy {
+            timeout: Duration::from_millis(50),
+            retries: 1,
+        }
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = mailbox::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_timeout_returns_the_value_on_full_slot() {
+        let (tx, rx) = mailbox();
+        tx.send(1u32).unwrap();
+        // Slot occupied, receiver not draining: the value rides back.
+        assert_eq!(
+            tx.send_timeout(2, Duration::from_millis(20)),
+            Err(SendTimeoutError::Timeout(2))
+        );
+        assert_eq!(rx.recv(), Ok(1));
+        tx.send_timeout(3, Duration::from_millis(20)).unwrap();
+        drop(rx);
+        assert_eq!(
+            tx.send_timeout(4, Duration::from_millis(20)),
+            Err(SendTimeoutError::Disconnected(4))
+        );
+    }
+
+    #[test]
+    fn try_send_times_out_against_a_wedged_receiver() {
+        // The receiver endpoint stays alive but never drains: the first
+        // exchange parks a row in the slot, the second cannot reclaim the
+        // buffer and must report Timeout, not block.
+        let (mut tx, _rx) = recycled_link(4);
+        tx.try_send_with(&snappy(), |buf| buf.fill(1.0)).unwrap();
+        assert_eq!(
+            tx.try_send_with(&snappy(), |buf| buf.fill(2.0)),
+            Err(ExchangeError::Timeout)
+        );
+    }
+
+    #[test]
+    fn try_recv_times_out_against_a_silent_sender() {
+        let (_tx, rx) = recycled_link(4);
+        assert_eq!(
+            rx.try_recv_with(&snappy(), |_| {}),
+            Err(ExchangeError::Timeout)
+        );
+    }
+
+    #[test]
+    fn dead_neighbour_surfaces_as_disconnected_not_timeout() {
+        let (mut tx, rx) = recycled_link(4);
+        drop(rx);
+        assert_eq!(
+            tx.try_send_with(&snappy(), |buf| buf.fill(1.0)),
+            Err(ExchangeError::Disconnected)
+        );
+        let (tx2, rx2) = recycled_link(4);
+        drop(tx2);
+        assert_eq!(
+            rx2.try_recv_with(&snappy(), |_| {}),
+            Err(ExchangeError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn try_exchange_recycles_like_the_infallible_path() {
+        let (mut tx, rx) = recycled_link(4);
+        let policy = ExchangePolicy::default();
+        let h = thread::spawn(move || {
+            let mut ptrs = Vec::new();
+            for _ in 0..50 {
+                rx.try_recv_with(&policy, |row| ptrs.push(row.as_ptr() as usize))
+                    .unwrap();
+            }
+            ptrs
+        });
+        for i in 0..50 {
+            tx.try_send_with(&policy, |buf| buf.fill(i as f64)).unwrap();
+        }
+        let ptrs = h.join().unwrap();
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "buffer not recycled");
+    }
+
+    #[test]
+    fn peer_panic_mid_exchange_is_disconnect_not_poison() {
+        // A peer that panics after consuming one row must surface as
+        // Disconnected on the survivor's side — never a poisoned-lock
+        // panic.
+        let (mut tx, rx) = recycled_link(2);
+        let h = thread::spawn(move || {
+            rx.recv_with(|_| {});
+            panic!("worker dies");
+        });
+        tx.try_send_with(&ExchangePolicy::default(), |buf| buf.fill(1.0))
+            .unwrap();
+        assert!(h.join().is_err());
+        let mut saw = Err(ExchangeError::Timeout);
+        for _ in 0..3 {
+            saw = tx.try_send_with(&snappy(), |buf| buf.fill(2.0));
+            if saw == Err(ExchangeError::Disconnected) {
+                break;
+            }
+        }
+        assert_eq!(saw, Err(ExchangeError::Disconnected));
     }
 
     #[test]

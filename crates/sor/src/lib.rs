@@ -44,7 +44,10 @@ pub use decomp::{partition_equal, partition_rows, Strip};
 pub use decomp2d::{partition_blocks, Block, BlockLayout};
 pub use distsim::{simulate, DistSorConfig, DistSorResult};
 pub use distsim2d::simulate_blocks;
+pub use exchange::{ExchangeError, ExchangePolicy};
 pub use grid::{optimal_omega, Color, Grid};
-pub use parallel::{solve_parallel, solve_parallel_strips};
-pub use parallel2d::solve_parallel_blocks;
+pub use parallel::{
+    solve_parallel, solve_parallel_strips, try_solve_parallel_strips, SolveError, SolveOptions,
+};
+pub use parallel2d::{solve_parallel_blocks, try_solve_parallel_blocks};
 pub use seq::{solve_seq, solve_until, sweep_iteration, SorParams};

@@ -13,12 +13,141 @@
 //! owned buffers (send the buffer, get it back), so steady-state
 //! iterations perform **zero heap allocations** — see the `zero_alloc`
 //! integration test.
+//!
+//! Fault tolerance: both solvers run on a fallible core
+//! ([`try_solve_parallel_strips`]) in which every ghost exchange is
+//! bounded by an [`ExchangePolicy`] and a worker's death — a panic, or an
+//! injected [`WorkerDeath`] — surfaces as
+//! [`SolveError::WorkerDied`] from the driver instead of a permanent
+//! block or a secondary panic. The infallible entry points keep their
+//! original signatures by running the same core under
+//! [`ExchangePolicy::patient`].
 
 use crate::decomp::{partition_equal, Strip};
-use crate::exchange::{recycled_link, RecycledReceiver, RecycledSender};
+use crate::exchange::{
+    recycled_link, ExchangeError, ExchangePolicy, RecycledReceiver, RecycledSender,
+};
 use crate::grid::{Color, Grid};
 use crate::kernel::relax_rows;
 use crate::seq::SorParams;
+use prodpred_simgrid::faults::WorkerDeath;
+
+/// Typed failure of a fallible parallel solve. On error the grid is left
+/// in its initial state — partial results are never assembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// Worker `rank` died mid-solve: it panicked, or an injected
+    /// [`WorkerDeath`] killed it at its configured half-iteration. When a
+    /// death is only observed indirectly (a neighbour found the links
+    /// dropped), `rank` is the dead neighbour as seen by the first
+    /// reporting worker.
+    WorkerDied {
+        /// Strip (or block) index of the dead worker.
+        rank: usize,
+    },
+    /// Worker `rank` exhausted its [`ExchangePolicy`] waiting on a
+    /// neighbour that is still alive but not exchanging.
+    ExchangeTimeout {
+        /// Strip (or block) index of the worker that gave up.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WorkerDied { rank } => write!(f, "worker {rank} died mid-solve"),
+            Self::ExchangeTimeout { rank } => {
+                write!(f, "worker {rank} timed out exchanging ghost data")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Options for a fallible parallel solve: how patiently workers wait on
+/// their neighbours, and an optional injected worker death.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveOptions {
+    /// Timeout-and-retry policy for every ghost exchange.
+    pub policy: ExchangePolicy,
+    /// Kill one worker at a chosen half-iteration (half-iteration `2k`
+    /// is iteration `k`'s red phase). A rank outside the decomposition or
+    /// a half-iteration past the end of the solve never fires.
+    pub kill: Option<WorkerDeath>,
+}
+
+impl SolveOptions {
+    /// The options backing the infallible entry points: near-infinite
+    /// patience for wedged neighbours, no injected death. A *dead*
+    /// neighbour still surfaces immediately.
+    pub fn reliable() -> Self {
+        Self {
+            policy: ExchangePolicy::patient(),
+            kill: None,
+        }
+    }
+}
+
+/// How one worker's run ended, as reported to the driver.
+pub(crate) enum WorkerEnd {
+    Completed,
+    /// The injected death fired: the worker exited, dropping its links.
+    Died,
+    /// A link to `neighbour` disconnected — that worker died or exited.
+    NeighbourLost {
+        neighbour: usize,
+    },
+    /// The exchange policy ran out against a still-connected neighbour.
+    TimedOut,
+}
+
+pub(crate) fn end_of(e: ExchangeError, neighbour: usize) -> WorkerEnd {
+    match e {
+        ExchangeError::Disconnected => WorkerEnd::NeighbourLost { neighbour },
+        ExchangeError::Timeout => WorkerEnd::TimedOut,
+    }
+}
+
+/// Resolves the per-worker end states into the solve's result. An actual
+/// death (panic or injected) names its own rank; a death seen only
+/// through a dropped link names the neighbour; timeouts rank below
+/// deaths because a cascade of timeouts usually *starts* at a death.
+pub(crate) fn resolve(
+    ends: Vec<(usize, std::thread::Result<WorkerEnd>)>,
+) -> Result<(), SolveError> {
+    let mut lost = None;
+    let mut timed_out = None;
+    for (rank, end) in ends {
+        match end {
+            Err(_) | Ok(WorkerEnd::Died) => return Err(SolveError::WorkerDied { rank }),
+            Ok(WorkerEnd::NeighbourLost { neighbour }) => {
+                if lost.is_none() {
+                    lost = Some(neighbour);
+                }
+            }
+            Ok(WorkerEnd::TimedOut) => {
+                if timed_out.is_none() {
+                    timed_out = Some(rank);
+                }
+            }
+            Ok(WorkerEnd::Completed) => {}
+        }
+    }
+    if let Some(rank) = lost {
+        return Err(SolveError::WorkerDied { rank });
+    }
+    if let Some(rank) = timed_out {
+        return Err(SolveError::ExchangeTimeout { rank });
+    }
+    Ok(())
+}
+
+/// True when the injected death targets `rank` at half-iteration `half`.
+pub(crate) fn death_fires(kill: Option<WorkerDeath>, rank: usize, half: usize) -> bool {
+    kill.is_some_and(|d| d.rank == rank && d.at_half_iteration == half)
+}
 
 /// A worker's local state: its strip rows plus two ghost rows.
 struct Worker {
@@ -98,13 +227,68 @@ struct Links {
     from_down: Option<RecycledReceiver>,
 }
 
-/// Solves in parallel over the given strips, updating `grid` in place.
+/// One worker's full run: sweep, then exchange boundary rows with both
+/// neighbours, every half-iteration. Any exchange failure or injected
+/// death ends the run early (dropping the worker's links, which is what
+/// a neighbour observes as this worker's death).
+fn worker_loop(
+    rank: usize,
+    worker: &mut Worker,
+    link: &mut Links,
+    params: SorParams,
+    policy: &ExchangePolicy,
+    kill: Option<WorkerDeath>,
+) -> WorkerEnd {
+    let mut half = 0usize;
+    for _ in 0..params.iterations {
+        for color in [Color::Red, Color::Black] {
+            if death_fires(kill, rank, half) {
+                return WorkerEnd::Died;
+            }
+            worker.sweep(color, params.omega);
+            // Send boundary rows, then receive fresh ghosts.
+            if let Some(tx) = &mut link.to_up {
+                if let Err(e) = tx.try_send_with(policy, |buf| worker.copy_top_row(buf)) {
+                    return end_of(e, rank - 1);
+                }
+            }
+            if let Some(tx) = &mut link.to_down {
+                if let Err(e) = tx.try_send_with(policy, |buf| worker.copy_bottom_row(buf)) {
+                    return end_of(e, rank + 1);
+                }
+            }
+            if let Some(rx) = &link.from_up {
+                if let Err(e) = rx.try_recv_with(policy, |row| worker.set_upper_ghost(row)) {
+                    return end_of(e, rank - 1);
+                }
+            }
+            if let Some(rx) = &link.from_down {
+                if let Err(e) = rx.try_recv_with(policy, |row| worker.set_lower_ghost(row)) {
+                    return end_of(e, rank + 1);
+                }
+            }
+            half += 1;
+        }
+    }
+    WorkerEnd::Completed
+}
+
+/// Fallible core of the strip solver: every ghost exchange is bounded by
+/// `options.policy`, and a worker death — a panic, or `options.kill`
+/// firing — returns [`SolveError::WorkerDied`] instead of deadlocking or
+/// re-panicking. On any error the grid is left in its initial state.
 ///
 /// # Panics
 ///
 /// Panics if any strip is empty (decompose with `n >> p`), if strips do
-/// not tile the interior, or on invalid `omega`.
-pub fn solve_parallel_strips(grid: &mut Grid, params: SorParams, strips: &[Strip]) {
+/// not tile the interior, or on invalid `omega` — configuration errors,
+/// not runtime faults.
+pub fn try_solve_parallel_strips(
+    grid: &mut Grid,
+    params: SorParams,
+    strips: &[Strip],
+    options: &SolveOptions,
+) -> Result<(), SolveError> {
     assert!(
         params.omega > 0.0 && params.omega < 2.0,
         "omega must lie in (0,2)"
@@ -119,8 +303,16 @@ pub fn solve_parallel_strips(grid: &mut Grid, params: SorParams, strips: &[Strip
     );
     let p = strips.len();
     if p == 1 {
+        // A single worker exchanges nothing, but an injected death still
+        // kills the solve before it completes.
+        if options
+            .kill
+            .is_some_and(|d| d.rank == 0 && d.at_half_iteration < 2 * params.iterations)
+        {
+            return Err(SolveError::WorkerDied { rank: 0 });
+        }
         crate::seq::solve_seq(grid, params);
-        return;
+        return Ok(());
     }
 
     // Build the neighbour links: worker i exchanges rows with i+1. Each
@@ -138,34 +330,25 @@ pub fn solve_parallel_strips(grid: &mut Grid, params: SorParams, strips: &[Strip
 
     let mut workers: Vec<Worker> = strips.iter().map(|s| Worker::new(grid, s)).collect();
 
-    std::thread::scope(|scope| {
+    let ends: Vec<(usize, std::thread::Result<WorkerEnd>)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
-        for (worker, mut link) in workers.iter_mut().zip(links) {
-            handles.push(scope.spawn(move || {
-                for _ in 0..params.iterations {
-                    for color in [Color::Red, Color::Black] {
-                        worker.sweep(color, params.omega);
-                        // Send boundary rows, then receive fresh ghosts.
-                        if let Some(tx) = &mut link.to_up {
-                            tx.send_with(|buf| worker.copy_top_row(buf));
-                        }
-                        if let Some(tx) = &mut link.to_down {
-                            tx.send_with(|buf| worker.copy_bottom_row(buf));
-                        }
-                        if let Some(rx) = &link.from_up {
-                            rx.recv_with(|row| worker.set_upper_ghost(row));
-                        }
-                        if let Some(rx) = &link.from_down {
-                            rx.recv_with(|row| worker.set_lower_ghost(row));
-                        }
-                    }
-                }
-            }));
+        for (rank, (worker, mut link)) in workers.iter_mut().zip(links).enumerate() {
+            let policy = options.policy;
+            let kill = options.kill;
+            handles.push(
+                scope.spawn(move || worker_loop(rank, worker, &mut link, params, &policy, kill)),
+            );
         }
-        for h in handles {
-            h.join().expect("worker panicked");
-        }
+        // Joining here (rather than letting the scope do it) converts a
+        // worker's panic into an inspectable result instead of a
+        // propagated re-panic.
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| (rank, h.join()))
+            .collect()
     });
+    resolve(ends)?;
 
     // Assemble the solution.
     for (worker, strip) in workers.iter().zip(strips) {
@@ -174,6 +357,23 @@ pub fn solve_parallel_strips(grid: &mut Grid, params: SorParams, strips: &[Strip
             grid.set_row(r, &owned[k * grid.n()..(k + 1) * grid.n()]);
         }
     }
+    Ok(())
+}
+
+/// Solves in parallel over the given strips, updating `grid` in place.
+///
+/// Runs the fallible core under [`SolveOptions::reliable`]: a wedged
+/// neighbour is waited out near-indefinitely, so on a healthy run this
+/// behaves exactly like the original blocking driver.
+///
+/// # Panics
+///
+/// Panics if any strip is empty (decompose with `n >> p`), if strips do
+/// not tile the interior, on invalid `omega`, or if a worker dies — use
+/// [`try_solve_parallel_strips`] to handle death as a typed error.
+pub fn solve_parallel_strips(grid: &mut Grid, params: SorParams, strips: &[Strip]) {
+    try_solve_parallel_strips(grid, params, strips, &SolveOptions::reliable())
+        .unwrap_or_else(|e| panic!("parallel solve failed: {e}"));
 }
 
 /// Solves with an equal strip decomposition over `p` workers.
@@ -256,5 +456,104 @@ mod tests {
         // 2 interior rows across 3 workers -> an empty strip.
         let mut g = Grid::laplace_problem(4);
         solve_parallel(&mut g, SorParams::for_grid(4, 1), 3);
+    }
+
+    fn kill_options(rank: usize, at_half_iteration: usize) -> SolveOptions {
+        SolveOptions {
+            policy: ExchangePolicy {
+                timeout: std::time::Duration::from_millis(200),
+                retries: 1,
+            },
+            kill: Some(WorkerDeath {
+                rank,
+                at_half_iteration,
+            }),
+        }
+    }
+
+    #[test]
+    fn fallible_solve_without_faults_matches_sequential() {
+        let n = 25;
+        let iters = 20;
+        let reference = solved_seq(n, iters);
+        let mut g = Grid::laplace_problem(n);
+        let strips = partition_equal(n - 2, 4);
+        try_solve_parallel_strips(
+            &mut g,
+            SorParams::for_grid(n, iters),
+            &strips,
+            &SolveOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(g.max_diff(&reference), 0.0);
+    }
+
+    #[test]
+    fn killed_worker_returns_typed_error_and_leaves_grid_untouched() {
+        // Interior ranks, edge ranks, and the very first half-iteration.
+        for (rank, half) in [(1, 5), (0, 0), (3, 9), (2, 1)] {
+            let n = 21;
+            let initial = Grid::laplace_problem(n);
+            let mut g = initial.clone();
+            let strips = partition_equal(n - 2, 4);
+            let err = try_solve_parallel_strips(
+                &mut g,
+                SorParams::for_grid(n, 10),
+                &strips,
+                &kill_options(rank, half),
+            )
+            .unwrap_err();
+            assert_eq!(err, SolveError::WorkerDied { rank }, "kill rank {rank}");
+            assert_eq!(g.max_diff(&initial), 0.0, "grid must stay untouched");
+        }
+    }
+
+    #[test]
+    fn death_after_last_half_iteration_never_fires() {
+        let n = 17;
+        let iters = 8;
+        let reference = solved_seq(n, iters);
+        let mut g = Grid::laplace_problem(n);
+        let strips = partition_equal(n - 2, 3);
+        // Half-iterations run 0..2*iters; 2*iters is past the end.
+        try_solve_parallel_strips(
+            &mut g,
+            SorParams::for_grid(n, iters),
+            &strips,
+            &kill_options(1, 2 * iters),
+        )
+        .unwrap();
+        assert_eq!(g.max_diff(&reference), 0.0);
+    }
+
+    #[test]
+    fn death_of_out_of_range_rank_is_ignored() {
+        let n = 17;
+        let mut g = Grid::laplace_problem(n);
+        let strips = partition_equal(n - 2, 3);
+        try_solve_parallel_strips(
+            &mut g,
+            SorParams::for_grid(n, 5),
+            &strips,
+            &kill_options(99, 0),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn single_worker_death_is_still_reported() {
+        let n = 17;
+        let initial = Grid::laplace_problem(n);
+        let mut g = initial.clone();
+        let strips = partition_equal(n - 2, 1);
+        let err = try_solve_parallel_strips(
+            &mut g,
+            SorParams::for_grid(n, 5),
+            &strips,
+            &kill_options(0, 3),
+        )
+        .unwrap_err();
+        assert_eq!(err, SolveError::WorkerDied { rank: 0 });
+        assert_eq!(g.max_diff(&initial), 0.0);
     }
 }

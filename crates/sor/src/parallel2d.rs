@@ -6,13 +6,18 @@
 //!
 //! Each direction is its own typed link, so the old `Edge` row/column
 //! wrapper enum is gone; edges ride the same zero-allocation recycling
-//! protocol as [`crate::parallel`] (see [`crate::exchange`]).
+//! protocol as [`crate::parallel`] (see [`crate::exchange`]) — and the
+//! same fault contract: [`try_solve_parallel_blocks`] bounds every
+//! exchange and turns a dead worker into
+//! [`SolveError::WorkerDied`].
 
 use crate::decomp2d::{partition_blocks, Block, BlockLayout};
-use crate::exchange::{recycled_link, RecycledReceiver, RecycledSender};
+use crate::exchange::{recycled_link, ExchangePolicy, RecycledReceiver, RecycledSender};
 use crate::grid::{Color, Grid};
 use crate::kernel::{color_start, relax_row};
+use crate::parallel::{death_fires, end_of, resolve, SolveError, SolveOptions, WorkerEnd};
 use crate::seq::SorParams;
+use prodpred_simgrid::faults::WorkerDeath;
 
 /// A worker's local state: its block plus a one-cell halo on all sides.
 struct BlockWorker {
@@ -114,20 +119,100 @@ struct BlockLinks {
     from_right: Option<RecycledReceiver>,
 }
 
-/// Solves in parallel over a 2D block decomposition, updating `grid` in
-/// place. Bit-for-bit equal to [`crate::seq::solve_seq`].
+/// One block worker's full run: sweep, then exchange all four boundary
+/// edges, every half-iteration. `pc` is the layout's column count, used
+/// to name the vertical neighbours.
+fn block_worker_loop(
+    rank: usize,
+    pc: usize,
+    worker: &mut BlockWorker,
+    link: &mut BlockLinks,
+    params: SorParams,
+    policy: &ExchangePolicy,
+    kill: Option<WorkerDeath>,
+) -> WorkerEnd {
+    let mut half = 0usize;
+    for _ in 0..params.iterations {
+        for color in [Color::Red, Color::Black] {
+            if death_fires(kill, rank, half) {
+                return WorkerEnd::Died;
+            }
+            worker.sweep(color, params.omega);
+            if let Some(tx) = &mut link.to_up {
+                if let Err(e) = tx.try_send_with(policy, |buf| worker.copy_top_row(buf)) {
+                    return end_of(e, rank - pc);
+                }
+            }
+            if let Some(tx) = &mut link.to_down {
+                if let Err(e) = tx.try_send_with(policy, |buf| worker.copy_bottom_row(buf)) {
+                    return end_of(e, rank + pc);
+                }
+            }
+            if let Some(tx) = &mut link.to_left {
+                if let Err(e) = tx.try_send_with(policy, |buf| worker.copy_left_col(buf)) {
+                    return end_of(e, rank - 1);
+                }
+            }
+            if let Some(tx) = &mut link.to_right {
+                if let Err(e) = tx.try_send_with(policy, |buf| worker.copy_right_col(buf)) {
+                    return end_of(e, rank + 1);
+                }
+            }
+            if let Some(rx) = &link.from_up {
+                if let Err(e) = rx.try_recv_with(policy, |row| worker.set_top_halo(row)) {
+                    return end_of(e, rank - pc);
+                }
+            }
+            if let Some(rx) = &link.from_down {
+                if let Err(e) = rx.try_recv_with(policy, |row| worker.set_bottom_halo(row)) {
+                    return end_of(e, rank + pc);
+                }
+            }
+            if let Some(rx) = &link.from_left {
+                if let Err(e) = rx.try_recv_with(policy, |col| worker.set_left_halo(col)) {
+                    return end_of(e, rank - 1);
+                }
+            }
+            if let Some(rx) = &link.from_right {
+                if let Err(e) = rx.try_recv_with(policy, |col| worker.set_right_halo(col)) {
+                    return end_of(e, rank + 1);
+                }
+            }
+            half += 1;
+        }
+    }
+    WorkerEnd::Completed
+}
+
+/// Fallible core of the block solver — the 2D analogue of
+/// [`crate::parallel::try_solve_parallel_strips`]: bounded exchanges, a
+/// dead worker (panic or injected [`WorkerDeath`], rank = block index in
+/// row-major layout order) surfaces as [`SolveError::WorkerDied`], and on
+/// any error the grid is left in its initial state.
 ///
 /// # Panics
 ///
-/// Panics on invalid `omega` or a layout finer than the interior.
-pub fn solve_parallel_blocks(grid: &mut Grid, params: SorParams, layout: BlockLayout) {
+/// Panics on invalid `omega` or a layout finer than the interior —
+/// configuration errors, not runtime faults.
+pub fn try_solve_parallel_blocks(
+    grid: &mut Grid,
+    params: SorParams,
+    layout: BlockLayout,
+    options: &SolveOptions,
+) -> Result<(), SolveError> {
     assert!(
         params.omega > 0.0 && params.omega < 2.0,
         "omega must lie in (0,2)"
     );
     if layout.len() == 1 {
+        if options
+            .kill
+            .is_some_and(|d| d.rank == 0 && d.at_half_iteration < 2 * params.iterations)
+        {
+            return Err(SolveError::WorkerDied { rank: 0 });
+        }
         crate::seq::solve_seq(grid, params);
-        return;
+        return Ok(());
     }
     let blocks = partition_blocks(grid.n(), layout);
     assert!(blocks.iter().all(|b| b.elements() > 0));
@@ -166,45 +251,23 @@ pub fn solve_parallel_blocks(grid: &mut Grid, params: SorParams, layout: BlockLa
 
     let mut workers: Vec<BlockWorker> = blocks.iter().map(|b| BlockWorker::new(grid, b)).collect();
 
-    std::thread::scope(|scope| {
+    let ends: Vec<(usize, std::thread::Result<WorkerEnd>)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(layout.len());
-        for (worker, mut link) in workers.iter_mut().zip(links) {
+        for (rank, (worker, mut link)) in workers.iter_mut().zip(links).enumerate() {
+            let policy = options.policy;
+            let kill = options.kill;
+            let pc = layout.pc;
             handles.push(scope.spawn(move || {
-                for _ in 0..params.iterations {
-                    for color in [Color::Red, Color::Black] {
-                        worker.sweep(color, params.omega);
-                        if let Some(tx) = &mut link.to_up {
-                            tx.send_with(|buf| worker.copy_top_row(buf));
-                        }
-                        if let Some(tx) = &mut link.to_down {
-                            tx.send_with(|buf| worker.copy_bottom_row(buf));
-                        }
-                        if let Some(tx) = &mut link.to_left {
-                            tx.send_with(|buf| worker.copy_left_col(buf));
-                        }
-                        if let Some(tx) = &mut link.to_right {
-                            tx.send_with(|buf| worker.copy_right_col(buf));
-                        }
-                        if let Some(rx) = &link.from_up {
-                            rx.recv_with(|row| worker.set_top_halo(row));
-                        }
-                        if let Some(rx) = &link.from_down {
-                            rx.recv_with(|row| worker.set_bottom_halo(row));
-                        }
-                        if let Some(rx) = &link.from_left {
-                            rx.recv_with(|col| worker.set_left_halo(col));
-                        }
-                        if let Some(rx) = &link.from_right {
-                            rx.recv_with(|col| worker.set_right_halo(col));
-                        }
-                    }
-                }
+                block_worker_loop(rank, pc, worker, &mut link, params, &policy, kill)
             }));
         }
-        for h in handles {
-            h.join().expect("worker panicked");
-        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| (rank, h.join()))
+            .collect()
     });
+    resolve(ends)?;
 
     // Assemble.
     for (worker, block) in workers.iter().zip(&blocks) {
@@ -214,6 +277,21 @@ pub fn solve_parallel_blocks(grid: &mut Grid, params: SorParams, layout: BlockLa
             }
         }
     }
+    Ok(())
+}
+
+/// Solves in parallel over a 2D block decomposition, updating `grid` in
+/// place. Bit-for-bit equal to [`crate::seq::solve_seq`]. Runs the
+/// fallible core under [`SolveOptions::reliable`].
+///
+/// # Panics
+///
+/// Panics on invalid `omega`, a layout finer than the interior, or if a
+/// worker dies — use [`try_solve_parallel_blocks`] to handle death as a
+/// typed error.
+pub fn solve_parallel_blocks(grid: &mut Grid, params: SorParams, layout: BlockLayout) {
+    try_solve_parallel_blocks(grid, params, layout, &SolveOptions::reliable())
+        .unwrap_or_else(|e| panic!("parallel block solve failed: {e}"));
 }
 
 #[cfg(test)]
@@ -262,6 +340,51 @@ mod tests {
         let mut g = Grid::laplace_problem(n);
         solve_parallel_blocks(&mut g, SorParams::for_grid(n, 400), BlockLayout::new(2, 2));
         assert!(g.max_residual() < 1e-9, "residual {}", g.max_residual());
+    }
+
+    #[test]
+    fn killed_block_worker_returns_typed_error() {
+        // Corner, edge, and interior blocks of a 3x3 layout.
+        for (rank, half) in [(0, 0), (4, 3), (8, 7), (5, 2)] {
+            let n = 26;
+            let initial = Grid::laplace_problem(n);
+            let mut g = initial.clone();
+            let options = SolveOptions {
+                policy: ExchangePolicy {
+                    timeout: std::time::Duration::from_millis(200),
+                    retries: 1,
+                },
+                kill: Some(WorkerDeath {
+                    rank,
+                    at_half_iteration: half,
+                }),
+            };
+            let err = try_solve_parallel_blocks(
+                &mut g,
+                SorParams::for_grid(n, 10),
+                BlockLayout::new(3, 3),
+                &options,
+            )
+            .unwrap_err();
+            assert_eq!(err, SolveError::WorkerDied { rank }, "kill rank {rank}");
+            assert_eq!(g.max_diff(&initial), 0.0, "grid must stay untouched");
+        }
+    }
+
+    #[test]
+    fn fallible_block_solve_without_faults_matches_sequential() {
+        let n = 22;
+        let iters = 12;
+        let want = reference(n, iters);
+        let mut g = Grid::laplace_problem(n);
+        try_solve_parallel_blocks(
+            &mut g,
+            SorParams::for_grid(n, iters),
+            BlockLayout::new(2, 3),
+            &SolveOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(g.max_diff(&want), 0.0);
     }
 
     #[test]

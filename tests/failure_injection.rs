@@ -1,12 +1,20 @@
 //! Failure injection: the system must stay well-behaved when the
 //! environment degrades — a machine effectively dies, the network
-//! collapses, or the NWS sees pathological histories.
+//! collapses, a worker thread is killed mid-solve, sensors black out, or
+//! the NWS sees pathological histories.
 
-use prodpred_core::{decompose, DecompositionPolicy, PredictorConfig, SorPredictor};
+use prodpred_core::{
+    decompose, platform2_experiment_with_faults, DecompositionPolicy, PredictorConfig, SorPredictor,
+};
 use prodpred_nws::{NwsConfig, NwsService};
+use prodpred_simgrid::faults::{FaultConfig, WorkerDeath};
 use prodpred_simgrid::load::MIN_AVAILABILITY;
 use prodpred_simgrid::{Machine, MachineClass, MachineSpec, Platform, Trace};
-use prodpred_sor::{partition_equal, simulate, DistSorConfig};
+use prodpred_sor::{
+    partition_equal, simulate, try_solve_parallel_blocks, try_solve_parallel_strips, BlockLayout,
+    DistSorConfig, ExchangePolicy, Grid, SolveError, SolveOptions, SorParams,
+};
+use std::time::{Duration, Instant};
 
 fn platform_with_machine1(load: Trace) -> Platform {
     let horizon = load.t_end();
@@ -92,6 +100,109 @@ fn predictor_survives_degraded_machine() {
         "prediction {} vs actual {}",
         prediction.stochastic,
         run.total_secs
+    );
+}
+
+/// The per-exchange patience configured below: 200 ms per attempt, one
+/// retry, so a wedged neighbour costs at most 400 ms per exchange.
+fn snappy() -> ExchangePolicy {
+    ExchangePolicy {
+        timeout: Duration::from_millis(200),
+        retries: 1,
+    }
+}
+
+#[test]
+fn killed_strip_worker_surfaces_within_the_configured_timeout() {
+    let n = 33;
+    let iters = 40;
+    let reference = Grid::laplace_problem(n);
+    let mut g = Grid::laplace_problem(n);
+    let options = SolveOptions {
+        policy: snappy(),
+        kill: Some(WorkerDeath {
+            rank: 2,
+            at_half_iteration: 11,
+        }),
+    };
+    let strips = partition_equal(n - 2, 4);
+    let started = Instant::now();
+    let err = try_solve_parallel_strips(&mut g, SorParams::for_grid(n, iters), &strips, &options)
+        .expect_err("a killed worker must not produce a clean solve");
+    let elapsed = started.elapsed();
+    assert_eq!(err, SolveError::WorkerDied { rank: 2 });
+    // Death propagates by mailbox disconnection, not by timing out every
+    // exchange: well under the worst-case per-exchange patience times the
+    // remaining iterations, and nowhere near a deadlock.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "took {elapsed:?} to report the death"
+    );
+    // The grid is left untouched so callers can retry on a clean state.
+    assert_eq!(g.max_diff(&reference), 0.0);
+}
+
+#[test]
+fn killed_block_worker_surfaces_within_the_configured_timeout() {
+    let n = 29;
+    let iters = 30;
+    let layout = BlockLayout::new(3, 2);
+    let reference = Grid::laplace_problem(n);
+    let mut g = Grid::laplace_problem(n);
+    let options = SolveOptions {
+        policy: snappy(),
+        kill: Some(WorkerDeath {
+            rank: 4,
+            at_half_iteration: 7,
+        }),
+    };
+    let started = Instant::now();
+    let err = try_solve_parallel_blocks(&mut g, SorParams::for_grid(n, iters), layout, &options)
+        .expect_err("a killed worker must not produce a clean solve");
+    assert_eq!(err, SolveError::WorkerDied { rank: 4 });
+    assert!(started.elapsed() < Duration::from_secs(5));
+    assert_eq!(g.max_diff(&reference), 0.0);
+}
+
+#[test]
+fn fault_free_options_still_solve_exactly() {
+    let n = 25;
+    let iters = 20;
+    let mut reference = Grid::laplace_problem(n);
+    prodpred_sor::solve_seq(&mut reference, SorParams::for_grid(n, iters));
+    let mut g = Grid::laplace_problem(n);
+    let strips = partition_equal(n - 2, 3);
+    try_solve_parallel_strips(
+        &mut g,
+        SorParams::for_grid(n, iters),
+        &strips,
+        &SolveOptions::reliable(),
+    )
+    .expect("healthy workers solve");
+    assert_eq!(g.max_diff(&reference), 0.0);
+}
+
+#[test]
+fn full_fault_mix_degrades_gracefully_end_to_end() {
+    // Dropout + delay + spikes + corruption + a blackout + a storm, all
+    // at once: the experiment still completes every run, reports finite
+    // predictions, and accounts for the degradation instead of panicking.
+    let faults = FaultConfig::with_intensity(17, 1.0);
+    let out = platform2_experiment_with_faults(17, 1200, 6, &faults);
+    assert_eq!(out.series.records.len() + out.stats.skipped_runs, 6);
+    for r in &out.series.records {
+        assert!(r.actual_secs.is_finite() && r.actual_secs > 0.0);
+        assert!(r.prediction.stochastic.mean().is_finite());
+        assert!(r.prediction.stochastic.half_width().is_finite());
+    }
+    assert!(
+        out.stats.missed_polls > 0,
+        "blackout+dropout must drop polls"
+    );
+    assert!(out.stats.queries > 0);
+    assert!(
+        out.stats.degraded_queries > 0,
+        "faults this heavy must degrade"
     );
 }
 

@@ -2,11 +2,15 @@
 //! any worker count — and under the `PRODPRED_THREADS` override the CI
 //! determinism smoke job exercises — every parallel path produces bits
 //! identical to its sequential reference. Three layers are pinned here:
-//! the raw pool primitive, chunked Monte-Carlo validation, and the
-//! multi-seed experiment sweep.
+//! the raw pool primitive, chunked Monte-Carlo validation, the
+//! multi-seed experiment sweep, and the fault-injected study.
 
-use prodpred_core::{platform2_experiment, platform2_seed_sweep};
+use prodpred_core::{
+    platform2_experiment, platform2_experiment_with_faults, platform2_fault_sweep,
+    platform2_seed_sweep,
+};
 use prodpred_pool::{derive_seed, parallel_map};
+use prodpred_simgrid::faults::FaultConfig;
 use prodpred_stochastic::{Dependence, StochasticValue};
 use prodpred_structural::{monte_carlo_par, monte_carlo_par_reference, Component, MC_CHUNK};
 use rand::rngs::StdRng;
@@ -111,4 +115,54 @@ fn parallel_seed_sweep_is_bit_identical_to_sequential_loop() {
             assert_eq!(series.load_samples.len(), expected.load_samples.len());
         }
     }
+}
+
+#[test]
+fn fault_injected_sweep_is_bit_identical_at_every_thread_count() {
+    // Fault injection must not reintroduce schedule sensitivity: every
+    // per-poll fault decision is a pure function of (seed, resource,
+    // poll index), so the faulted study reproduces bit-for-bit at any
+    // pool width — same records, same degradation accounting.
+    let seeds = [5u64, 19];
+    let intensities = [0.0, 0.5, 1.0];
+    let reference: Vec<_> = intensities
+        .iter()
+        .flat_map(|&intensity| {
+            seeds.iter().map(move |&seed| {
+                let faults = FaultConfig::with_intensity(seed, intensity);
+                platform2_experiment_with_faults(seed, 1000, 3, &faults)
+            })
+        })
+        .collect();
+    let reference_rows = platform2_fault_sweep(&seeds, 1000, 3, &intensities, 1);
+    for threads in THREAD_COUNTS {
+        let rows = platform2_fault_sweep(&seeds, 1000, 3, &intensities, threads);
+        assert_eq!(rows.len(), reference_rows.len(), "threads={threads}");
+        for (got, want) in rows.iter().zip(&reference_rows) {
+            assert_eq!(
+                got.mean_abs_error.to_bits(),
+                want.mean_abs_error.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(got.mean_coverage.to_bits(), want.mean_coverage.to_bits());
+            assert_eq!(
+                got.max_stale_intervals.to_bits(),
+                want.max_stale_intervals.to_bits()
+            );
+            assert_eq!(got.missed_polls, want.missed_polls);
+            assert_eq!(got.corrupt_polls, want.corrupt_polls);
+            assert_eq!(got.skipped_runs, want.skipped_runs);
+            assert_eq!(got.runs, want.runs);
+        }
+    }
+    // And the sequential per-cell replay agrees with the sweep's inputs:
+    // the same (seed, intensity) cell run standalone produces the same
+    // degradation counters the aggregate rows were built from.
+    let totals: (u64, u64) = reference.iter().fold((0, 0), |(m, c), f| {
+        (m + f.stats.missed_polls, c + f.stats.corrupt_polls)
+    });
+    let row_totals: (u64, u64) = reference_rows.iter().fold((0, 0), |(m, c), r| {
+        (m + r.missed_polls, c + r.corrupt_polls)
+    });
+    assert_eq!(totals, row_totals);
 }
