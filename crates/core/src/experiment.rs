@@ -5,6 +5,7 @@
 
 use crate::predictor::{predict_dedicated, Prediction, PredictorConfig, SorPredictor};
 use crate::scheduler::{decompose, DecompositionPolicy};
+use crate::supervisor::{RecoveryStats, RetryPolicy, Supervisor};
 use prodpred_nws::{NwsConfig, NwsService};
 use prodpred_simgrid::faults::{FaultConfig, FaultPlan};
 use prodpred_simgrid::{MachineClass, Platform};
@@ -144,6 +145,126 @@ pub fn run_series_faulted(
     plan: FaultPlan,
 ) -> FaultedSeries {
     run_series_inner(platform, sizes, cfg, watched_machine, Some(plan))
+}
+
+/// A fault-injected series run under a [`Supervisor`]: recovery
+/// accounting rides alongside the degradation accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SupervisedSeries {
+    /// The predicted-vs-actual records (abandoned runs excluded).
+    pub series: ExperimentSeries,
+    /// How degraded the measurement substrate and query service were.
+    pub stats: DegradationStats,
+    /// What the supervisor did about it.
+    pub recovery: RecoveryStats,
+}
+
+/// Like [`run_series_faulted`], but prediction failures are *supervised*
+/// instead of immediately skipped: a run whose prediction cannot be
+/// issued (e.g. every sensor inside a blackout) is retried under the
+/// supervisor's [`RetryPolicy`](crate::supervisor::RetryPolicy), with
+/// each deterministic backoff advancing the simulated clock — so an
+/// outage shorter than the backoff budget delays the run instead of
+/// losing it. Per-machine diagnostic queries route through the
+/// supervisor's circuit breakers: a machine whose sensor keeps failing
+/// is short-circuited (counted as degraded) until its cooldown elapses.
+pub fn run_series_supervised(
+    platform: &Platform,
+    sizes: &[usize],
+    cfg: &ExperimentConfig,
+    watched_machine: usize,
+    plan: FaultPlan,
+    supervisor: &mut Supervisor,
+) -> SupervisedSeries {
+    assert!(!sizes.is_empty(), "need at least one run");
+    assert!(watched_machine < platform.machines.len());
+    let nws = NwsService::attach_with_faults(platform, NwsConfig::default(), plan);
+    let mut t = cfg.warmup_secs;
+    let mut records = Vec::with_capacity(sizes.len());
+    let mut stats = DegradationStats::default();
+
+    let mut predictor_cfg = cfg.predictor;
+    predictor_cfg.iterations = cfg.iterations;
+
+    for &n in sizes {
+        nws.advance_to(platform, t);
+        let strips = decompose(platform, n, cfg.decomposition, None);
+        for i in 0..strips.len() {
+            stats.queries += 1;
+            if !supervisor.query_allowed(i, t) {
+                // Open breaker: the sensor is known-bad, answer straight
+                // from the degraded path without poking it again.
+                stats.degraded_queries += 1;
+                continue;
+            }
+            match nws.cpu_query(i) {
+                Ok(q) => {
+                    supervisor.record_query_outcome(i, t, true);
+                    if q.degraded {
+                        stats.degraded_queries += 1;
+                    }
+                    stats.max_stale_intervals = stats.max_stale_intervals.max(q.stale_intervals);
+                }
+                Err(_) => {
+                    supervisor.record_query_outcome(i, t, false);
+                    stats.degraded_queries += 1;
+                }
+            }
+        }
+        let predicted = supervisor.retry_timed(&mut t, |_, now| {
+            // Backoff moved the clock: let the sensors poll up to `now`
+            // before asking again.
+            nws.advance_to(platform, now);
+            SorPredictor::try_new(platform, &nws, predictor_cfg)
+                .and_then(|p| p.try_predict(n, &strips))
+        });
+        let prediction = match predicted {
+            Ok(p) => p,
+            Err(_) => {
+                // Retry budget exhausted inside the outage: skip the run.
+                stats.skipped_runs += 1;
+                t += cfg.gap_secs;
+                continue;
+            }
+        };
+        let run = simulate(
+            platform,
+            &strips,
+            DistSorConfig {
+                paging: None,
+                n,
+                iterations: cfg.iterations,
+                start_time: t,
+            },
+        );
+        records.push(RunRecord {
+            start: t,
+            n,
+            actual_secs: run.total_secs,
+            prediction,
+        });
+        t += run.total_secs + cfg.gap_secs;
+    }
+
+    for i in 0..platform.machines.len() {
+        let (missed, corrupt) = nws.cpu_sensor_health(i);
+        stats.missed_polls += missed;
+        stats.corrupt_polls += corrupt;
+    }
+
+    let load_samples =
+        platform.machines[watched_machine]
+            .load
+            .sample_every(0.0, t.min(platform.horizon), 5.0);
+    SupervisedSeries {
+        series: ExperimentSeries {
+            records,
+            load_samples,
+            watched_machine,
+        },
+        stats,
+        recovery: supervisor.stats(),
+    }
 }
 
 fn run_series_inner(
@@ -364,6 +485,28 @@ pub fn platform2_experiment_with_faults(
     run_series_faulted(&platform, &sizes, &cfg, 0, plan)
 }
 
+/// The Platform-2 fault-injected experiment run under a supervisor: the
+/// setup of [`platform2_experiment_with_faults`] plus bounded prediction
+/// retries and a per-machine circuit breaker (3 consecutive sensor
+/// failures open it for two minutes of simulated time).
+pub fn platform2_experiment_supervised(
+    seed: u64,
+    n: usize,
+    runs: usize,
+    faults: &FaultConfig,
+    retry: RetryPolicy,
+) -> SupervisedSeries {
+    assert!(runs > 0);
+    let horizon = 60_000.0;
+    let mut platform = Platform::platform2(seed, horizon);
+    let (plan, mut cfg) = faulted_config(seed, faults);
+    cfg.gap_secs = 20.0;
+    plan.apply_storms(&mut platform);
+    let sizes = vec![n; runs];
+    let mut supervisor = Supervisor::new(retry).with_breakers(platform.machines.len(), 3, 120.0);
+    run_series_supervised(&platform, &sizes, &cfg, 0, plan, &mut supervisor)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +596,85 @@ mod tests {
             assert_eq!(
                 ra.prediction.stochastic.mean().to_bits(),
                 rb.prediction.stochastic.mean().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_series_retries_through_a_blackout() {
+        // Blackout [0, 500] swallows the warmup: at t=300 every sensor
+        // history is empty, so the unsupervised harness loses the run.
+        let mut faults = FaultConfig::none(41);
+        faults.blackouts.push((0.0, 500.0));
+        let unsupervised = platform2_experiment_with_faults(41, 1000, 3, &faults);
+        assert!(
+            unsupervised.stats.skipped_runs >= 1,
+            "blackout should cost the unsupervised harness at least one run"
+        );
+
+        // A retry budget whose backoffs outlast the blackout recovers it:
+        // 60 + 120 + 240 s (zero jitter) pushes the clock past t=500.
+        let retry = RetryPolicy {
+            max_retries: 3,
+            base_backoff_secs: 60.0,
+            backoff_factor: 2.0,
+            max_backoff_secs: 600.0,
+            jitter_fraction: 0.0,
+            seed: 41,
+        };
+        let supervised = platform2_experiment_supervised(41, 1000, 3, &faults, retry);
+        assert_eq!(
+            supervised.stats.skipped_runs, 0,
+            "retries must save the run"
+        );
+        assert_eq!(supervised.series.records.len(), 3);
+        assert!(supervised.recovery.retries >= 1);
+        assert_eq!(supervised.recovery.recovered, 1);
+        assert_eq!(supervised.recovery.abandoned, 0);
+        assert!(supervised.recovery.backoff_secs >= 60.0);
+        // The first run waited out the blackout.
+        assert!(supervised.series.records[0].start > 500.0);
+    }
+
+    #[test]
+    fn supervised_series_is_deterministic() {
+        let faults = FaultConfig::with_intensity(43, 0.8);
+        let retry = RetryPolicy {
+            jitter_fraction: 0.25,
+            seed: 43,
+            ..Default::default()
+        };
+        let a = platform2_experiment_supervised(43, 1000, 4, &faults, retry);
+        let b = platform2_experiment_supervised(43, 1000, 4, &faults, retry);
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.stats.degraded_queries, b.stats.degraded_queries);
+        assert_eq!(a.series.records.len(), b.series.records.len());
+        for (ra, rb) in a.series.records.iter().zip(&b.series.records) {
+            assert_eq!(ra.start.to_bits(), rb.start.to_bits());
+            assert_eq!(ra.actual_secs.to_bits(), rb.actual_secs.to_bits());
+            assert_eq!(
+                ra.prediction.stochastic.mean().to_bits(),
+                rb.prediction.stochastic.mean().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_matches_faulted_when_nothing_fails() {
+        // With no faults and a healthy substrate the supervisor is pure
+        // bookkeeping: the series must be bit-identical to the faulted
+        // harness, with zero recovery activity.
+        let faults = FaultConfig::none(31);
+        let plain = platform2_experiment_with_faults(31, 1000, 4, &faults);
+        let supervised =
+            platform2_experiment_supervised(31, 1000, 4, &faults, RetryPolicy::default());
+        assert_eq!(supervised.recovery, RecoveryStats::default());
+        assert_eq!(supervised.series.records.len(), plain.series.records.len());
+        for (a, b) in supervised.series.records.iter().zip(&plain.series.records) {
+            assert_eq!(a.actual_secs.to_bits(), b.actual_secs.to_bits());
+            assert_eq!(
+                a.prediction.stochastic.mean().to_bits(),
+                b.prediction.stochastic.mean().to_bits()
             );
         }
     }

@@ -12,6 +12,8 @@
 //! * [`experiment`] — the Section-3 experiment harness: the dedicated
 //!   2%-validation, the Platform-1 single-mode sweep (Figures 8–9), and
 //!   the Platform-2 bursty repetition study (Figures 12–17),
+//! * [`supervisor`] — bounded deterministic retry, per-resource circuit
+//!   breakers, and checkpoint-resuming supervised SOR solves,
 //! * [`report`] — text rendering of every table and figure,
 //! * [`sweep`] — deterministic parallel fan-out of independent
 //!   experiment replications (seeds, sizes, configurations) over the
@@ -34,6 +36,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Public-facing code returns typed errors instead of unwrapping; tests
+// may unwrap freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod advisor;
 pub mod ep;
@@ -41,18 +46,26 @@ pub mod experiment;
 pub mod predictor;
 pub mod report;
 pub mod scheduler;
+pub mod supervisor;
 pub mod sweep;
 
 pub use advisor::{deadline_report, service_range, DeadlineReport, PredictionQuality};
 pub use ep::{ep_policy_study, predict_ep, simulate_ep, EpJob, EpRun, EpStudyRow};
 pub use experiment::{
     dedicated_check, platform1_experiment, platform1_experiment_with_faults, platform2_experiment,
-    platform2_experiment_with_faults, run_series, run_series_faulted, DedicatedCheck,
-    DegradationStats, ExperimentConfig, ExperimentSeries, FaultedSeries, RunRecord,
+    platform2_experiment_supervised, platform2_experiment_with_faults, run_series,
+    run_series_faulted, run_series_supervised, DedicatedCheck, DegradationStats, ExperimentConfig,
+    ExperimentSeries, FaultedSeries, RunRecord, SupervisedSeries,
 };
-pub use predictor::{predict_dedicated, LoadSource, Prediction, PredictorConfig, SorPredictor};
+pub use predictor::{
+    predict_dedicated, LoadSource, Prediction, PredictorConfig, PredictorError, SorPredictor,
+};
 pub use scheduler::{
     allocate_units, decompose, planned_completion, AllocationPolicy, DecompositionPolicy,
+};
+pub use supervisor::{
+    solve_blocks_supervised, solve_strips_supervised, BreakerState, CircuitBreaker, RecoveryStats,
+    RetryPolicy, SolveRecovery, Supervisor,
 };
 pub use sweep::{
     platform1_fault_sweep, platform1_seed_sweep, platform2_fault_sweep, platform2_seed_sweep,

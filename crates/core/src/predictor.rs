@@ -71,6 +71,52 @@ impl Default for PredictorConfig {
     }
 }
 
+/// Typed failure of the prediction pipeline's fallible entry points —
+/// what [`SorPredictor::try_new`] and [`SorPredictor::try_predict`]
+/// return instead of panicking or collapsing every cause into `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorError {
+    /// The NWS monitors a different machine count than the platform has.
+    PlatformMismatch {
+        /// Machines monitored by the NWS.
+        nws: usize,
+        /// Machines in the platform.
+        platform: usize,
+    },
+    /// The decomposition names more strips than the platform has
+    /// machines.
+    TooManyStrips {
+        /// Strips in the decomposition.
+        strips: usize,
+        /// Machines in the platform.
+        machines: usize,
+    },
+    /// A required sensor had no usable data (its history is empty — a
+    /// blackout from attach, or an outage outlasting retention).
+    NoData {
+        /// The machine whose load could not be obtained, or `None` for
+        /// the shared network-bandwidth sensor.
+        machine: Option<usize>,
+    },
+}
+
+impl std::fmt::Display for PredictorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PlatformMismatch { nws, platform } => {
+                write!(f, "NWS monitors {nws} machines, platform has {platform}")
+            }
+            Self::TooManyStrips { strips, machines } => {
+                write!(f, "{strips} strips over {machines} machines")
+            }
+            Self::NoData { machine: Some(i) } => write!(f, "no load data for machine {i}"),
+            Self::NoData { machine: None } => write!(f, "no bandwidth data for the network"),
+        }
+    }
+}
+
+impl std::error::Error for PredictorError {}
+
 /// A prediction issued before a run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Prediction {
@@ -93,16 +139,33 @@ pub struct SorPredictor<'a> {
 
 impl<'a> SorPredictor<'a> {
     /// Creates a predictor over a platform and its NWS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the NWS monitors a different platform — use
+    /// [`SorPredictor::try_new`] to handle the mismatch as a typed error.
     pub fn new(platform: &'a Platform, nws: &'a NwsService, config: PredictorConfig) -> Self {
-        assert!(
-            nws.n_machines() == platform.machines.len(),
-            "NWS must monitor the same platform"
-        );
-        Self {
+        Self::try_new(platform, nws, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SorPredictor::new`]: a platform/NWS mismatch surfaces
+    /// as [`PredictorError::PlatformMismatch`] instead of a panic.
+    pub fn try_new(
+        platform: &'a Platform,
+        nws: &'a NwsService,
+        config: PredictorConfig,
+    ) -> Result<Self, PredictorError> {
+        if nws.n_machines() != platform.machines.len() {
+            return Err(PredictorError::PlatformMismatch {
+                nws: nws.n_machines(),
+                platform: platform.machines.len(),
+            });
+        }
+        Ok(Self {
             platform,
             nws,
             config,
-        }
+        })
     }
 
     /// The configuration.
@@ -115,15 +178,17 @@ impl<'a> SorPredictor<'a> {
         n: usize,
         strips: &[Strip],
         get_load: impl Fn(usize) -> Option<StochasticValue>,
-    ) -> Option<SorModelInputs> {
-        assert!(
-            strips.len() <= self.platform.machines.len(),
-            "more strips than machines"
-        );
+    ) -> Result<SorModelInputs, PredictorError> {
+        if strips.len() > self.platform.machines.len() {
+            return Err(PredictorError::TooManyStrips {
+                strips: strips.len(),
+                machines: self.platform.machines.len(),
+            });
+        }
         let mut procs = Vec::with_capacity(strips.len());
         for (i, strip) in strips.iter().enumerate() {
             let machine = &self.platform.machines[i];
-            let mut load = get_load(i)?;
+            let mut load = get_load(i).ok_or(PredictorError::NoData { machine: Some(i) })?;
             if let Some(cap) = self.config.max_load_rel_width {
                 let rel = load.half_width() / load.mean().abs().max(1e-9);
                 if rel > cap {
@@ -137,11 +202,12 @@ impl<'a> SorPredictor<'a> {
             });
         }
         let bw_avail = if self.config.staleness_aware {
-            self.nws.bandwidth_fraction_query().ok().map(|q| q.value)?
+            self.nws.bandwidth_fraction_query().ok().map(|q| q.value)
         } else {
-            self.nws.bandwidth_fraction_stochastic()?
-        };
-        Some(SorModelInputs {
+            self.nws.bandwidth_fraction_stochastic()
+        }
+        .ok_or(PredictorError::NoData { machine: None })?;
+        Ok(SorModelInputs {
             n,
             iterations: self.config.iterations,
             procs,
@@ -173,6 +239,7 @@ impl<'a> SorPredictor<'a> {
     /// Returns `None` until the NWS has data for every machine in use.
     pub fn model_inputs(&self, n: usize, strips: &[Strip]) -> Option<SorModelInputs> {
         self.build_inputs(n, strips, |i| self.instantaneous_load(i))
+            .ok()
     }
 
     fn prediction_from(&self, inputs: SorModelInputs) -> Prediction {
@@ -196,13 +263,25 @@ impl<'a> SorPredictor<'a> {
     /// run's own duration by fixed point: an instantaneous pass estimates
     /// the duration, a second pass re-reads each machine's load averaged
     /// over that horizon.
+    ///
+    /// Returns `None` until the NWS has data for every machine in use —
+    /// [`SorPredictor::try_predict`] reports *which* sensor is dry.
     pub fn predict(&self, n: usize, strips: &[Strip]) -> Option<Prediction> {
-        let instantaneous = self.prediction_from(self.model_inputs(n, strips)?);
+        self.try_predict(n, strips).ok()
+    }
+
+    /// Fallible [`SorPredictor::predict`]: every failure cause — too many
+    /// strips, a dry CPU sensor, a dry bandwidth sensor — comes back as a
+    /// distinct [`PredictorError`] so supervisors can decide whether a
+    /// retry can possibly help.
+    pub fn try_predict(&self, n: usize, strips: &[Strip]) -> Result<Prediction, PredictorError> {
+        let inputs = self.build_inputs(n, strips, |i| self.instantaneous_load(i))?;
+        let instantaneous = self.prediction_from(inputs);
         match self.config.load_source {
-            LoadSource::Instantaneous => Some(instantaneous),
+            LoadSource::Instantaneous => Ok(instantaneous),
             LoadSource::ModalAverage => {
                 let inputs = self.build_inputs(n, strips, |i| self.nws.cpu_modal_stochastic(i))?;
-                Some(self.prediction_from(inputs))
+                Ok(self.prediction_from(inputs))
             }
             LoadSource::RunHorizon => {
                 let mut horizon = instantaneous.stochastic.mean().max(1.0);
@@ -216,7 +295,7 @@ impl<'a> SorPredictor<'a> {
                     prediction = self.prediction_from(inputs);
                     horizon = prediction.stochastic.mean().max(1.0);
                 }
-                Some(prediction)
+                Ok(prediction)
             }
         }
     }
@@ -395,6 +474,35 @@ mod tests {
             "blackout must widen the prediction: fresh {} vs stale {}",
             fresh.stochastic,
             stale.stochastic
+        );
+    }
+
+    #[test]
+    fn typed_errors_name_the_failure() {
+        let p = Platform::platform1(9, 600.0);
+        let nws = NwsService::attach(&p, NwsConfig::default());
+        // Mismatched platform: the NWS watches 4 machines, this one has 2.
+        let other = Platform::dedicated(&[MachineClass::Sparc2, MachineClass::Sparc5], 600.0);
+        assert_eq!(
+            SorPredictor::try_new(&other, &nws, PredictorConfig::default()).err(),
+            Some(PredictorError::PlatformMismatch {
+                nws: 4,
+                platform: 2
+            })
+        );
+        let pred = SorPredictor::try_new(&p, &nws, PredictorConfig::default()).unwrap();
+        // No polls yet: the first CPU sensor is dry.
+        assert_eq!(
+            pred.try_predict(1000, &partition_equal(998, 4)).err(),
+            Some(PredictorError::NoData { machine: Some(0) })
+        );
+        // More strips than machines is a structural error, not a panic.
+        assert_eq!(
+            pred.try_predict(1000, &partition_equal(998, 5)).err(),
+            Some(PredictorError::TooManyStrips {
+                strips: 5,
+                machines: 4
+            })
         );
     }
 

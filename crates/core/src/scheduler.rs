@@ -90,7 +90,7 @@ pub fn allocate_units(units: u64, times: &[StochasticValue], policy: AllocationP
         assigned += fl;
         rema.push((exact - fl as f64, i));
     }
-    rema.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    rema.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut left = units - assigned;
     for &(_, i) in rema.iter().cycle() {
         if left == 0 {

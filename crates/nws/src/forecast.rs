@@ -134,7 +134,7 @@ impl Forecaster for TrimmedMean {
         }
         let start = history.len().saturating_sub(self.window.max(1));
         let mut w: Vec<f64> = history[start..].to_vec();
-        w.sort_by(|a, b| a.partial_cmp(b).expect("finite history"));
+        w.sort_by(f64::total_cmp);
         let t = self.trim.min((w.len().saturating_sub(1)) / 2);
         let kept = &w[t..w.len() - t];
         Some(kept.iter().sum::<f64>() / kept.len() as f64)

@@ -21,6 +21,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Public-facing code returns typed errors instead of unwrapping; tests
+// may unwrap freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod forecast;
 pub mod sensor;

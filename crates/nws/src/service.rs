@@ -13,7 +13,22 @@ use crate::sensor::Sensor;
 use prodpred_simgrid::faults::{FaultPlan, BANDWIDTH_RESOURCE};
 use prodpred_simgrid::Platform;
 use prodpred_stochastic::{StochasticValue, Summary};
-use std::sync::RwLock;
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks a sensor for reading, recovering from poisoning: a panic in
+/// some other thread mid-read cannot have torn the sensor state (all
+/// writes go through `poll_until_with`, which restores invariants), so
+/// continuing with the inner value is sound and keeps the service
+/// answering during partial failures.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write analogue of [`read_lock`], with the same poison-recovery
+/// rationale.
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Which estimator produced a [`QuerySummary`]. The service falls down
 /// this chain as the retained history thins out: the forecaster needs a
@@ -215,27 +230,21 @@ impl NwsService {
     pub fn advance_to(&self, platform: &Platform, t: f64) {
         for (i, (sensor, machine)) in self.cpu.iter().zip(&platform.machines).enumerate() {
             let view = self.faults.as_ref().map(|p| p.sensor(i as u64));
-            sensor
-                .write()
-                .unwrap()
-                .poll_until_with(&machine.load, t, view.as_ref());
+            write_lock(sensor).poll_until_with(&machine.load, t, view.as_ref());
         }
         let view = self.faults.as_ref().map(|p| p.sensor(BANDWIDTH_RESOURCE));
-        self.bandwidth
-            .write()
-            .unwrap()
-            .poll_until_with(&platform.network.avail, t, view.as_ref());
-        let mut now = self.now.write().unwrap();
+        write_lock(&self.bandwidth).poll_until_with(&platform.network.avail, t, view.as_ref());
+        let mut now = write_lock(&self.now);
         *now = now.max(t);
     }
 
     /// The furthest time the sensors have been advanced to.
     pub fn now(&self) -> f64 {
-        *self.now.read().unwrap()
+        *read_lock(&self.now)
     }
 
     fn stochastic_from(&self, sensor: &RwLock<Sensor>) -> Option<StochasticValue> {
-        let guard = sensor.read().unwrap();
+        let guard = read_lock(sensor);
         let series = guard.series();
         let forecast = self.forecaster.forecast(series)?;
         let window_sd = || {
@@ -258,14 +267,14 @@ impl NwsService {
     }
 
     fn query_from(&self, sensor: &RwLock<Sensor>) -> Result<QuerySummary, QueryError> {
-        let guard = sensor.read().unwrap();
+        let guard = read_lock(sensor);
         let series = guard.series();
         let samples = series.len();
-        if samples == 0 {
+        let Some((_, last_value)) = series.last() else {
             return Err(QueryError::NoData {
                 resource: guard.name.clone(),
             });
-        }
+        };
         let now = self.now();
         let age_secs = guard.age_at(now);
         // Fresh data lags "now" by less than one cadence; every whole
@@ -275,11 +284,16 @@ impl NwsService {
             let recent = series.recent(self.config.variance_window);
             Summary::from_slice(&recent).sd()
         };
-        let (base, mode) = if samples >= 4 {
-            let forecast = self
-                .forecaster
-                .forecast(series)
-                .expect("forecast exists with >= 4 samples");
+        // The fallback chain is genuinely a chain: a forecaster that
+        // declines (however many samples exist) drops to window
+        // statistics, and a window too thin for statistics drops to the
+        // last known value, which the emptiness check above guarantees.
+        let forecast = if samples >= 4 {
+            self.forecaster.forecast(series)
+        } else {
+            None
+        };
+        let (base, mode) = if let Some(forecast) = forecast {
             let sigma = match self.config.spread {
                 SpreadPolicy::ForecastRmse => forecast.rmse,
                 SpreadPolicy::WindowVariance => window_sd(),
@@ -300,8 +314,10 @@ impl NwsService {
                 QueryMode::WindowStats,
             )
         } else {
-            let (_, v) = series.last().expect("samples >= 1");
-            (StochasticValue::from_mean_sd(v, 0.0), QueryMode::LastKnown)
+            (
+                StochasticValue::from_mean_sd(last_value, 0.0),
+                QueryMode::LastKnown,
+            )
         };
         drop(guard);
         let value = base.widen((1.0 + stale_intervals).sqrt());
@@ -347,7 +363,7 @@ impl NwsService {
     /// Scheduled polls machine `i`'s sensor missed (dropout/blackout),
     /// and measurements it discarded as corrupt.
     pub fn cpu_sensor_health(&self, i: usize) -> (u64, u64) {
-        let guard = self.cpu[i].read().unwrap();
+        let guard = read_lock(&self.cpu[i]);
         (guard.missed_polls(), guard.corrupt_polls())
     }
 
@@ -379,7 +395,7 @@ impl NwsService {
     /// the series is constant.
     pub fn cpu_autocorrelation_time(&self, i: usize) -> Option<f64> {
         let v = {
-            let guard = self.cpu[i].read().unwrap();
+            let guard = read_lock(&self.cpu[i]);
             guard.series().values()
         };
         if v.len() < 8 {
@@ -413,7 +429,7 @@ impl NwsService {
     ) -> Option<StochasticValue> {
         assert!(horizon_secs > 0.0, "horizon must be positive");
         let current = self.cpu_stochastic(i)?;
-        let guard = self.cpu[i].read().unwrap();
+        let guard = read_lock(&self.cpu[i]);
         let v = guard.series().values();
         drop(guard);
         if v.len() < 8 {
@@ -438,7 +454,7 @@ impl NwsService {
     /// when the history is too short for mode detection.
     pub fn cpu_modal_stochastic(&self, i: usize) -> Option<StochasticValue> {
         let history = {
-            let guard = self.cpu[i].read().unwrap();
+            let guard = read_lock(&self.cpu[i]);
             guard.series().values()
         };
         match prodpred_stochastic::fit::detect_modes(&history, Default::default()) {
@@ -449,12 +465,12 @@ impl NwsService {
 
     /// The latest raw CPU measurement for machine `i`.
     pub fn cpu_last(&self, i: usize) -> Option<(f64, f64)> {
-        self.cpu[i].read().unwrap().series().last()
+        read_lock(&self.cpu[i]).series().last()
     }
 
     /// A copy of machine `i`'s retained CPU history values.
     pub fn cpu_history(&self, i: usize) -> Vec<f64> {
-        self.cpu[i].read().unwrap().series().values()
+        read_lock(&self.cpu[i]).series().values()
     }
 }
 
@@ -699,6 +715,72 @@ mod tests {
         );
         // The mean itself is unchanged by staleness.
         assert_eq!(stale.value.mean(), fresh.value.mean());
+    }
+
+    #[test]
+    fn blackout_from_attach_yields_no_data() {
+        use prodpred_simgrid::faults::{FaultConfig, FaultPlan};
+        // The blackout opens before the first scheduled poll, so the
+        // whole query lives inside it: no sensor ever delivers, and
+        // every query is the typed empty-history error — for CPU and
+        // bandwidth alike — rather than a panic or a fabricated value.
+        let p = Platform::platform1(3, 600.0);
+        let mut cfg = FaultConfig::none(7);
+        cfg.blackouts.push((0.0, 1e9));
+        let nws = NwsService::attach_with_faults(&p, NwsConfig::default(), FaultPlan::new(cfg));
+        nws.advance_to(&p, 500.0);
+        for i in 0..nws.n_machines() {
+            assert!(matches!(nws.cpu_query(i), Err(QueryError::NoData { .. })));
+            assert!(nws.cpu_stochastic(i).is_none());
+        }
+        assert!(matches!(
+            nws.bandwidth_fraction_query(),
+            Err(QueryError::NoData { .. })
+        ));
+        let (missed, _) = nws.cpu_sensor_health(0);
+        assert!(missed > 0, "the silence is accounted, not invisible");
+    }
+
+    #[test]
+    fn spread_widening_is_monotone_in_silence() {
+        use prodpred_simgrid::faults::{FaultConfig, FaultPlan};
+        // Warm up on live data, then open a long blackout and query at
+        // ever-later times: each extra silent cadence must widen the
+        // spread (sqrt(1 + stale_intervals) is strictly increasing), and
+        // the mean must stay pinned at the last pre-blackout forecast.
+        let p = Platform::platform1(11, 4000.0);
+        let mut cfg = FaultConfig::none(5);
+        cfg.blackouts.push((600.0, 1e9));
+        let nws = NwsService::attach_with_faults(&p, NwsConfig::default(), FaultPlan::new(cfg));
+        nws.advance_to(&p, 595.0);
+        let baseline = nws.cpu_query(1).unwrap();
+        assert_eq!(baseline.stale_intervals, 0.0);
+        let mut prev = baseline;
+        // One cadence (5 s) deeper into the blackout per step. Data
+        // that lags by no more than one cadence still counts as fresh,
+        // so the first silent poll widens nothing and every later one
+        // widens strictly.
+        for step in 1..=20 {
+            nws.advance_to(&p, 595.0 + 5.0 * step as f64);
+            let q = nws.cpu_query(1).unwrap();
+            assert_eq!(q.stale_intervals, (step - 1) as f64);
+            if step >= 2 {
+                assert!(q.degraded);
+                assert!(
+                    q.value.half_width() > prev.value.half_width(),
+                    "step {step}: {q:?} not wider than {prev:?}"
+                );
+            } else {
+                assert_eq!(q.value.half_width(), baseline.value.half_width());
+            }
+            assert_eq!(q.value.mean(), baseline.value.mean());
+            prev = q;
+        }
+        // And the widening matches the contract exactly.
+        assert!(
+            (prev.value.half_width() - baseline.value.half_width() * 20.0_f64.sqrt()).abs()
+                < 1e-9 * baseline.value.half_width().max(1.0)
+        );
     }
 
     #[test]

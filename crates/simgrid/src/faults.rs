@@ -288,9 +288,94 @@ pub fn apply_storms(platform: &mut Platform, storms: &[LoadStorm]) {
     }
 }
 
+/// A deterministic per-attempt fault schedule for one supervised solve:
+/// attempt `k` (0-based) suffers `kills[k]`; attempts past the end of
+/// the list run clean. This models *transient* worker deaths — a death
+/// consumed by one attempt does not re-fire on the retry — while a
+/// schedule longer than the retry budget deterministically exhausts the
+/// supervisor into a typed error.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Index of this schedule within its campaign (labels output rows).
+    pub id: u64,
+    /// One worker death per faulty attempt, in attempt order.
+    pub kills: Vec<WorkerDeath>,
+}
+
+impl FaultSchedule {
+    /// A schedule with no faults: every attempt runs clean.
+    pub fn healthy(id: u64) -> Self {
+        Self {
+            id,
+            kills: Vec::new(),
+        }
+    }
+
+    /// Whether this schedule injects no faults at all.
+    pub fn is_healthy(&self) -> bool {
+        self.kills.is_empty()
+    }
+
+    /// The death (if any) injected into attempt `attempt` (0-based).
+    pub fn kill_for_attempt(&self, attempt: u32) -> Option<WorkerDeath> {
+        self.kills.get(attempt as usize).copied()
+    }
+
+    /// A deterministic campaign of `n` schedules drawn from `seed` for a
+    /// solve with `ranks` workers and `iterations` red+black iterations.
+    /// Every decision is a pure function of `(seed, schedule id, kill
+    /// index)`, so the same arguments replay bit-for-bit on any machine
+    /// and at any pool thread count. The kill-count distribution is
+    /// weighted toward recoverable runs (≈25% healthy, ≈40% one death,
+    /// the rest two to four) so a bounded-retry supervisor sees both
+    /// successful recoveries and deterministic exhaustion. Every
+    /// generated death targets a live rank at a half-iteration that
+    /// actually fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` or `iterations` is zero.
+    pub fn random_campaign(
+        seed: u64,
+        n: usize,
+        ranks: usize,
+        iterations: usize,
+    ) -> Vec<FaultSchedule> {
+        assert!(ranks > 0, "need at least one rank");
+        assert!(iterations > 0, "need at least one iteration");
+        (0..n as u64)
+            .map(|id| {
+                let base = mix(seed ^ mix(id.wrapping_add(1)));
+                let u = unit(base);
+                let n_kills = match u {
+                    u if u < 0.25 => 0,
+                    u if u < 0.65 => 1,
+                    u if u < 0.85 => 2,
+                    u if u < 0.95 => 3,
+                    _ => 4,
+                };
+                let kills = (0..n_kills as u64)
+                    .map(|k| {
+                        let h = mix(base ^ mix(k.wrapping_add(1)));
+                        WorkerDeath {
+                            rank: (h % ranks as u64) as usize,
+                            at_half_iteration: (mix(h ^ 0x0F0F_0F0F_0F0F_0F0F)
+                                % (2 * iterations) as u64)
+                                as usize,
+                        }
+                    })
+                    .collect();
+                FaultSchedule { id, kills }
+            })
+            .collect()
+    }
+}
+
 /// SplitMix64 finalizer: the stateless mixing step behind every fault
-/// decision.
-fn mix(mut z: u64) -> u64 {
+/// decision. Public so downstream deterministic decisions (e.g. retry
+/// backoff jitter in the supervisor) can draw from the same stateless
+/// stream discipline: hash your inputs, never carry RNG state.
+pub fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -298,7 +383,7 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// Maps a hash to `[0, 1)` with 53 bits of precision.
-fn unit(h: u64) -> f64 {
+pub fn unit(h: u64) -> f64 {
     (h >> 11) as f64 * 1.110_223_024_625_156_5e-16
 }
 
@@ -398,6 +483,48 @@ mod tests {
             }
         }
         assert!(seen.len() > 1, "delay lengths should vary");
+    }
+
+    #[test]
+    fn random_campaign_is_deterministic_and_in_bounds() {
+        let a = FaultSchedule::random_campaign(42, 300, 4, 20);
+        let b = FaultSchedule::random_campaign(42, 300, 4, 20);
+        assert_eq!(a, b, "same seed must replay bit-for-bit");
+        assert_ne!(
+            a,
+            FaultSchedule::random_campaign(43, 300, 4, 20),
+            "different seeds must differ"
+        );
+        for (i, s) in a.iter().enumerate() {
+            assert_eq!(s.id, i as u64);
+            for kill in &s.kills {
+                assert!(kill.rank < 4, "rank {} out of range", kill.rank);
+                assert!(
+                    kill.at_half_iteration < 40,
+                    "half {} never fires",
+                    kill.at_half_iteration
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_campaign_mixes_healthy_and_faulty_schedules() {
+        let campaign = FaultSchedule::random_campaign(7, 400, 4, 20);
+        let healthy = campaign.iter().filter(|s| s.is_healthy()).count();
+        let multi = campaign.iter().filter(|s| s.kills.len() >= 2).count();
+        let beyond_retries = campaign.iter().filter(|s| s.kills.len() >= 4).count();
+        assert!(healthy > 50, "expected ~25% healthy, got {healthy}/400");
+        assert!(multi > 40, "expected a multi-death tail, got {multi}/400");
+        assert!(
+            beyond_retries > 0,
+            "campaign should include schedules that exhaust a 3-retry budget"
+        );
+        // Per-attempt access matches the list.
+        let s = campaign.iter().find(|s| s.kills.len() == 2).unwrap();
+        assert_eq!(s.kill_for_attempt(0), Some(s.kills[0]));
+        assert_eq!(s.kill_for_attempt(1), Some(s.kills[1]));
+        assert_eq!(s.kill_for_attempt(2), None);
     }
 
     #[test]

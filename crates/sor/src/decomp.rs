@@ -65,7 +65,7 @@ pub fn partition_rows(n_interior: usize, weights: &[f64]) -> Vec<Strip> {
     }
     // Hand out the leftover rows to the largest remainders (ties by index
     // for determinism).
-    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut left = n_interior - assigned;
     for &(_, i) in remainders.iter().cycle() {
         if left == 0 {

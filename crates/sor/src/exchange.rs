@@ -96,9 +96,12 @@ pub enum ExchangeError {
     Timeout,
 }
 
-/// Timeout-and-retry policy for one fallible exchange. Each attempt
-/// waits up to `timeout`; after `retries` extra attempts the exchange
-/// surfaces [`ExchangeError::Timeout`]. A disconnected neighbour is
+/// Timeout-and-retry policy for one fallible exchange. Each individual
+/// wait is bounded by `timeout`, and the exchange *as a whole* is bounded
+/// by [`ExchangePolicy::total_budget`] — `timeout × (retries + 1)` —
+/// armed once on entry and shared across every phase (buffer reclaim and
+/// delivery alike), so no sequence of near-miss attempts can stretch one
+/// exchange past its documented deadline. A disconnected neighbour is
 /// reported immediately — retrying cannot resurrect it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExchangePolicy {
@@ -129,6 +132,23 @@ impl ExchangePolicy {
             timeout: Duration::from_secs(3600),
             retries: 0,
         }
+    }
+
+    /// Total wait budget of one exchange operation:
+    /// `timeout × (retries + 1)`. Every `try_*` exchange arms this once
+    /// on entry; all of its internal waits draw down the same budget.
+    pub fn total_budget(&self) -> Duration {
+        self.timeout.saturating_mul(self.retries + 1)
+    }
+
+    /// The next wait bounded by both the per-attempt `timeout` and the
+    /// time remaining until `deadline`. `None` once the budget is spent.
+    fn next_wait(&self, deadline: Instant) -> Option<Duration> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return None;
+        }
+        Some(self.timeout.min(remaining))
     }
 }
 
@@ -314,47 +334,45 @@ impl RecycledSender {
 
     /// Fallible [`RecycledSender::send_with`]: a dead neighbour surfaces
     /// as [`ExchangeError::Disconnected`], a wedged one as
-    /// [`ExchangeError::Timeout`] after the policy's retries run out. On
-    /// timeout the buffer is restashed, so a later retry of the whole
-    /// exchange still allocates nothing.
+    /// [`ExchangeError::Timeout`] once the policy's
+    /// [total budget](ExchangePolicy::total_budget) is spent. The budget
+    /// is armed once on entry and shared between the buffer-reclaim and
+    /// delivery phases, so a slow-but-not-dead neighbour cannot stretch
+    /// one exchange past `timeout × (retries + 1)`. On timeout the buffer
+    /// is restashed, so a later retry of the whole exchange still
+    /// allocates nothing.
     pub fn try_send_with(
         &mut self,
         policy: &ExchangePolicy,
         fill: impl FnOnce(&mut [f64]),
     ) -> Result<(), ExchangeError> {
+        let deadline = Instant::now() + policy.total_budget();
         let mut buf = match self.stash.take() {
             Some(buf) => buf,
-            None => {
-                let mut reclaimed = None;
-                for _ in 0..=policy.retries {
-                    match self.returns.recv_timeout(policy.timeout) {
-                        Ok(b) => {
-                            reclaimed = Some(b);
-                            break;
-                        }
-                        Err(RecvTimeoutError::Disconnected) => {
-                            return Err(ExchangeError::Disconnected)
-                        }
-                        Err(RecvTimeoutError::Timeout) => continue,
-                    }
+            None => loop {
+                let Some(wait) = policy.next_wait(deadline) else {
+                    return Err(ExchangeError::Timeout);
+                };
+                match self.returns.recv_timeout(wait) {
+                    Ok(b) => break b,
+                    Err(RecvTimeoutError::Disconnected) => return Err(ExchangeError::Disconnected),
+                    Err(RecvTimeoutError::Timeout) => continue,
                 }
-                match reclaimed {
-                    Some(b) => b,
-                    None => return Err(ExchangeError::Timeout),
-                }
-            }
+            },
         };
         fill(&mut buf);
         let mut pending = buf;
-        for _ in 0..=policy.retries {
-            match self.data.send_timeout(pending, policy.timeout) {
+        loop {
+            let Some(wait) = policy.next_wait(deadline) else {
+                self.stash = Some(pending);
+                return Err(ExchangeError::Timeout);
+            };
+            match self.data.send_timeout(pending, wait) {
                 Ok(()) => return Ok(()),
                 Err(SendTimeoutError::Disconnected(_)) => return Err(ExchangeError::Disconnected),
                 Err(SendTimeoutError::Timeout(b)) => pending = b,
             }
         }
-        self.stash = Some(pending);
-        Err(ExchangeError::Timeout)
     }
 }
 
@@ -374,26 +392,26 @@ impl RecycledReceiver {
     }
 
     /// Fallible [`RecycledReceiver::recv_with`] with the same contract as
-    /// [`RecycledSender::try_send_with`].
+    /// [`RecycledSender::try_send_with`]: the policy's total budget is
+    /// armed once on entry and bounds the whole receive. The post-success
+    /// buffer-return leg may add at most one further `timeout`, so the
+    /// worst case is `total_budget + timeout` ("budget plus one
+    /// attempt").
     pub fn try_recv_with(
         &self,
         policy: &ExchangePolicy,
         consume: impl FnOnce(&[f64]),
     ) -> Result<(), ExchangeError> {
-        let mut delivered = None;
-        for _ in 0..=policy.retries {
-            match self.data.recv_timeout(policy.timeout) {
-                Ok(row) => {
-                    delivered = Some(row);
-                    break;
-                }
+        let deadline = Instant::now() + policy.total_budget();
+        let row = loop {
+            let Some(wait) = policy.next_wait(deadline) else {
+                return Err(ExchangeError::Timeout);
+            };
+            match self.data.recv_timeout(wait) {
+                Ok(row) => break row,
                 Err(RecvTimeoutError::Disconnected) => return Err(ExchangeError::Disconnected),
                 Err(RecvTimeoutError::Timeout) => continue,
             }
-        }
-        let row = match delivered {
-            Some(row) => row,
-            None => return Err(ExchangeError::Timeout),
         };
         consume(&row);
         // Returning the buffer can only fail if the sender is gone or
@@ -554,6 +572,81 @@ mod tests {
         }
         let ptrs = h.join().unwrap();
         assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "buffer not recycled");
+    }
+
+    #[test]
+    fn wedged_receiver_costs_exactly_one_total_budget() {
+        // Regression: the reclaim and delivery phases used to re-arm the
+        // full per-attempt timeout independently, so one exchange could
+        // cost up to twice its documented budget. The deadline is now
+        // armed once on entry: a fully wedged neighbour costs the total
+        // budget — no less (no premature give-up) and at most one extra
+        // attempt more (scheduling slack).
+        let policy = ExchangePolicy {
+            timeout: Duration::from_millis(40),
+            retries: 3,
+        };
+        let budget = policy.total_budget();
+        assert_eq!(budget, Duration::from_millis(160));
+
+        // Send side, wedged receiver: the first exchange parks the buffer
+        // in flight, so the second spends its whole budget in the reclaim
+        // phase waiting on a return that never comes.
+        let (mut tx, _rx) = recycled_link(4);
+        tx.try_send_with(&policy, |b| b.fill(1.0)).unwrap();
+        let started = Instant::now();
+        assert_eq!(
+            tx.try_send_with(&policy, |b| b.fill(2.0)),
+            Err(ExchangeError::Timeout)
+        );
+        let elapsed = started.elapsed();
+        assert!(elapsed >= budget - Duration::from_millis(5), "{elapsed:?}");
+        assert!(
+            elapsed <= budget + policy.timeout + Duration::from_millis(100),
+            "one wedged exchange must cost at most budget + one attempt, took {elapsed:?}"
+        );
+
+        // Receive side, silent sender.
+        let (_tx3, rx3) = recycled_link(4);
+        let started = Instant::now();
+        assert_eq!(
+            rx3.try_recv_with(&policy, |_| {}),
+            Err(ExchangeError::Timeout)
+        );
+        let elapsed = started.elapsed();
+        assert!(elapsed >= budget - Duration::from_millis(5), "{elapsed:?}");
+        assert!(
+            elapsed <= budget + policy.timeout + Duration::from_millis(100),
+            "receive must honor the total budget, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn slow_mailbox_stays_within_budget_plus_one_attempt() {
+        // A deliberately slow (but live) peer: consumes one row every
+        // ~30 ms against a 25 ms per-attempt timeout, so most exchanges
+        // need a mid-wait retry. No single call may exceed the total
+        // budget plus one attempt.
+        let policy = ExchangePolicy {
+            timeout: Duration::from_millis(25),
+            retries: 5,
+        };
+        let cap = policy.total_budget() + policy.timeout + Duration::from_millis(100);
+        let (mut tx, rx) = recycled_link(4);
+        let peer = thread::spawn(move || {
+            for _ in 0..20 {
+                thread::sleep(Duration::from_millis(30));
+                rx.recv_with(|_| {});
+            }
+        });
+        for i in 0..20 {
+            let started = Instant::now();
+            tx.try_send_with(&policy, |b| b.fill(i as f64))
+                .expect("slow neighbour is alive; exchange must succeed");
+            let elapsed = started.elapsed();
+            assert!(elapsed <= cap, "call {i} took {elapsed:?} (cap {cap:?})");
+        }
+        peer.join().unwrap();
     }
 
     #[test]

@@ -24,11 +24,18 @@
 //!
 //! Beyond the paper: a 2D block decomposition ([`decomp2d`]) with its own
 //! real multithreaded solver ([`parallel2d`]) and distributed simulation
-//! ([`distsim2d`]), used by the strip-vs-block ablation.
+//! ([`distsim2d`]), used by the strip-vs-block ablation; and
+//! [`checkpoint`]/restart for the threaded solvers, so a killed worker
+//! resumes from the last consistent red/black iteration boundary instead
+//! of iteration 0.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Public-facing code returns typed errors instead of unwrapping; tests
+// may unwrap freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod checkpoint;
 pub mod decomp;
 pub mod decomp2d;
 pub mod distsim;
@@ -40,6 +47,11 @@ pub mod parallel;
 pub mod parallel2d;
 pub mod seq;
 
+pub use checkpoint::{
+    resume_blocks_from, resume_strips_from, try_solve_blocks_checkpointed,
+    try_solve_strips_checkpointed, Checkpoint, CheckpointError, CheckpointPolicy, CheckpointStore,
+    CHECKPOINT_VERSION,
+};
 pub use decomp::{partition_equal, partition_rows, Strip};
 pub use decomp2d::{partition_blocks, Block, BlockLayout};
 pub use distsim::{simulate, DistSorConfig, DistSorResult};

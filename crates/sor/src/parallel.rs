@@ -51,6 +51,9 @@ pub enum SolveError {
         /// Strip (or block) index of the worker that gave up.
         rank: usize,
     },
+    /// A resume was handed an unusable [`crate::checkpoint::Checkpoint`]
+    /// (wrong version, wrong grid size, or past the solve's end).
+    Checkpoint(crate::checkpoint::CheckpointError),
 }
 
 impl std::fmt::Display for SolveError {
@@ -60,6 +63,7 @@ impl std::fmt::Display for SolveError {
             Self::ExchangeTimeout { rank } => {
                 write!(f, "worker {rank} timed out exchanging ghost data")
             }
+            Self::Checkpoint(e) => write!(f, "unusable checkpoint: {e}"),
         }
     }
 }

@@ -1,0 +1,212 @@
+//! Chaos recovery: the supervised solver stack (checkpoint/restart +
+//! bounded retry + typed errors) exercised end-to-end through the public
+//! APIs, the way the `chaos_study` bench bin drives it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use prodpred_core::{
+    platform2_experiment_supervised, solve_blocks_supervised, solve_strips_supervised, RetryPolicy,
+};
+use prodpred_pool::parallel_map;
+use prodpred_simgrid::faults::{mix, FaultConfig, FaultSchedule, WorkerDeath};
+use prodpred_sor::{
+    partition_equal, solve_seq, BlockLayout, CheckpointPolicy, ExchangePolicy, Grid, SolveError,
+    SorParams,
+};
+
+fn snappy() -> ExchangePolicy {
+    ExchangePolicy {
+        timeout: Duration::from_millis(200),
+        retries: 1,
+    }
+}
+
+#[test]
+fn killed_then_resumed_strip_solve_is_bit_identical() {
+    let n = 33;
+    let iters = 24;
+    let mut reference = Grid::laplace_problem(n);
+    solve_seq(&mut reference, SorParams::for_grid(n, iters));
+
+    let schedule = FaultSchedule {
+        id: 0,
+        kills: vec![WorkerDeath {
+            rank: 1,
+            at_half_iteration: 29,
+        }],
+    };
+    let mut grid = Grid::laplace_problem(n);
+    let recovery = solve_strips_supervised(
+        &mut grid,
+        SorParams::for_grid(n, iters),
+        &partition_equal(n - 2, 4),
+        snappy(),
+        &schedule,
+        &RetryPolicy::default(),
+        CheckpointPolicy::every(6),
+    );
+    assert!(recovery.succeeded());
+    assert_eq!(recovery.attempts, 2);
+    assert_eq!(recovery.stats.recovered, 1);
+    assert!(
+        recovery.stats.resumed_iterations_saved > 0,
+        "the retry must resume from a checkpoint, not iteration 0"
+    );
+    assert_eq!(
+        grid.max_diff(&reference),
+        0.0,
+        "recovered solve must match the unfaulted sequential bits"
+    );
+}
+
+#[test]
+fn killed_then_resumed_block_solve_is_bit_identical() {
+    let n = 29;
+    let iters = 20;
+    let mut reference = Grid::laplace_problem(n);
+    solve_seq(&mut reference, SorParams::for_grid(n, iters));
+
+    let schedule = FaultSchedule {
+        id: 0,
+        kills: vec![WorkerDeath {
+            rank: 3,
+            at_half_iteration: 17,
+        }],
+    };
+    let mut grid = Grid::laplace_problem(n);
+    let recovery = solve_blocks_supervised(
+        &mut grid,
+        SorParams::for_grid(n, iters),
+        BlockLayout::new(2, 2),
+        snappy(),
+        &schedule,
+        &RetryPolicy::default(),
+        CheckpointPolicy::every(4),
+    );
+    assert!(recovery.succeeded());
+    assert!(recovery.stats.resumed_iterations_saved > 0);
+    assert_eq!(grid.max_diff(&reference), 0.0);
+}
+
+#[test]
+fn schedule_beyond_the_retry_budget_exhausts_into_a_typed_error() {
+    let n = 25;
+    let iters = 16;
+    // Three deaths against a one-retry budget: attempts 0 and 1 both die,
+    // and the supervisor must hand back the *typed* error of the last
+    // attempt rather than panicking or looping.
+    let schedule = FaultSchedule {
+        id: 0,
+        kills: (0..3)
+            .map(|k| WorkerDeath {
+                rank: k % 3,
+                at_half_iteration: 5 + 2 * k,
+            })
+            .collect(),
+    };
+    let retry = RetryPolicy {
+        max_retries: 1,
+        ..RetryPolicy::default()
+    };
+    let mut grid = Grid::laplace_problem(n);
+    let recovery = solve_strips_supervised(
+        &mut grid,
+        SorParams::for_grid(n, iters),
+        &partition_equal(n - 2, 3),
+        snappy(),
+        &schedule,
+        &retry,
+        CheckpointPolicy::every(4),
+    );
+    assert!(!recovery.succeeded());
+    assert_eq!(recovery.attempts, 2);
+    assert_eq!(recovery.stats.abandoned, 1);
+    assert!(matches!(
+        recovery.result,
+        Err(SolveError::WorkerDied { .. })
+    ));
+}
+
+#[test]
+fn mini_campaign_is_deterministic_across_pool_widths_with_zero_panics() {
+    let n = 33;
+    let iters = 16;
+    let ranks = 4;
+    let campaign = FaultSchedule::random_campaign(99, 24, ranks, iters);
+    let mut reference = Grid::laplace_problem(n);
+    solve_seq(&mut reference, SorParams::for_grid(n, iters));
+
+    let run = |threads: usize| {
+        let outcomes = parallel_map(&campaign, threads, |_, schedule| {
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut grid = Grid::laplace_problem(n);
+                let recovery = solve_strips_supervised(
+                    &mut grid,
+                    SorParams::for_grid(n, iters),
+                    &partition_equal(n - 2, ranks),
+                    snappy(),
+                    schedule,
+                    &RetryPolicy::default(),
+                    CheckpointPolicy::every(4),
+                );
+                if recovery.succeeded() {
+                    assert_eq!(grid.max_diff(&reference), 0.0, "schedule {}", schedule.id);
+                } else {
+                    assert!(recovery.result.is_err(), "failure must carry a typed error");
+                }
+                (
+                    recovery.succeeded(),
+                    recovery.stats.retries,
+                    grid.interior_sum().to_bits(),
+                )
+            }))
+            .ok()
+        });
+        assert!(
+            outcomes.iter().all(Option::is_some),
+            "no schedule may panic at {threads} pool threads"
+        );
+        let mut digest = 0u64;
+        for (schedule, o) in campaign.iter().zip(&outcomes) {
+            let (ok, retries, bits) = o.expect("checked above");
+            digest = mix(digest ^ schedule.id);
+            digest = mix(digest ^ u64::from(ok));
+            digest = mix(digest ^ retries);
+            digest = mix(digest ^ bits);
+        }
+        digest
+    };
+    assert_eq!(
+        run(1),
+        run(4),
+        "campaign digest must not depend on pool width"
+    );
+}
+
+#[test]
+fn supervised_experiment_rides_through_a_blackout() {
+    // A blackout swallowing the NWS warmup: at the first run every
+    // sensor history is still empty, so the unsupervised harness would
+    // skip the run, while the supervisor's backoff walks the clock past
+    // the outage and completes the series.
+    let mut faults = FaultConfig::none(23);
+    faults.blackouts.push((0.0, 500.0));
+    let retry = RetryPolicy {
+        max_retries: 4,
+        base_backoff_secs: 60.0,
+        jitter_fraction: 0.0,
+        ..RetryPolicy::default()
+    };
+    let out = platform2_experiment_supervised(23, 600, 4, &faults, retry);
+    assert_eq!(out.stats.skipped_runs, 0, "every run must complete");
+    assert_eq!(out.series.records.len(), 4);
+    assert!(
+        out.recovery.retries > 0,
+        "the blackout must force at least one retry"
+    );
+    for r in &out.series.records {
+        assert!(r.actual_secs.is_finite() && r.actual_secs > 0.0);
+        assert!(r.prediction.stochastic.mean().is_finite());
+    }
+}
