@@ -1,0 +1,442 @@
+//! The tidy ratchet: a committed baseline of known findings, keyed by
+//! `(file, lint code) -> count`, that may only shrink.
+//!
+//! Counts (rather than line numbers) make the baseline robust to
+//! unrelated edits shifting code around: adding a *new* `unwrap` to a
+//! file fails CI even if an old one moved, while pure movement changes
+//! nothing. The flip side — two offsetting edits in one file cancelling
+//! out — is acceptable for debt tracking and is called out in DESIGN.md.
+//!
+//! The JSON codec is hand-rolled (std-only, sorted keys) so the output
+//! is byte-identical across runs and platforms.
+
+use crate::lints::Finding;
+use std::collections::BTreeMap;
+
+/// Format version of the baseline file.
+pub const BASELINE_VERSION: u64 = 1;
+
+/// Per-file, per-code finding counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `file -> code -> count`, both levels sorted.
+    pub counts: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+/// One way the current findings disagree with the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RatchetIssue {
+    /// More findings than the baseline allows: the ratchet moved backward.
+    Regression {
+        /// Repo-relative file.
+        file: String,
+        /// Lint code.
+        code: String,
+        /// Count recorded in the baseline.
+        baseline: u64,
+        /// Count found now.
+        current: u64,
+    },
+    /// Fewer findings than the baseline records: the baseline must shrink
+    /// (rerun with `--write-baseline` and commit).
+    Stale {
+        /// Repo-relative file.
+        file: String,
+        /// Lint code.
+        code: String,
+        /// Count recorded in the baseline.
+        baseline: u64,
+        /// Count found now.
+        current: u64,
+    },
+}
+
+impl RatchetIssue {
+    /// Canonical single-line rendering.
+    pub fn render(&self) -> String {
+        match self {
+            Self::Regression {
+                file,
+                code,
+                baseline,
+                current,
+            } => format!(
+                "ratchet regression: {file}: {code} went {baseline} -> {current}; fix the new finding or add a justified tidy:allow"
+            ),
+            Self::Stale {
+                file,
+                code,
+                baseline,
+                current,
+            } => format!(
+                "stale baseline: {file}: {code} went {baseline} -> {current}; shrink the baseline with `tidy --write-baseline` and commit it"
+            ),
+        }
+    }
+}
+
+impl Baseline {
+    /// Aggregates findings into per-file, per-code counts.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry(f.file.clone())
+                .or_default()
+                .entry(f.code.to_string())
+                .or_insert(0) += 1;
+        }
+        Self { counts }
+    }
+
+    /// Total finding count in the baseline.
+    pub fn total(&self) -> u64 {
+        self.counts.values().flat_map(|m| m.values()).sum()
+    }
+
+    /// Compares `current` against this baseline. Empty result means the
+    /// ratchet holds exactly.
+    pub fn ratchet(&self, current: &Baseline) -> Vec<RatchetIssue> {
+        let mut issues = Vec::new();
+        let empty = BTreeMap::new();
+        let files: std::collections::BTreeSet<&String> =
+            self.counts.keys().chain(current.counts.keys()).collect();
+        for file in files {
+            let base = self.counts.get(file).unwrap_or(&empty);
+            let cur = current.counts.get(file).unwrap_or(&empty);
+            let codes: std::collections::BTreeSet<&String> =
+                base.keys().chain(cur.keys()).collect();
+            for code in codes {
+                let b = base.get(code).copied().unwrap_or(0);
+                let c = cur.get(code).copied().unwrap_or(0);
+                if c > b {
+                    issues.push(RatchetIssue::Regression {
+                        file: file.clone(),
+                        code: code.clone(),
+                        baseline: b,
+                        current: c,
+                    });
+                } else if c < b {
+                    issues.push(RatchetIssue::Stale {
+                        file: file.clone(),
+                        code: code.clone(),
+                        baseline: b,
+                        current: c,
+                    });
+                }
+            }
+        }
+        issues
+    }
+
+    /// Serializes to the committed JSON format: sorted keys, two-space
+    /// indent, trailing newline — byte-identical across runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {BASELINE_VERSION},\n"));
+        out.push_str("  \"counts\": {");
+        let mut first_file = true;
+        for (file, codes) in &self.counts {
+            if !first_file {
+                out.push(',');
+            }
+            first_file = false;
+            out.push_str(&format!("\n    {}: {{", json_string(file)));
+            let mut first_code = true;
+            for (code, count) in codes {
+                if !first_code {
+                    out.push(',');
+                }
+                first_code = false;
+                out.push_str(&format!("\n      {}: {count}", json_string(code)));
+            }
+            out.push_str("\n    }");
+        }
+        if !self.counts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses the committed JSON format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem, or a version
+    /// mismatch.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let value = json::parse(src)?;
+        let obj = value
+            .as_object()
+            .ok_or("baseline: top level must be an object")?;
+        let version = obj
+            .get("version")
+            .and_then(|v| v.as_u64())
+            .ok_or("baseline: missing integer `version`")?;
+        if version != BASELINE_VERSION {
+            return Err(format!(
+                "baseline: version {version} unsupported (expected {BASELINE_VERSION})"
+            ));
+        }
+        let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        let files = obj
+            .get("counts")
+            .and_then(|v| v.as_object())
+            .ok_or("baseline: missing object `counts`")?;
+        for (file, codes_val) in files {
+            let codes = codes_val
+                .as_object()
+                .ok_or_else(|| format!("baseline: `{file}` must map codes to counts"))?;
+            let mut per_code = BTreeMap::new();
+            for (code, n) in codes {
+                let n = n
+                    .as_u64()
+                    .ok_or_else(|| format!("baseline: `{file}`/`{code}` must be a count"))?;
+                per_code.insert(code.clone(), n);
+            }
+            counts.insert(file.clone(), per_code);
+        }
+        Ok(Self { counts })
+    }
+}
+
+/// Escapes a string for JSON output.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal recursive-descent JSON parser — just enough for the
+/// baseline schema (objects, strings, non-negative integers), std-only
+/// by design.
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone)]
+    pub enum Value {
+        Object(BTreeMap<String, Value>),
+        // Parsed for completeness; the baseline schema never reads one.
+        #[allow(dead_code)]
+        String(String),
+        Number(u64),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one complete JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem.
+    pub fn parse(src: &str) -> Result<Value, String> {
+        let chars: Vec<char> = src.chars().collect();
+        let mut pos = 0usize;
+        let value = parse_value(&chars, &mut pos)?;
+        skip_ws(&chars, &mut pos);
+        if pos != chars.len() {
+            return Err(format!("baseline json: trailing content at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(chars: &[char], pos: &mut usize) {
+        while chars.get(*pos).is_some_and(|c| c.is_ascii_whitespace()) {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some('{') => parse_object(chars, pos),
+            Some('"') => Ok(Value::String(parse_string(chars, pos)?)),
+            Some(c) if c.is_ascii_digit() => parse_number(chars, pos),
+            Some(c) => Err(format!("baseline json: unexpected `{c}` at offset {pos}")),
+            None => Err("baseline json: unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_object(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // '{'
+        let mut map = BTreeMap::new();
+        skip_ws(chars, pos);
+        if chars.get(*pos) == Some(&'}') {
+            *pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            skip_ws(chars, pos);
+            let key = parse_string(chars, pos)?;
+            skip_ws(chars, pos);
+            if chars.get(*pos) != Some(&':') {
+                return Err(format!("baseline json: expected `:` at offset {pos}"));
+            }
+            *pos += 1;
+            let value = parse_value(chars, pos)?;
+            map.insert(key, value);
+            skip_ws(chars, pos);
+            match chars.get(*pos) {
+                Some(',') => *pos += 1,
+                Some('}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => {
+                    return Err(format!(
+                        "baseline json: expected `,` or `}}` at offset {pos}"
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+        if chars.get(*pos) != Some(&'"') {
+            return Err(format!("baseline json: expected string at offset {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match chars.get(*pos) {
+                Some('"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    *pos += 1;
+                    match chars.get(*pos) {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('/') => out.push('/'),
+                        Some('n') => out.push('\n'),
+                        Some('r') => out.push('\r'),
+                        Some('t') => out.push('\t'),
+                        Some('u') => {
+                            let mut cp = 0u32;
+                            for _ in 0..4 {
+                                *pos += 1;
+                                let d = chars
+                                    .get(*pos)
+                                    .and_then(|c| c.to_digit(16))
+                                    .ok_or("baseline json: bad \\u escape")?;
+                                cp = cp * 16 + d;
+                            }
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err("baseline json: bad escape".to_string()),
+                    }
+                    *pos += 1;
+                }
+                Some(c) => {
+                    out.push(*c);
+                    *pos += 1;
+                }
+                None => return Err("baseline json: unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn parse_number(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+            *pos += 1;
+        }
+        let text: String = chars[start..*pos].iter().collect();
+        text.parse::<u64>()
+            .map(Value::Number)
+            .map_err(|e| format!("baseline json: bad number `{text}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, code: &'static str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            code,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let b = Baseline::from_findings(&[
+            finding("crates/a/src/x.rs", "PP003"),
+            finding("crates/a/src/x.rs", "PP003"),
+            finding("crates/b/src/y.rs", "PP006"),
+        ]);
+        let text = b.to_json();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.to_json(), text, "serialization must be canonical");
+        assert_eq!(b.total(), 3);
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        let b = Baseline::default();
+        assert_eq!(Baseline::parse(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn ratchet_classifies_regressions_and_stales() {
+        let base = Baseline::from_findings(&[
+            finding("a.rs", "PP003"),
+            finding("a.rs", "PP003"),
+            finding("b.rs", "PP004"),
+        ]);
+        let cur = Baseline::from_findings(&[finding("a.rs", "PP003"), finding("c.rs", "PP001")]);
+        let issues = base.ratchet(&cur);
+        assert_eq!(issues.len(), 3);
+        assert!(matches!(
+            &issues[0],
+            RatchetIssue::Stale { file, baseline: 2, current: 1, .. } if file == "a.rs"
+        ));
+        assert!(matches!(
+            &issues[1],
+            RatchetIssue::Stale { file, baseline: 1, current: 0, .. } if file == "b.rs"
+        ));
+        assert!(matches!(
+            &issues[2],
+            RatchetIssue::Regression { file, baseline: 0, current: 1, .. } if file == "c.rs"
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let err = Baseline::parse("{\n  \"version\": 2,\n  \"counts\": {}\n}\n").unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+}

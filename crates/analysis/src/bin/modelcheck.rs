@@ -1,0 +1,200 @@
+//! `modelcheck` — exhaustive exploration of the SOR ghost-exchange
+//! protocol (see `prodpred_analysis::model`).
+//!
+//! ```text
+//! modelcheck                         full suite at 2 ranks x 2 half-iterations
+//! modelcheck --ranks 3 --halves 4    bigger configuration
+//! modelcheck --kill R:H              one seeded kill variant only
+//! modelcheck --timeouts              healthy run with timeout transitions only
+//! ```
+//!
+//! The default suite runs, for the chosen configuration:
+//!
+//! 1. the healthy patient protocol (proves deadlock freedom + delivery),
+//! 2. the healthy protocol with `ExchangePolicy` timeout transitions,
+//! 3. every kill schedule `rank x half` (proves the typed `WorkerDied`
+//!    path is reached in **every** interleaving of every schedule),
+//! 4. every kill schedule with timeouts enabled as well.
+//!
+//! Exit code 0 means every property held over the full state space; the
+//! explored-state counts are printed per configuration.
+
+use prodpred_analysis::model::{check, ModelConfig, Report};
+use prodpred_simgrid::faults::WorkerDeath;
+use std::process::ExitCode;
+
+struct Options {
+    ranks: usize,
+    halves: usize,
+    kill: Option<WorkerDeath>,
+    timeouts_only: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        ranks: 2,
+        halves: 2,
+        kill: None,
+        timeouts_only: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ranks" => {
+                opts.ranks = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--ranks needs an integer")?;
+            }
+            "--halves" => {
+                opts.halves = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--halves needs an integer")?;
+            }
+            "--kill" => {
+                let spec = args.next().ok_or("--kill needs RANK:HALF")?;
+                let (r, h) = spec.split_once(':').ok_or("--kill needs RANK:HALF")?;
+                opts.kill = Some(WorkerDeath {
+                    rank: r.parse().map_err(|_| "bad kill rank")?,
+                    at_half_iteration: h.parse().map_err(|_| "bad kill half")?,
+                });
+            }
+            "--timeouts" => opts.timeouts_only = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: modelcheck [--ranks N] [--halves M] [--kill R:H] [--timeouts]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn describe(report: &Report) -> String {
+    let c = report.config;
+    let fault = match c.kill {
+        Some(d) => format!("kill {}:{}", d.rank, d.at_half_iteration),
+        None => "healthy".to_string(),
+    };
+    let mode = if c.timeouts { "timeouts" } else { "patient" };
+    format!(
+        "{} ranks x {} half-iterations, {fault}, {mode}: {} states, {} transitions, {} terminals ({} all-done, {} observed-death), depth {}",
+        c.ranks,
+        c.halves,
+        report.states,
+        report.transitions,
+        report.terminals,
+        report.all_done_terminals,
+        report.lost_observed_terminals,
+        report.max_depth
+    )
+}
+
+fn run_one(config: ModelConfig, failures: &mut u32) -> Report {
+    let report = check(config);
+    if report.holds() {
+        println!("ok    {}", describe(&report));
+    } else {
+        *failures += 1;
+        println!("FAIL  {}", describe(&report));
+        if let Some(v) = &report.violation {
+            println!("      violation: {}", v.kind);
+            for (i, step) in v.trace.iter().enumerate() {
+                println!("      {i:>3}. {step}");
+            }
+        }
+    }
+    report
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("modelcheck: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let base = ModelConfig {
+        ranks: opts.ranks,
+        halves: opts.halves,
+        kill: None,
+        timeouts: false,
+    };
+    let mut failures = 0u32;
+    let mut total_states = 0u64;
+
+    if let Some(kill) = opts.kill {
+        let report = run_one(
+            ModelConfig {
+                kill: Some(kill),
+                timeouts: opts.timeouts_only,
+                ..base
+            },
+            &mut failures,
+        );
+        total_states += report.states;
+    } else if opts.timeouts_only {
+        let report = run_one(
+            ModelConfig {
+                timeouts: true,
+                ..base
+            },
+            &mut failures,
+        );
+        total_states += report.states;
+    } else {
+        // The full suite.
+        total_states += run_one(base, &mut failures).states;
+        total_states += run_one(
+            ModelConfig {
+                timeouts: true,
+                ..base
+            },
+            &mut failures,
+        )
+        .states;
+        for timeouts in [false, true] {
+            for rank in 0..opts.ranks {
+                for half in 0..opts.halves {
+                    let report = run_one(
+                        ModelConfig {
+                            kill: Some(WorkerDeath {
+                                rank,
+                                at_half_iteration: half,
+                            }),
+                            timeouts,
+                            ..base
+                        },
+                        &mut failures,
+                    );
+                    total_states += report.states;
+                    // Only patient runs guarantee the kill fires in every
+                    // schedule; with timeouts the run may collapse first.
+                    if !timeouts
+                        && report.terminals != report.lost_observed_terminals
+                        && report.holds()
+                    {
+                        failures += 1;
+                        println!(
+                            "FAIL  kill {rank}:{half}: {} of {} terminal schedules missed the typed WorkerDied path",
+                            report.terminals - report.lost_observed_terminals,
+                            report.terminals
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    println!("modelcheck: {total_states} states explored across the suite; {failures} failure(s)");
+    if failures == 0 {
+        println!("modelcheck: deadlock-freedom, delivery, and typed-death properties hold");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

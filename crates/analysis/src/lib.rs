@@ -1,0 +1,33 @@
+//! # prodpred-analysis
+//!
+//! Correctness tooling for the prodpred workspace — the subsystem that
+//! turns the determinism and fault-recovery invariants of PRs 1–4 from
+//! conventions into *checked* properties:
+//!
+//! * [`scan`] + [`lints`] + [`baseline`] — the `tidy` lint engine: a
+//!   hand-rolled, token-aware Rust source scanner (std-only, works
+//!   offline, no rustc plugin) implementing the repo-specific `PPnnn`
+//!   lints with inline justified suppressions and a shrink-only
+//!   baseline ratchet. Run it via `cargo run -p prodpred-analysis --bin
+//!   tidy -- --check`.
+//! * [`model`] — a bounded model checker that exhaustively enumerates
+//!   every interleaving of the SOR ghost-exchange mailbox protocol for
+//!   small configurations, proving deadlock freedom, exact message
+//!   delivery, and typed worker-death surfacing under injected kills
+//!   and `ExchangePolicy` timeouts. Run it via `cargo run -p
+//!   prodpred-analysis --bin modelcheck`.
+//!
+//! The two halves meet in the middle: the lints keep nondeterminism and
+//! unchecked panics out of the sources, and the model checker proves
+//! the one protocol whose correctness argument cannot be read off a
+//! single thread's source. See DESIGN.md §9.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod baseline;
+pub mod lints;
+pub mod model;
+pub mod scan;
+pub mod walk;

@@ -1,0 +1,710 @@
+//! The `prodpred-tidy` lint set: repo-specific, stable-coded checks that
+//! enforce at the source level the invariants PRs 1–4 made load-bearing
+//! at runtime (bit-identical resumes, pool-width-invariant digests,
+//! poison-free locking, typed failures).
+//!
+//! | code  | meaning |
+//! |-------|---------|
+//! | PP000 | `tidy:allow` without a justification (or malformed) |
+//! | PP001 | nondeterminism source (`Instant::now`, `thread_rng`, …) in a simulation/prediction path |
+//! | PP002 | iteration over a `HashMap`/`HashSet`, whose order can leak into results |
+//! | PP003 | `unwrap`/`expect` in non-test library code |
+//! | PP004 | float hygiene: `partial_cmp` ordering, `==`/`!=` against a float literal |
+//! | PP005 | raw `.lock().unwrap()` bypassing the poison-recovering helpers |
+//! | PP006 | `pub fn … -> Result` without an `# Errors` doc section |
+//!
+//! Matching runs over *masked* source (see [`crate::scan`]): strings,
+//! comments and doc examples can never trigger a lint. Findings are
+//! suppressed by an inline `// tidy:allow(PPnnn): reason` on the same
+//! line or on comment lines directly above; the reason text is
+//! mandatory — an unjustified allow is itself a PP000 finding.
+
+use crate::scan::{
+    analyze_regions, find_word, has_word, is_ident_char, mask_source, MaskedLine, Regions,
+};
+
+/// One diagnostic produced by the lint engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (byte offset into the line).
+    pub col: usize,
+    /// Stable lint code (`PP000` … `PP006`).
+    pub code: &'static str,
+    /// Human-readable description, stable across runs.
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders the canonical single-line human diagnostic.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.code, self.message
+        )
+    }
+}
+
+/// All stable lint codes, in order.
+pub const CODES: [&str; 7] = [
+    "PP000", "PP001", "PP002", "PP003", "PP004", "PP005", "PP006",
+];
+
+/// Nondeterminism sources flagged by PP001.
+const PP001_SOURCES: [&str; 6] = [
+    "SystemTime::now(",
+    "Instant::now(",
+    "thread_rng(",
+    "from_entropy(",
+    "rand::random(",
+    "Local::now(",
+];
+
+/// Hash-container iteration methods flagged by PP002.
+const PP002_ITERS: [&str; 7] = [
+    ".iter()",
+    ".keys()",
+    ".values()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+];
+
+/// Panic-on-`Err`/`None` methods flagged by PP003.
+const PP003_PANICS: [&str; 4] = [".unwrap()", ".expect(", ".unwrap_err()", ".expect_err("];
+
+/// Raw guard acquisitions flagged by PP005.
+const PP005_LOCKS: [&str; 6] = [
+    ".lock().unwrap()",
+    ".lock().expect(",
+    ".read().unwrap()",
+    ".read().expect(",
+    ".write().unwrap()",
+    ".write().expect(",
+];
+
+/// What the file's path says about how strictly to lint it.
+#[derive(Debug, Clone, Copy)]
+struct PathScope {
+    /// Integration tests, benches, examples: panicking and timing are fine.
+    test_path: bool,
+    /// Binary targets: CLI entry points may unwrap and measure wall time.
+    bin: bool,
+    /// The measurement crate: wall-clock timing is its whole point.
+    bench_crate: bool,
+}
+
+fn path_scope(relpath: &str) -> PathScope {
+    let test_path = relpath.starts_with("tests/")
+        || relpath.contains("/tests/")
+        || relpath.contains("/benches/")
+        || relpath.starts_with("examples/")
+        || relpath.contains("/examples/");
+    PathScope {
+        test_path,
+        bin: relpath.contains("/src/bin/") || relpath.ends_with("src/main.rs"),
+        bench_crate: relpath.starts_with("crates/bench/"),
+    }
+}
+
+/// Lints one source file, applying scoping rules and `tidy:allow`
+/// suppressions. Returns the surviving findings in (line, col, code)
+/// order.
+pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
+    let lines = mask_source(src);
+    let regions = analyze_regions(&lines);
+    let scope = path_scope(relpath);
+    let mut findings = Vec::new();
+
+    let hash_names = collect_hash_container_names(&lines);
+
+    for (idx, line) in lines.iter().enumerate() {
+        let in_test = scope.test_path || regions.in_test[idx];
+        let code_line = line.code.as_str();
+        if !in_test && !scope.bin && !scope.bench_crate {
+            pp001(relpath, idx, code_line, &mut findings);
+        }
+        if !in_test {
+            pp002(relpath, idx, code_line, &hash_names, &mut findings);
+            pp004(relpath, idx, code_line, &mut findings);
+            pp005(relpath, idx, code_line, &mut findings);
+        }
+        if !in_test && !scope.bin {
+            pp003(relpath, idx, code_line, &mut findings);
+        }
+    }
+    if !scope.test_path && !scope.bin {
+        pp006(relpath, &lines, &regions, &mut findings);
+    }
+
+    apply_suppressions(relpath, &lines, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.col, a.code).cmp(&(b.line, b.col, b.code)));
+    findings
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    file: &str,
+    idx: usize,
+    col0: usize,
+    code: &'static str,
+    message: String,
+) {
+    findings.push(Finding {
+        file: file.to_string(),
+        line: idx + 1,
+        col: col0 + 1,
+        code,
+        message,
+    });
+}
+
+fn pp001(file: &str, idx: usize, code_line: &str, findings: &mut Vec<Finding>) {
+    for pat in PP001_SOURCES {
+        let mut from = 0;
+        while let Some(at) = find_word(code_line, pat, from) {
+            let name = pat.trim_end_matches('(');
+            push(
+                findings,
+                file,
+                idx,
+                at,
+                "PP001",
+                format!("nondeterminism source `{name}` in a simulation/prediction path; inject time or seed explicitly"),
+            );
+            from = at + pat.len();
+        }
+    }
+}
+
+/// First pass of PP002: names bound or declared with a `HashMap`/`HashSet`
+/// type anywhere in the file (let bindings and struct fields).
+fn collect_hash_container_names(lines: &[MaskedLine]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for line in lines {
+        let code = line.code.as_str();
+        if !code.contains("HashMap") && !code.contains("HashSet") {
+            continue;
+        }
+        // `let [mut] name … = HashMap::new()` / `let name: HashMap<…>`.
+        if let Some(let_at) = find_word(code, "let", 0) {
+            let after = &code[let_at + 3..];
+            let after = after.trim_start();
+            let after = after.strip_prefix("mut ").unwrap_or(after).trim_start();
+            let name: String = after.chars().take_while(|&c| is_ident_char(c)).collect();
+            let rest = &after[name.len()..];
+            if !name.is_empty() && (rest.contains("HashMap") || rest.contains("HashSet")) {
+                names.push(name);
+            }
+        }
+        // `field: HashMap<…>` / `field: HashSet<…>` (struct fields, fn params).
+        for marker in [": HashMap", ": HashSet"] {
+            let mut from = 0;
+            while let Some(at) = code[from..].find(marker).map(|p| p + from) {
+                let head = &code[..at];
+                let name: String = head
+                    .chars()
+                    .rev()
+                    .take_while(|&c| is_ident_char(c))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                if !name.is_empty() {
+                    names.push(name);
+                }
+                from = at + marker.len();
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn pp002(
+    file: &str,
+    idx: usize,
+    code_line: &str,
+    hash_names: &[String],
+    findings: &mut Vec<Finding>,
+) {
+    for name in hash_names {
+        for suffix in PP002_ITERS {
+            let pat = format!("{name}{suffix}");
+            let mut from = 0;
+            while let Some(at) = find_word(code_line, &pat, from) {
+                push(
+                    findings,
+                    file,
+                    idx,
+                    at,
+                    "PP002",
+                    format!("iteration over hash-ordered container `{name}` can leak nondeterministic order into results; use BTreeMap/BTreeSet or sort first"),
+                );
+                from = at + pat.len();
+            }
+        }
+        for prefix in ["in &", "in &mut "] {
+            let pat = format!("{prefix}{name}");
+            let mut from = 0;
+            while let Some(at) = find_word(code_line, &pat, from) {
+                // `for x in &map` — iteration by reference.
+                push(
+                    findings,
+                    file,
+                    idx,
+                    at,
+                    "PP002",
+                    format!("iteration over hash-ordered container `{name}` can leak nondeterministic order into results; use BTreeMap/BTreeSet or sort first"),
+                );
+                from = at + pat.len();
+            }
+        }
+    }
+}
+
+fn pp003(file: &str, idx: usize, code_line: &str, findings: &mut Vec<Finding>) {
+    for pat in PP003_PANICS {
+        let mut from = 0;
+        while let Some(at) = find_word(code_line, pat, from) {
+            let name = pat.trim_start_matches('.').trim_end_matches('(');
+            let name = name.trim_end_matches("()");
+            push(
+                findings,
+                file,
+                idx,
+                at,
+                "PP003",
+                format!("`{name}` in non-test library code; return a typed error, or document the invariant and add a tidy:allow"),
+            );
+            from = at + pat.len();
+        }
+    }
+}
+
+fn pp004(file: &str, idx: usize, code_line: &str, findings: &mut Vec<Finding>) {
+    let mut from = 0;
+    while let Some(at) = find_word(code_line, ".partial_cmp(", from) {
+        push(
+            findings,
+            file,
+            idx,
+            at,
+            "PP004",
+            "float ordering via `partial_cmp`; use `total_cmp` so NaN cannot panic or reorder"
+                .to_string(),
+        );
+        from = at + ".partial_cmp(".len();
+    }
+    for (op_at, _op) in comparison_ops(code_line) {
+        let left = token_before(code_line, op_at);
+        let right = token_after(code_line, op_at + 2);
+        if is_float_literal(&left) || is_float_literal(&right) {
+            push(
+                findings,
+                file,
+                idx,
+                op_at,
+                "PP004",
+                "exact `==`/`!=` comparison against a float literal; use an epsilon or a documented bit-exact check".to_string(),
+            );
+        }
+    }
+}
+
+/// Byte offsets of standalone `==` / `!=` operators.
+fn comparison_ops(line: &str) -> Vec<(usize, &'static str)> {
+    let bytes = line.as_bytes();
+    let mut ops = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let pair = &bytes[i..i + 2];
+        if pair == b"==" {
+            let prev = i.checked_sub(1).map(|j| bytes[j]);
+            let next = bytes.get(i + 2).copied();
+            // Exclude `<=`, `>=`, `!=`'s tail, `===` (not Rust, but safe).
+            if !matches!(prev, Some(b'=') | Some(b'!') | Some(b'<') | Some(b'>'))
+                && next != Some(b'=')
+            {
+                ops.push((i, "=="));
+            }
+            i += 2;
+        } else if pair == b"!=" {
+            ops.push((i, "!="));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    ops
+}
+
+fn token_before(line: &str, end: usize) -> String {
+    let bytes = line.as_bytes();
+    let mut i = end;
+    while i > 0 && bytes[i - 1] == b' ' {
+        i -= 1;
+    }
+    let stop = i;
+    while i > 0 {
+        let c = bytes[i - 1] as char;
+        if is_ident_char(c) || c == '.' {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    line[i..stop].to_string()
+}
+
+fn token_after(line: &str, start: usize) -> String {
+    let bytes = line.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i] == b' ' {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'-' {
+        i += 1; // negative literal
+    }
+    let begin = i;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if is_ident_char(c) || c == '.' {
+            i += 1;
+        } else if (c == '+' || c == '-') && i > begin && matches!(bytes[i - 1], b'e' | b'E') {
+            i += 1; // exponent sign
+        } else {
+            break;
+        }
+    }
+    line[begin..i].to_string()
+}
+
+/// True for Rust float literals: `1.0`, `0.5f64`, `1e-9`, `2f32`, `1_000.0`.
+fn is_float_literal(tok: &str) -> bool {
+    let body = tok
+        .strip_suffix("f64")
+        .or_else(|| tok.strip_suffix("f32"))
+        .unwrap_or(tok);
+    let has_suffix = body.len() != tok.len();
+    let body = body.replace('_', "");
+    let mut chars = body.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_digit() => {}
+        _ => return false,
+    }
+    let valid = body
+        .chars()
+        .all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'));
+    if !valid {
+        return false;
+    }
+    has_suffix || body.contains('.') || body.contains('e') || body.contains('E')
+}
+
+fn pp005(file: &str, idx: usize, code_line: &str, findings: &mut Vec<Finding>) {
+    for pat in PP005_LOCKS {
+        let mut from = 0;
+        while let Some(at) = find_word(code_line, pat, from) {
+            push(
+                findings,
+                file,
+                idx,
+                at,
+                "PP005",
+                format!("raw `{pat}` bypasses the poison-recovering lock helpers; a peer's panic becomes a secondary panic here"),
+            );
+            from = at + pat.len();
+        }
+    }
+}
+
+/// PP006: public functions returning `Result` must carry an `# Errors`
+/// doc section. Trait-impl methods are exempt (their contract lives on
+/// the trait).
+fn pp006(file: &str, lines: &[MaskedLine], regions: &Regions, findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if regions.in_test[idx] || regions.in_trait_impl[idx] {
+            continue;
+        }
+        let Some(col) = public_fn_at(&line.code) else {
+            continue;
+        };
+        let signature = capture_signature(lines, idx);
+        let Some(ret) = signature.rsplit("->").next() else {
+            continue;
+        };
+        // Word match, not substring: `DistSorResult` is a plain struct.
+        if signature.contains("->") && has_word(ret, "Result") && !docs_mention_errors(lines, idx) {
+            push(
+                findings,
+                file,
+                idx,
+                col,
+                "PP006",
+                "`pub fn` returning `Result` without an `# Errors` doc section".to_string(),
+            );
+        }
+    }
+}
+
+/// Column of a plain `pub fn` (not `pub(crate)`) definition on this line.
+fn public_fn_at(code_line: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(at) = find_word(code_line, "pub", from) {
+        let rest = code_line[at + 3..].trim_start();
+        from = at + 3;
+        if rest.starts_with('(') {
+            continue; // pub(crate), pub(super), …: not public API
+        }
+        // Skip qualifier keywords between `pub` and `fn`.
+        let mut r = rest;
+        loop {
+            r = r.trim_start();
+            if r.starts_with("fn ") || r == "fn" {
+                return Some(at);
+            }
+            let mut advanced = false;
+            for kw in ["const ", "async ", "unsafe ", "extern "] {
+                if let Some(stripped) = r.strip_prefix(kw) {
+                    r = stripped;
+                    advanced = true;
+                    break;
+                }
+            }
+            if let Some(stripped) = r.strip_prefix("\"\"") {
+                // masked ABI string of `extern "C"`
+                r = stripped;
+                advanced = true;
+            }
+            if !advanced {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// The masked signature text from the `pub fn` line to the body brace.
+fn capture_signature(lines: &[MaskedLine], start: usize) -> String {
+    let mut sig = String::new();
+    for line in lines.iter().skip(start).take(24) {
+        let code = line.code.as_str();
+        let end = code.find(['{', ';']);
+        match end {
+            Some(e) => {
+                sig.push_str(&code[..e]);
+                return sig;
+            }
+            None => {
+                sig.push_str(code);
+                sig.push(' ');
+            }
+        }
+    }
+    sig
+}
+
+/// True when the contiguous doc block above `idx` mentions `# Errors`.
+fn docs_mention_errors(lines: &[MaskedLine], idx: usize) -> bool {
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let line = &lines[j];
+        let code_trim = line.code.trim();
+        if line.is_doc {
+            if line.comment.contains("# Errors") {
+                return true;
+            }
+            continue;
+        }
+        if code_trim.starts_with("#[") || code_trim.starts_with("#!") {
+            continue; // attribute between docs and fn
+        }
+        return false;
+    }
+    false
+}
+
+/// One parsed `tidy:allow` marker.
+#[derive(Debug, Clone)]
+struct Allow {
+    code: String,
+    justified: bool,
+    line: usize,
+    col: usize,
+}
+
+/// True for a concrete lint code: `PP` followed by three ASCII digits.
+fn is_lint_code(code: &str) -> bool {
+    code.len() == 5 && code.starts_with("PP") && code[2..].bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Extracts every `tidy:allow(PPnnn)[: reason]` from a comment.
+fn parse_allows(comment: &str, line: usize) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = comment[from..].find("tidy:allow").map(|p| p + from) {
+        let rest = &comment[pos + "tidy:allow".len()..];
+        let (code, justified) = match rest.strip_prefix('(') {
+            Some(inner) => match inner.find(')') {
+                Some(close) => {
+                    let code = inner[..close].trim().to_string();
+                    // Prose about the grammar (e.g. `tidy:allow(PPnnn)`)
+                    // is not an allow attempt; only concrete codes are.
+                    if !is_lint_code(&code) {
+                        from = pos + "tidy:allow".len();
+                        continue;
+                    }
+                    let tail = inner[close + 1..].trim_start();
+                    let reason = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+                    (code, !reason.is_empty())
+                }
+                None => (String::new(), false),
+            },
+            None => (String::new(), false),
+        };
+        allows.push(Allow {
+            code,
+            justified,
+            line,
+            col: pos + 1,
+        });
+        from = pos + "tidy:allow".len();
+    }
+    allows
+}
+
+/// Applies `tidy:allow` suppressions in place and appends PP000 findings
+/// for unjustified or malformed allows.
+fn apply_suppressions(file: &str, lines: &[MaskedLine], findings: &mut Vec<Finding>) {
+    // Allows attached to each line: its own trailing comment plus any
+    // comment-only lines directly above.
+    // Doc comments talk *about* the tool (grammar tables, usage docs);
+    // suppressions must be written in regular comments.
+    let per_line: Vec<Vec<Allow>> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            if l.is_doc {
+                Vec::new()
+            } else {
+                parse_allows(&l.comment, i + 1)
+            }
+        })
+        .collect();
+
+    let effective = |lineno: usize| -> Vec<&Allow> {
+        let idx = lineno - 1;
+        let mut out: Vec<&Allow> = per_line[idx].iter().collect();
+        let mut j = idx;
+        while j > 0 {
+            j -= 1;
+            let l = &lines[j];
+            if l.code.trim().is_empty() && !l.comment.trim().is_empty() {
+                out.extend(per_line[j].iter());
+            } else {
+                break;
+            }
+        }
+        out
+    };
+
+    findings.retain(|f| {
+        !effective(f.line)
+            .iter()
+            .any(|a| a.justified && a.code == f.code)
+    });
+
+    for allows in &per_line {
+        for a in allows {
+            if !a.justified {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: a.line,
+                    col: a.col,
+                    code: "PP000",
+                    message: "unjustified tidy:allow; write `tidy:allow(PPnnn): reason` with a non-empty reason".to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn pp001_fires_in_lib_but_not_in_tests_or_strings() {
+        let f = lint_source("crates/x/src/a.rs", "fn f() { let t = Instant::now(); }\n");
+        assert_eq!(codes(&f), ["PP001"]);
+        let f = lint_source(
+            "crates/x/tests/a.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        );
+        assert!(f.is_empty());
+        let f = lint_source(
+            "crates/x/src/a.rs",
+            "fn f() { let s = \"Instant::now()\"; }\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn pp003_flags_unwrap_and_expect_not_unwrap_or() {
+        let src = "fn f(v: Option<u32>) -> u32 { v.unwrap_or(3); v.expect(\"x\") }\n";
+        let f = lint_source("crates/x/src/a.rs", src);
+        assert_eq!(codes(&f), ["PP003"]);
+    }
+
+    #[test]
+    fn pp004_float_literal_comparisons() {
+        let f = lint_source("crates/x/src/a.rs", "fn f(x: f64) -> bool { x == 0.0 }\n");
+        assert_eq!(codes(&f), ["PP004"]);
+        let f = lint_source("crates/x/src/a.rs", "fn f(x: usize) -> bool { x == 2 }\n");
+        assert!(f.is_empty());
+        let f = lint_source("crates/x/src/a.rs", "fn f(x: f64) -> bool { x <= 1.0 }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn suppression_requires_reason() {
+        let ok = "fn f(v: Option<u32>) -> u32 {\n    // tidy:allow(PP003): invariant: v is Some by construction\n    v.unwrap()\n}\n";
+        let f = lint_source("crates/x/src/a.rs", ok);
+        assert!(f.is_empty(), "{f:?}");
+        let bad = "fn f(v: Option<u32>) -> u32 {\n    // tidy:allow(PP003)\n    v.unwrap()\n}\n";
+        let f = lint_source("crates/x/src/a.rs", bad);
+        assert_eq!(codes(&f), ["PP000", "PP003"]);
+    }
+
+    #[test]
+    fn pp006_wants_errors_section() {
+        let undocumented = "/// Does a thing.\npub fn f() -> Result<(), E> { Ok(()) }\n";
+        let f = lint_source("crates/x/src/a.rs", undocumented);
+        assert_eq!(codes(&f), ["PP006"]);
+        let documented =
+            "/// Does a thing.\n///\n/// # Errors\n/// When it cannot.\npub fn f() -> Result<(), E> { Ok(()) }\n";
+        let f = lint_source("crates/x/src/a.rs", documented);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn pp002_flags_hash_iteration_by_name() {
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2); for (k, v) in &m { use_it(k, v); } }\n";
+        let f = lint_source("crates/x/src/a.rs", src);
+        assert_eq!(codes(&f), ["PP002"]);
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2); let _ = m.get(&1); }\n";
+        let f = lint_source("crates/x/src/a.rs", src);
+        assert!(f.is_empty());
+    }
+}

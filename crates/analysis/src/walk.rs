@@ -1,0 +1,91 @@
+//! Deterministic workspace traversal for the tidy engine: finds every
+//! first-party `.rs` file under the workspace root, in sorted order, so
+//! repeated runs produce byte-identical output.
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "node_modules"];
+
+/// The workspace root as seen from this crate's manifest at compile
+/// time. `tidy --root` overrides it for tests and odd layouts.
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .components()
+        .collect()
+}
+
+/// Collects every lintable `.rs` file under `root`, returned as sorted
+/// repo-relative paths with forward slashes. Only the first-party source
+/// trees are scanned (`crates/`, `tests/`, `examples/`); vendored code
+/// and build output are skipped, as are the lint-test fixtures (which
+/// contain findings on purpose).
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while reading a directory.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(root, &dir, &mut files)?;
+        }
+    }
+    files.retain(|f| !f.starts_with("crates/analysis/tests/fixtures/"));
+    files.sort();
+    Ok(files)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("strip_prefix {}: {e}", path.display()))?;
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_crate_and_skips_vendor_and_fixtures() {
+        let root = default_root();
+        let files = workspace_files(&root).unwrap();
+        assert!(files.iter().any(|f| f == "crates/analysis/src/walk.rs"));
+        assert!(files.iter().all(|f| !f.starts_with("vendor/")));
+        assert!(files
+            .iter()
+            .all(|f| !f.starts_with("crates/analysis/tests/fixtures/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk order must be sorted");
+    }
+}

@@ -1,0 +1,94 @@
+//! Golden-diagnostic tests: every `PPnnn` code has a fixture under
+//! `tests/fixtures/` whose rendered findings must match the committed
+//! `.expected` file byte for byte. Regenerate with
+//! `UPDATE_FIXTURES=1 cargo test -p prodpred-analysis --test fixtures`
+//! and review the diff.
+
+use prodpred_analysis::lints::lint_source;
+
+fn fixture_dir() -> String {
+    format!("{}/tests/fixtures", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn render_fixture(name: &str) -> String {
+    let src = std::fs::read_to_string(format!("{}/{name}.rs", fixture_dir()))
+        .expect("fixture source exists");
+    // Fixtures pretend to live in a library path so path scoping (test
+    // dirs, bins, the bench crate) does not mask the lint under test.
+    let rel = format!("crates/fixture/src/{name}.rs");
+    lint_source(&rel, &src)
+        .iter()
+        .map(|f| f.render() + "\n")
+        .collect()
+}
+
+fn check(name: &str) {
+    let rendered = render_fixture(name);
+    let expected_path = format!("{}/{name}.expected", fixture_dir());
+    if std::env::var_os("UPDATE_FIXTURES").is_some() {
+        std::fs::write(&expected_path, &rendered).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path).expect("golden exists");
+    assert_eq!(rendered, expected, "golden mismatch for fixture {name}");
+}
+
+#[test]
+fn pp000_unjustified_allow_is_a_finding() {
+    check("pp000");
+}
+
+#[test]
+fn pp001_nondeterminism_sources() {
+    check("pp001");
+}
+
+#[test]
+fn pp002_hash_iteration() {
+    check("pp002");
+}
+
+#[test]
+fn pp003_unchecked_panics() {
+    check("pp003");
+}
+
+#[test]
+fn pp004_float_hygiene() {
+    check("pp004");
+}
+
+#[test]
+fn pp005_raw_locks() {
+    check("pp005");
+}
+
+#[test]
+fn pp006_errors_docs() {
+    check("pp006");
+}
+
+#[test]
+fn every_fixture_has_at_least_one_finding() {
+    for name in [
+        "pp000", "pp001", "pp002", "pp003", "pp004", "pp005", "pp006",
+    ] {
+        assert!(
+            !render_fixture(name).is_empty(),
+            "fixture {name} produced no findings at all"
+        );
+    }
+}
+
+#[test]
+fn diagnostics_are_deterministic() {
+    for name in [
+        "pp000", "pp001", "pp002", "pp003", "pp004", "pp005", "pp006",
+    ] {
+        assert_eq!(
+            render_fixture(name),
+            render_fixture(name),
+            "non-deterministic output for {name}"
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! PP000 fixture: allow-marker hygiene.
+
+pub fn good() -> u64 {
+    // tidy:allow(PP003): fixture demonstrates a justified suppression
+    maybe().unwrap()
+}
+
+pub fn bad() -> u64 {
+    // tidy:allow(PP003)
+    maybe().unwrap()
+}
+
+fn maybe() -> Option<u64> {
+    Some(1)
+}

@@ -1,0 +1,19 @@
+//! PP001 fixture: nondeterminism sources in simulation/prediction paths.
+
+use std::time::{Instant, SystemTime};
+
+pub fn now_pair() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}
+
+pub fn allowed() -> Instant {
+    Instant::now() // tidy:allow(PP001): fixture demonstrates a justified wall-clock read
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

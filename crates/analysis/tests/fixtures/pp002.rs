@@ -1,0 +1,13 @@
+//! PP002 fixture: iteration order of hash containers leaking into results.
+
+use std::collections::HashMap;
+
+pub fn leaky() -> u32 {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.values().sum()
+}
+
+pub fn fine() -> Option<u32> {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.get(&1).copied()
+}

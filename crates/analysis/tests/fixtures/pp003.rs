@@ -1,0 +1,17 @@
+//! PP003 fixture: unchecked panics in library code.
+
+pub fn panicky(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn with_message(v: Option<u32>) -> u32 {
+    v.expect("fixture invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

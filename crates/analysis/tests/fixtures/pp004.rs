@@ -1,0 +1,14 @@
+//! PP004 fixture: float comparison hygiene.
+
+pub fn nan_unsafe_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn exact_compare(x: f64) -> bool {
+    x == 0.5
+}
+
+pub fn fine(xs: &mut [f64], x: f64) -> bool {
+    xs.sort_by(f64::total_cmp);
+    (x - 0.5).abs() < 1e-9
+}

@@ -1,0 +1,7 @@
+//! PP005 fixture: raw mutex access instead of the poison-recovering helper.
+
+use std::sync::Mutex;
+
+pub fn raw_lock(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}

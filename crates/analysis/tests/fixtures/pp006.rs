@@ -1,0 +1,15 @@
+//! PP006 fixture: fallible public API documentation.
+
+/// Parses a number.
+pub fn undocumented(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "not a number".to_string())
+}
+
+/// Parses a number.
+///
+/// # Errors
+///
+/// Returns an error when `s` is not a decimal integer.
+pub fn documented(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "not a number".to_string())
+}

@@ -25,6 +25,7 @@ pub enum PredictionQuality {
 impl PredictionQuality {
     /// Grades a stochastic value.
     pub fn of(v: StochasticValue) -> Self {
+        // tidy:allow(PP004): exact zero guard before dividing by the mean
         let rel = if v.mean() != 0.0 {
             v.half_width() / v.mean().abs()
         } else {

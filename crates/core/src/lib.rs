@@ -38,7 +38,7 @@
 #![forbid(unsafe_code)]
 // Public-facing code returns typed errors instead of unwrapping; tests
 // may unwrap freely.
-#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod advisor;
 pub mod ep;

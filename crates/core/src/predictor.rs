@@ -150,6 +150,11 @@ impl<'a> SorPredictor<'a> {
 
     /// Fallible [`SorPredictor::new`]: a platform/NWS mismatch surfaces
     /// as [`PredictorError::PlatformMismatch`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::PlatformMismatch`] when the NWS monitors a
+    /// different platform than `platform`.
     pub fn try_new(
         platform: &'a Platform,
         nws: &'a NwsService,
@@ -274,6 +279,11 @@ impl<'a> SorPredictor<'a> {
     /// strips, a dry CPU sensor, a dry bandwidth sensor — comes back as a
     /// distinct [`PredictorError`] so supervisors can decide whether a
     /// retry can possibly help.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PredictorError`] when more strips than machines are
+    /// requested or an NWS sensor cannot produce an estimate.
     pub fn try_predict(&self, n: usize, strips: &[Strip]) -> Result<Prediction, PredictorError> {
         let inputs = self.build_inputs(n, strips, |i| self.instantaneous_load(i))?;
         let instantaneous = self.prediction_from(inputs);

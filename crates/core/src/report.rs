@@ -56,7 +56,7 @@ pub fn render_series(points: &[(f64, f64)], width: usize, label: &str) -> String
         out.push_str(&format!(
             "{:>10.1} |{}| {:.4}\n",
             t,
-            String::from_utf8(bar).expect("ascii"),
+            String::from_utf8(bar).expect("ascii"), // tidy:allow(PP003): the bar buffer is built from ASCII bytes only
             v
         ));
     }
@@ -103,7 +103,7 @@ pub fn render_interval_chart(
         out.push_str(&format!(
             "{:>16} |{}|{}{}\n",
             label,
-            String::from_utf8(bar).expect("ascii"),
+            String::from_utf8(bar).expect("ascii"), // tidy:allow(PP003): the bar buffer is built from ASCII bytes only
             marker,
             if inside { " in" } else { " OUT" }
         ));

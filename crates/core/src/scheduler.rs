@@ -149,7 +149,7 @@ pub fn decompose(
             .map(|m| 1.0 / m.spec.class.benchmark_secs_per_element())
             .collect(),
         DecompositionPolicy::EffectiveSpeed { policy } => {
-            let loads = loads.expect("EffectiveSpeed needs load estimates");
+            let loads = loads.expect("EffectiveSpeed needs load estimates"); // tidy:allow(PP003): documented API contract of EffectiveSpeed
             assert_eq!(loads.len(), p, "one load per machine");
             platform
                 .machines

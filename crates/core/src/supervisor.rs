@@ -278,6 +278,11 @@ impl Supervisor {
     /// backoff (simulated time — nothing sleeps). `op` receives the
     /// attempt index and the current clock; errors beyond the budget are
     /// returned as-is and counted as abandoned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last error from `op` once the retry budget is exhausted;
+    /// the attempt is counted as abandoned.
     pub fn retry_timed<T, E>(
         &mut self,
         clock: &mut f64,

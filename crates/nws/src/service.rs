@@ -342,17 +342,32 @@ impl NwsService {
     /// is only partially filled, and the spread is widened by
     /// `sqrt(1 + stale_intervals)` so confidence decays with sensor
     /// silence. Only an empty history is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QueryError`] only when the series holds no measurement
+    /// history at all.
     pub fn cpu_query(&self, i: usize) -> Result<QuerySummary, QueryError> {
         self.query_from(&self.cpu[i])
     }
 
     /// Fault-aware available-bandwidth-fraction query; see
     /// [`NwsService::cpu_query`] for the degradation contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QueryError`] only when the series holds no measurement
+    /// history at all.
     pub fn bandwidth_fraction_query(&self) -> Result<QuerySummary, QueryError> {
         self.query_from(&self.bandwidth)
     }
 
     /// Fault-aware available-bandwidth query in bytes/second.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QueryError`] only when the series holds no measurement
+    /// history at all.
     pub fn bandwidth_query(&self, platform: &Platform) -> Result<QuerySummary, QueryError> {
         self.bandwidth_fraction_query().map(|mut q| {
             q.value = q.value.scale(platform.network.spec.dedicated_bw);

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -174,7 +175,7 @@ where
     }
     slots
         .into_iter()
-        .map(|slot| slot.expect("every index was claimed exactly once"))
+        .map(|slot| slot.expect("every index was claimed exactly once")) // tidy:allow(PP003): pool indices partition 0..n; each slot filled once
         .collect()
 }
 

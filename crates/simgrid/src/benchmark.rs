@@ -33,7 +33,7 @@ pub fn run_sort_benchmark(n: usize, reps: usize, seed: u64) -> Vec<f64> {
         for _ in 0..n {
             data.push(rand::RngCore::next_u64(&mut rng));
         }
-        let start = Instant::now();
+        let start = Instant::now(); // tidy:allow(PP001): calibrates against real hardware by design
         data.sort_unstable();
         out.push(start.elapsed().as_secs_f64());
     }

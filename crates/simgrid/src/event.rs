@@ -17,7 +17,8 @@ struct Scheduled<T> {
 
 impl<T> PartialEq for Scheduled<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        // total_cmp keeps Eq consistent with Ord for every bit pattern.
+        self.time.total_cmp(&other.time) == Ordering::Equal && self.seq == other.seq
     }
 }
 impl<T> Eq for Scheduled<T> {}
@@ -27,8 +28,7 @@ impl<T> Ord for Scheduled<T> {
         // Reverse for the max-heap: earliest time first, then lowest seq.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times must not be NaN")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

@@ -281,11 +281,10 @@ impl LoadGenerator for SessionLoad {
             );
         }
         let mut change_points: Vec<(f64, i64)> = vec![(0.0, active)];
-        while let Some(next) = q.peek_time() {
-            if next >= horizon {
+        while let Some((t, ev)) = q.pop() {
+            if t >= horizon {
                 break;
             }
-            let (t, ev) = q.pop().expect("peeked event must pop");
             match ev {
                 SessionEvent::Arrival => {
                     active += 1;

@@ -143,6 +143,7 @@ impl Ethernet {
     /// against the availability trace, plus latency.
     pub fn transfer_secs(&self, bytes: f64, t: f64) -> f64 {
         assert!(bytes >= 0.0);
+        // tidy:allow(PP004): exact zero-byte shortcut, no tolerance wanted
         if bytes == 0.0 {
             return 0.0;
         }

@@ -245,6 +245,7 @@ impl Trace {
             dedicated_work >= 0.0,
             "work must be non-negative: {dedicated_work}"
         );
+        // tidy:allow(PP004): exact zero-work shortcut, no tolerance wanted
         if dedicated_work == 0.0 {
             return 0.0;
         }
@@ -276,6 +277,7 @@ impl Trace {
             dedicated_work >= 0.0,
             "work must be non-negative: {dedicated_work}"
         );
+        // tidy:allow(PP004): exact zero-work shortcut, no tolerance wanted
         if dedicated_work == 0.0 {
             return 0.0;
         }

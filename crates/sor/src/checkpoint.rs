@@ -153,6 +153,11 @@ impl Checkpoint {
 
     /// Copies the snapshotted state into `grid` after validating the
     /// format version and grid dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on a format-version or grid-dimension
+    /// mismatch; `grid` is untouched on error.
     pub fn restore(&self, grid: &mut Grid) -> Result<(), CheckpointError> {
         if self.version != CHECKPOINT_VERSION {
             return Err(CheckpointError::VersionMismatch {
@@ -265,6 +270,10 @@ fn run_segments(
 /// # Panics
 ///
 /// Same configuration panics as [`try_solve_parallel_strips`].
+///
+/// # Errors
+///
+/// Returns the same [`SolveError`]s as [`try_solve_parallel_strips`].
 pub fn try_solve_strips_checkpointed(
     grid: &mut Grid,
     params: SorParams,
@@ -283,6 +292,10 @@ pub fn try_solve_strips_checkpointed(
 /// iterations, continuing to checkpoint under the same policy. The
 /// injected kill in `options` keeps its *global* addressing — a death
 /// already consumed before the checkpoint does not re-fire.
+///
+/// # Errors
+///
+/// Returns the same [`SolveError`]s as [`try_solve_parallel_strips`].
 pub fn resume_strips_from(
     checkpoint: &Checkpoint,
     grid: &mut Grid,
@@ -305,6 +318,10 @@ pub fn resume_strips_from(
 /// # Panics
 ///
 /// Same configuration panics as [`try_solve_parallel_blocks`].
+///
+/// # Errors
+///
+/// Returns the same [`SolveError`]s as [`try_solve_parallel_blocks`].
 pub fn try_solve_blocks_checkpointed(
     grid: &mut Grid,
     params: SorParams,
@@ -320,6 +337,10 @@ pub fn try_solve_blocks_checkpointed(
 
 /// Resumes a block solve from `checkpoint` — the 2D analogue of
 /// [`resume_strips_from`].
+///
+/// # Errors
+///
+/// Returns the same [`SolveError`]s as [`try_solve_parallel_blocks`].
 pub fn resume_blocks_from(
     checkpoint: &Checkpoint,
     grid: &mut Grid,

@@ -144,7 +144,7 @@ impl ExchangePolicy {
     /// The next wait bounded by both the per-attempt `timeout` and the
     /// time remaining until `deadline`. `None` once the budget is spent.
     fn next_wait(&self, deadline: Instant) -> Option<Duration> {
-        let remaining = deadline.saturating_duration_since(Instant::now());
+        let remaining = deadline.saturating_duration_since(Instant::now()); // tidy:allow(PP001): runtime timeout bookkeeping, not simulated time
         if remaining.is_zero() {
             return None;
         }
@@ -172,6 +172,10 @@ pub fn mailbox<T>() -> (MailSender<T>, MailReceiver<T>) {
 impl<T> MailSender<T> {
     /// Moves `value` into the slot, blocking while the previous value is
     /// still unconsumed. Returns the value back on a disconnected peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back as `Err` when the receiver hung up.
     pub fn send(&self, value: T) -> Result<(), T> {
         let mut state = lock(&self.shared.state);
         while state.slot.is_some() && !state.closed {
@@ -192,11 +196,17 @@ impl<T> MailSender<T> {
     /// Like [`MailSender::send`], but gives up once `timeout` elapses
     /// with the previous value still unconsumed. The value rides back in
     /// the error either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendTimeoutError::Timeout`] when `timeout` elapses and
+    /// [`SendTimeoutError::Disconnected`] when the peer hung up; the value
+    /// rides back inside either variant.
     pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now() + timeout; // tidy:allow(PP001): runtime timeout bookkeeping, not simulated time
         let mut state = lock(&self.shared.state);
         while state.slot.is_some() && !state.closed {
-            let now = Instant::now();
+            let now = Instant::now(); // tidy:allow(PP001): runtime timeout bookkeeping, not simulated time
             if now >= deadline {
                 return Err(SendTimeoutError::Timeout(value));
             }
@@ -218,6 +228,10 @@ impl<T> MailSender<T> {
 
 impl<T> MailReceiver<T> {
     /// Takes the value out of the slot, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] when the sender hung up with the slot empty.
     pub fn recv(&self) -> Result<T, Disconnected> {
         let mut state = lock(&self.shared.state);
         loop {
@@ -238,8 +252,14 @@ impl<T> MailReceiver<T> {
 
     /// Like [`MailReceiver::recv`], but gives up once `timeout` elapses
     /// with nothing delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvTimeoutError::Timeout`] when `timeout` elapses and
+    /// [`RecvTimeoutError::Disconnected`] when the sender hung up with the
+    /// slot empty.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now() + timeout; // tidy:allow(PP001): runtime timeout bookkeeping, not simulated time
         let mut state = lock(&self.shared.state);
         loop {
             if let Some(value) = state.slot.take() {
@@ -249,7 +269,7 @@ impl<T> MailReceiver<T> {
             if state.closed {
                 return Err(RecvTimeoutError::Disconnected);
             }
-            let now = Instant::now();
+            let now = Instant::now(); // tidy:allow(PP001): runtime timeout bookkeeping, not simulated time
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
@@ -324,7 +344,7 @@ impl RecycledSender {
     pub fn send_with(&mut self, fill: impl FnOnce(&mut [f64])) {
         let mut buf = match self.stash.take() {
             Some(buf) => buf,
-            None => self.returns.recv().expect("neighbour hung up"),
+            None => self.returns.recv().expect("neighbour hung up"), // tidy:allow(PP003): documented panic contract of the infallible path
         };
         fill(&mut buf);
         if self.data.send(buf).is_err() {
@@ -341,12 +361,17 @@ impl RecycledSender {
     /// one exchange past `timeout × (retries + 1)`. On timeout the buffer
     /// is restashed, so a later retry of the whole exchange still
     /// allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExchangeError::Disconnected`] for a dead neighbour and
+    /// [`ExchangeError::Timeout`] once the policy's total budget is spent.
     pub fn try_send_with(
         &mut self,
         policy: &ExchangePolicy,
         fill: impl FnOnce(&mut [f64]),
     ) -> Result<(), ExchangeError> {
-        let deadline = Instant::now() + policy.total_budget();
+        let deadline = Instant::now() + policy.total_budget(); // tidy:allow(PP001): runtime timeout bookkeeping, not simulated time
         let mut buf = match self.stash.take() {
             Some(buf) => buf,
             None => loop {
@@ -384,7 +409,7 @@ impl RecycledReceiver {
     ///
     /// Panics if the neighbour hung up.
     pub fn recv_with(&self, consume: impl FnOnce(&[f64])) {
-        let row = self.data.recv().expect("neighbour hung up");
+        let row = self.data.recv().expect("neighbour hung up"); // tidy:allow(PP003): documented panic contract of the infallible path
         consume(&row);
         // Returning the buffer can only fail if the sender is gone, at
         // which point recycling no longer matters.
@@ -397,12 +422,17 @@ impl RecycledReceiver {
     /// buffer-return leg may add at most one further `timeout`, so the
     /// worst case is `total_budget + timeout` ("budget plus one
     /// attempt").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExchangeError::Disconnected`] for a dead neighbour and
+    /// [`ExchangeError::Timeout`] once the policy's total budget is spent.
     pub fn try_recv_with(
         &self,
         policy: &ExchangePolicy,
         consume: impl FnOnce(&[f64]),
     ) -> Result<(), ExchangeError> {
-        let deadline = Instant::now() + policy.total_budget();
+        let deadline = Instant::now() + policy.total_budget(); // tidy:allow(PP001): runtime timeout bookkeeping, not simulated time
         let row = loop {
             let Some(wait) = policy.next_wait(deadline) else {
                 return Err(ExchangeError::Timeout);

@@ -33,7 +33,7 @@
 #![forbid(unsafe_code)]
 // Public-facing code returns typed errors instead of unwrapping; tests
 // may unwrap freely.
-#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod checkpoint;
 pub mod decomp;
@@ -45,6 +45,7 @@ pub mod grid;
 pub mod kernel;
 pub mod parallel;
 pub mod parallel2d;
+pub mod protocol;
 pub mod seq;
 
 pub use checkpoint::{

@@ -29,6 +29,7 @@ use crate::exchange::{
 };
 use crate::grid::{Color, Grid};
 use crate::kernel::relax_rows;
+use crate::protocol::{half_iteration_script, ExchangeOp, Peer};
 use crate::seq::SorParams;
 use prodpred_simgrid::faults::WorkerDeath;
 
@@ -231,18 +232,26 @@ struct Links {
     from_down: Option<RecycledReceiver>,
 }
 
-/// One worker's full run: sweep, then exchange boundary rows with both
-/// neighbours, every half-iteration. Any exchange failure or injected
-/// death ends the run early (dropping the worker's links, which is what
-/// a neighbour observes as this worker's death).
+/// One worker's full run: sweep, then execute the extracted
+/// [`half_iteration_script`] — ship boundary rows to both neighbours,
+/// then drain fresh ghosts — every half-iteration. Any exchange failure
+/// or injected death ends the run early (dropping the worker's links,
+/// which is what a neighbour observes as this worker's death).
+///
+/// The exchange ordering is *not* open-coded here: the script from
+/// [`crate::protocol`] is the single source of truth, shared with the
+/// `prodpred-analysis` model checker that exhaustively proves the
+/// protocol deadlock-free for small configurations.
 fn worker_loop(
     rank: usize,
+    ranks: usize,
     worker: &mut Worker,
     link: &mut Links,
     params: SorParams,
     policy: &ExchangePolicy,
     kill: Option<WorkerDeath>,
 ) -> WorkerEnd {
+    let script = half_iteration_script(rank, ranks);
     let mut half = 0usize;
     for _ in 0..params.iterations {
         for color in [Color::Red, Color::Black] {
@@ -250,31 +259,51 @@ fn worker_loop(
                 return WorkerEnd::Died;
             }
             worker.sweep(color, params.omega);
-            // Send boundary rows, then receive fresh ghosts.
-            if let Some(tx) = &mut link.to_up {
-                if let Err(e) = tx.try_send_with(policy, |buf| worker.copy_top_row(buf)) {
-                    return end_of(e, rank - 1);
-                }
-            }
-            if let Some(tx) = &mut link.to_down {
-                if let Err(e) = tx.try_send_with(policy, |buf| worker.copy_bottom_row(buf)) {
-                    return end_of(e, rank + 1);
-                }
-            }
-            if let Some(rx) = &link.from_up {
-                if let Err(e) = rx.try_recv_with(policy, |row| worker.set_upper_ghost(row)) {
-                    return end_of(e, rank - 1);
-                }
-            }
-            if let Some(rx) = &link.from_down {
-                if let Err(e) = rx.try_recv_with(policy, |row| worker.set_lower_ghost(row)) {
-                    return end_of(e, rank + 1);
+            for op in &script {
+                if let Err(e) = run_op(*op, worker, link, policy) {
+                    let peer = match op {
+                        ExchangeOp::Send(p) | ExchangeOp::Recv(p) => *p,
+                    };
+                    return end_of(e, peer.rank_of(rank));
                 }
             }
             half += 1;
         }
     }
     WorkerEnd::Completed
+}
+
+/// Executes one scripted mailbox operation against the worker's links.
+/// The script only names neighbours the decomposition gave this rank, so
+/// the matching link is always present.
+fn run_op(
+    op: ExchangeOp,
+    worker: &mut Worker,
+    link: &mut Links,
+    policy: &ExchangePolicy,
+) -> Result<(), ExchangeError> {
+    match op {
+        ExchangeOp::Send(Peer::Up) => link
+            .to_up
+            .as_mut()
+            .expect("script sends up only when an upper link exists") // tidy:allow(PP003): half_iteration_script only emits ops for links that exist
+            .try_send_with(policy, |buf| worker.copy_top_row(buf)),
+        ExchangeOp::Send(Peer::Down) => link
+            .to_down
+            .as_mut()
+            .expect("script sends down only when a lower link exists") // tidy:allow(PP003): half_iteration_script only emits ops for links that exist
+            .try_send_with(policy, |buf| worker.copy_bottom_row(buf)),
+        ExchangeOp::Recv(Peer::Up) => link
+            .from_up
+            .as_ref()
+            .expect("script receives up only when an upper link exists") // tidy:allow(PP003): half_iteration_script only emits ops for links that exist
+            .try_recv_with(policy, |row| worker.set_upper_ghost(row)),
+        ExchangeOp::Recv(Peer::Down) => link
+            .from_down
+            .as_ref()
+            .expect("script receives down only when a lower link exists") // tidy:allow(PP003): half_iteration_script only emits ops for links that exist
+            .try_recv_with(policy, |row| worker.set_lower_ghost(row)),
+    }
 }
 
 /// Fallible core of the strip solver: every ghost exchange is bounded by
@@ -287,6 +316,12 @@ fn worker_loop(
 /// Panics if any strip is empty (decompose with `n >> p`), if strips do
 /// not tile the interior, or on invalid `omega` — configuration errors,
 /// not runtime faults.
+///
+/// # Errors
+///
+/// Returns [`SolveError::WorkerDied`] when a worker panics, an injected
+/// death fires, or a neighbour exchange disconnects or exhausts its
+/// timeout budget.
 pub fn try_solve_parallel_strips(
     grid: &mut Grid,
     params: SorParams,
@@ -340,7 +375,7 @@ pub fn try_solve_parallel_strips(
             let policy = options.policy;
             let kill = options.kill;
             handles.push(
-                scope.spawn(move || worker_loop(rank, worker, &mut link, params, &policy, kill)),
+                scope.spawn(move || worker_loop(rank, p, worker, &mut link, params, &policy, kill)),
             );
         }
         // Joining here (rather than letting the scope do it) converts a

@@ -194,6 +194,12 @@ fn block_worker_loop(
 ///
 /// Panics on invalid `omega` or a layout finer than the interior —
 /// configuration errors, not runtime faults.
+///
+/// # Errors
+///
+/// Returns [`SolveError::WorkerDied`] when a worker panics, an injected
+/// death fires, or a neighbour exchange disconnects or exhausts its
+/// timeout budget.
 pub fn try_solve_parallel_blocks(
     grid: &mut Grid,
     params: SorParams,

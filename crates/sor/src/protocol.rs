@@ -1,0 +1,109 @@
+//! The ghost-exchange protocol as data: the exact per-half-iteration
+//! sequence of mailbox operations every strip worker performs, extracted
+//! from the solver so that (a) [`crate::parallel`]'s worker loop *executes*
+//! this script rather than open-coding it, and (b) the bounded model
+//! checker in `prodpred-analysis` can *exhaustively verify* the very same
+//! ordering for deadlock freedom, lost messages, and double delivery —
+//! covering every interleaving the chaos campaign only samples.
+//!
+//! The protocol is the classic "push then pull" phase structure: each
+//! half-iteration a worker first ships its boundary rows to every live
+//! neighbour, then drains every neighbour's boundary row into its ghosts.
+//! Sends precede receives unconditionally; within each group the *up*
+//! neighbour comes first. Any reordering here changes the blocking
+//! structure the deadlock-freedom argument (and the model checker's
+//! proof) rests on, which is exactly why the order lives in one place.
+
+/// A neighbour of a strip worker in the 1-D chain decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Peer {
+    /// The worker owning the strip above (`rank - 1`).
+    Up,
+    /// The worker owning the strip below (`rank + 1`).
+    Down,
+}
+
+impl Peer {
+    /// The neighbouring rank this peer denotes for `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank == 0` and `self` is [`Peer::Up`] — edge workers
+    /// have no upper neighbour, and the script never names one.
+    pub fn rank_of(self, rank: usize) -> usize {
+        match self {
+            Peer::Up => rank - 1,
+            Peer::Down => rank + 1,
+        }
+    }
+}
+
+/// One mailbox operation of the ghost-exchange phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExchangeOp {
+    /// Ship this worker's boundary row toward `Peer` (top row goes Up,
+    /// bottom row goes Down) through the recycled link: reclaim the
+    /// in-flight buffer, fill it, deposit it in the data mailbox.
+    Send(Peer),
+    /// Drain the boundary row arriving from `Peer` into the matching
+    /// ghost row, returning the buffer through the reverse mailbox.
+    Recv(Peer),
+}
+
+/// The exchange script one worker runs every half-iteration, in execution
+/// order: send up, send down, receive up, receive down, with the ops
+/// toward non-existent neighbours (chain edges) omitted.
+///
+/// `rank` must be `< ranks`. A single-worker decomposition exchanges
+/// nothing and gets an empty script.
+pub fn half_iteration_script(rank: usize, ranks: usize) -> Vec<ExchangeOp> {
+    assert!(rank < ranks, "rank {rank} outside decomposition of {ranks}");
+    let mut script = Vec::with_capacity(4);
+    let has_up = rank > 0;
+    let has_down = rank + 1 < ranks;
+    if has_up {
+        script.push(ExchangeOp::Send(Peer::Up));
+    }
+    if has_down {
+        script.push(ExchangeOp::Send(Peer::Down));
+    }
+    if has_up {
+        script.push(ExchangeOp::Recv(Peer::Up));
+    }
+    if has_down {
+        script.push(ExchangeOp::Recv(Peer::Down));
+    }
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ExchangeOp::{Recv, Send};
+    use Peer::{Down, Up};
+
+    #[test]
+    fn interior_worker_talks_both_ways_sends_first() {
+        assert_eq!(
+            half_iteration_script(1, 3),
+            vec![Send(Up), Send(Down), Recv(Up), Recv(Down)]
+        );
+    }
+
+    #[test]
+    fn edge_workers_skip_the_missing_neighbour() {
+        assert_eq!(half_iteration_script(0, 2), vec![Send(Down), Recv(Down)]);
+        assert_eq!(half_iteration_script(1, 2), vec![Send(Up), Recv(Up)]);
+    }
+
+    #[test]
+    fn single_worker_exchanges_nothing() {
+        assert!(half_iteration_script(0, 1).is_empty());
+    }
+
+    #[test]
+    fn peer_rank_arithmetic() {
+        assert_eq!(Up.rank_of(2), 1);
+        assert_eq!(Down.rank_of(2), 3);
+    }
+}

@@ -59,6 +59,7 @@ impl AccuracyReport {
             let r = o.predicted.relative_error_outside(o.actual);
             max_range = max_range.max(r);
             sum_range += r;
+            // tidy:allow(PP004): exact zero guard before dividing by the actual
             let m = if o.actual != 0.0 {
                 (o.predicted.mean() - o.actual).abs() / o.actual.abs()
             } else {

@@ -102,8 +102,8 @@ impl Mixture {
     pub fn dominant(&self) -> &MixtureComponent {
         self.components
             .iter()
-            .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
-            .expect("mixture is non-empty")
+            .max_by(|a, b| a.weight.total_cmp(&b.weight))
+            .expect("mixture is non-empty") // tidy:allow(PP003): constructor rejects empty component lists
     }
 
     /// The index of the mode whose mean is nearest to `x` — used to decide
@@ -192,7 +192,7 @@ impl Distribution for Mixture {
         // Floating-point slack: fall through to the last mode.
         self.components
             .last()
-            .expect("mixture is non-empty")
+            .expect("mixture is non-empty") // tidy:allow(PP003): constructor rejects empty component lists
             .normal
             .sample(rng)
     }

@@ -22,7 +22,7 @@ impl Kde {
     pub fn new(data: &[f64]) -> Self {
         assert!(!data.is_empty(), "KDE needs data");
         let s = Summary::from_slice(data);
-        let iqr = quantile(data, 0.75).unwrap() - quantile(data, 0.25).unwrap();
+        let iqr = quantile(data, 0.75).unwrap_or(0.0) - quantile(data, 0.25).unwrap_or(0.0);
         let spread = if iqr > 0.0 {
             s.sd().min(iqr / 1.34)
         } else {
@@ -101,9 +101,8 @@ impl Kde {
         assert!(b > a && n >= 2);
         let g = self.grid(a, b, n);
         g.iter()
-            .min_by(|p, q| p.1.partial_cmp(&q.1).unwrap())
-            .map(|&(x, _)| x)
-            .unwrap()
+            .min_by(|p, q| p.1.total_cmp(&q.1))
+            .map_or(a, |&(x, _)| x)
     }
 }
 

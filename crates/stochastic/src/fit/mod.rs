@@ -34,6 +34,7 @@ pub fn fit_lognormal(data: &[f64]) -> Option<LogNormal> {
     }
     let logs: Vec<f64> = data.iter().map(|x| x.ln()).collect();
     let s = Summary::from_slice(&logs);
+    // tidy:allow(PP004): degenerate-sample guard; sd is exactly 0 for constant data
     if s.sd() == 0.0 {
         return None;
     }
@@ -53,6 +54,7 @@ pub fn fit_longtailed(data: &[f64]) -> Option<crate::dist::LongTailed> {
         return None;
     }
     let s = Summary::from_slice(data);
+    // tidy:allow(PP004): degenerate-sample guard; sd is exactly 0 for constant data
     if s.sd() == 0.0 {
         return None;
     }

@@ -202,7 +202,7 @@ impl std::ops::Mul<f64> for StochasticValue {
 impl std::ops::Div<f64> for StochasticValue {
     type Output = StochasticValue;
     fn div(self, rhs: f64) -> StochasticValue {
-        assert!(rhs != 0.0, "division of a stochastic value by point zero");
+        assert!(rhs != 0.0, "division of a stochastic value by point zero"); // tidy:allow(PP004): exact zero divisor guard
         self.scale(1.0 / rhs)
     }
 }

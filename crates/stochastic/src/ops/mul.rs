@@ -25,6 +25,7 @@ pub fn mul_related(a: &StochasticValue, b: &StochasticValue) -> StochasticValue 
 pub fn mul_unrelated(a: &StochasticValue, b: &StochasticValue) -> StochasticValue {
     let (xi, ai) = (a.mean(), a.half_width());
     let (xj, aj) = (b.mean(), b.half_width());
+    // tidy:allow(PP004): multiplying by an exact point zero yields an exact zero
     if xi == 0.0 || xj == 0.0 {
         return StochasticValue::point(0.0);
     }
@@ -40,7 +41,7 @@ pub fn mul_unrelated(a: &StochasticValue, b: &StochasticValue) -> StochasticValu
 /// zero has no finite moments).
 pub fn recip(v: &StochasticValue) -> StochasticValue {
     assert!(
-        v.mean() != 0.0,
+        v.mean() != 0.0, // tidy:allow(PP004): exact zero-mean guard before taking a reciprocal
         "reciprocal of a stochastic value with zero mean"
     );
     let m = v.mean();
@@ -53,7 +54,7 @@ pub fn recip(v: &StochasticValue) -> StochasticValue {
 /// fidelity to the text; see DESIGN.md for why [`recip`] is the default.
 pub fn recip_literal(v: &StochasticValue) -> StochasticValue {
     assert!(
-        v.mean() != 0.0,
+        v.mean() != 0.0, // tidy:allow(PP004): exact zero-mean guard before taking a reciprocal
         "reciprocal of a stochastic value with zero mean"
     );
     if v.is_point() {

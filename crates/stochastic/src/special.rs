@@ -35,6 +35,7 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// (Numerical Recipes `gammp`), in double precision.
 pub fn gammp(a: f64, x: f64) -> f64 {
     assert!(a > 0.0 && x >= 0.0, "gammp domain error: a={a}, x={x}");
+    // tidy:allow(PP004): exact endpoint identity of the incomplete gamma
     if x == 0.0 {
         return 0.0;
     }
@@ -48,6 +49,7 @@ pub fn gammp(a: f64, x: f64) -> f64 {
 /// Regularized upper incomplete gamma `Q(a, x) = 1 - P(a, x)`.
 pub fn gammq(a: f64, x: f64) -> f64 {
     assert!(a > 0.0 && x >= 0.0, "gammq domain error: a={a}, x={x}");
+    // tidy:allow(PP004): exact endpoint identity of the incomplete gamma
     if x == 0.0 {
         return 1.0;
     }
@@ -111,6 +113,7 @@ fn gcf(a: f64, x: f64) -> f64 {
 /// The error function `erf(x) = 2/sqrt(pi) * Int_0^x exp(-t^2) dt`,
 /// computed as `sign(x) * P(1/2, x^2)`. Exactly odd, `erf(0) == 0`.
 pub fn erf(x: f64) -> f64 {
+    // tidy:allow(PP004): erf(0) is exactly 0 by symmetry
     if x == 0.0 {
         0.0
     } else if x < 0.0 {
@@ -123,6 +126,7 @@ pub fn erf(x: f64) -> f64 {
 /// The complementary error function `erfc(x) = 1 - erf(x)`, computed
 /// without cancellation in the upper tail (`Q(1/2, x^2)` for `x > 0`).
 pub fn erfc(x: f64) -> f64 {
+    // tidy:allow(PP004): erfc(0) is exactly 1 by symmetry
     if x == 0.0 {
         1.0
     } else if x < 0.0 {

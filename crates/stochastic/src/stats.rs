@@ -136,6 +136,7 @@ impl Summary {
 
     /// Skewness (`g1`, population form). Zero when undefined.
     pub fn skewness(&self) -> f64 {
+        // tidy:allow(PP004): exact zero second moment means constant data
         if self.n < 2 || self.m2 == 0.0 {
             return 0.0;
         }
@@ -145,6 +146,7 @@ impl Summary {
 
     /// Excess kurtosis (`g2`, population form). Zero when undefined.
     pub fn kurtosis(&self) -> f64 {
+        // tidy:allow(PP004): exact zero second moment means constant data
         if self.n < 2 || self.m2 == 0.0 {
             return 0.0;
         }
@@ -164,6 +166,7 @@ impl Summary {
 
     /// Coefficient of variation `sd / |mean|`; `None` for zero mean.
     pub fn cv(&self) -> Option<f64> {
+        // tidy:allow(PP004): exact zero mean makes the ratio undefined
         if self.mean == 0.0 {
             None
         } else {
@@ -192,7 +195,7 @@ pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     Some(quantile_sorted(&sorted, q))
 }
 

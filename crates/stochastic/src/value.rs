@@ -126,6 +126,7 @@ impl StochasticValue {
 
     /// The half-width as a percentage of the mean, when the mean is nonzero.
     pub fn percent(&self) -> Option<f64> {
+        // tidy:allow(PP004): exact zero mean makes the ratio undefined
         if self.mean == 0.0 {
             None
         } else {
@@ -135,7 +136,7 @@ impl StochasticValue {
 
     /// `true` when this is a point value (zero width).
     pub fn is_point(&self) -> bool {
-        self.half_width == 0.0
+        self.half_width == 0.0 // tidy:allow(PP004): a point value has exactly zero half-width by construction
     }
 
     /// Whether `x` falls within the two-standard-deviation interval.
@@ -160,6 +161,7 @@ impl StochasticValue {
     /// distance divided by the actual value, as used for the paper's
     /// "maximum error of approximately 14%" style of statement.
     pub fn relative_error_outside(&self, v: f64) -> f64 {
+        // tidy:allow(PP004): exact zero reference needs the absolute-error branch
         if v == 0.0 {
             if self.contains(0.0) {
                 0.0

@@ -107,7 +107,7 @@ pub fn phase_comm(
     terms
         .into_iter()
         .reduce(|a, b| a.add(&b, model.dependence))
-        .expect("non-empty")
+        .expect("non-empty") // tidy:allow(PP003): terms always contains the latency term
 }
 
 /// Generic per-phase communication component: the sum of the point-to-
@@ -122,7 +122,7 @@ pub fn phase_comm_messages(model: &PtToPtModel, message_elements: &[f64]) -> Sto
         .iter()
         .map(|&e| model.pt_to_pt(Param::point(e)))
         .reduce(|a, b| a.add(&b, model.dependence))
-        .expect("non-empty")
+        .expect("non-empty") // tidy:allow(PP003): callers pass at least one element count
 }
 
 #[cfg(test)]

@@ -55,7 +55,7 @@ impl Component {
                     .iter()
                     .map(Component::evaluate)
                     .reduce(|a, b| a.add(&b, *dep))
-                    .expect("non-empty")
+                    .expect("non-empty") // tidy:allow(PP003): Sum nodes are built with at least one child
             }
             Component::Product(parts, dep) => {
                 assert!(!parts.is_empty(), "empty Product component");
@@ -63,7 +63,7 @@ impl Component {
                     .iter()
                     .map(Component::evaluate)
                     .reduce(|a, b| a.mul(&b, *dep))
-                    .expect("non-empty")
+                    .expect("non-empty") // tidy:allow(PP003): Product nodes are built with at least one child
             }
             Component::Quotient(num, den, dep) => num.evaluate().div(&den.evaluate(), *dep),
             Component::Scale(c, inner) => inner.evaluate().scale(*c),

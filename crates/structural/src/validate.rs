@@ -158,6 +158,7 @@ fn sample_once(component: &Component, rng: &mut dyn RngCore) -> f64 {
             // toward the mean's sign (the closed form also requires a
             // nonzero-mean divisor).
             let mean = den.evaluate().mean();
+            // tidy:allow(PP004): exact zero guard before dividing by the denominator
             let d = if d == 0.0 || d.signum() != mean.signum() {
                 mean
             } else {
