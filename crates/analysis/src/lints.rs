@@ -32,7 +32,7 @@ pub struct Finding {
     pub line: usize,
     /// 1-based column (byte offset into the line).
     pub col: usize,
-    /// Stable lint code (`PP000` … `PP006`).
+    /// Stable lint code (`PP000` … `PP007`).
     pub code: &'static str,
     /// Human-readable description, stable across runs.
     pub message: String,
@@ -49,8 +49,8 @@ impl Finding {
 }
 
 /// All stable lint codes, in order.
-pub const CODES: [&str; 7] = [
-    "PP000", "PP001", "PP002", "PP003", "PP004", "PP005", "PP006",
+pub const CODES: [&str; 8] = [
+    "PP000", "PP001", "PP002", "PP003", "PP004", "PP005", "PP006", "PP007",
 ];
 
 /// Nondeterminism sources flagged by PP001.
@@ -77,6 +77,13 @@ const PP002_ITERS: [&str; 7] = [
 /// Panic-on-`Err`/`None` methods flagged by PP003.
 const PP003_PANICS: [&str; 4] = [".unwrap()", ".expect(", ".unwrap_err()", ".expect_err("];
 
+/// Identifier-chain suffixes whose `.clone()`/`.to_vec()` copies an
+/// entire trace-sized buffer — flagged by PP007 in `simgrid`/`core` hot
+/// paths. The match requires the whole final path segment (or a
+/// `_`-separated suffix of it), so `payload.clone()` does not trip the
+/// `load` entry.
+const PP007_BUFFERS: [&str; 6] = ["trace", "load", "avail", "values", "prefix", "columns"];
+
 /// Raw guard acquisitions flagged by PP005.
 const PP005_LOCKS: [&str; 6] = [
     ".lock().unwrap()",
@@ -96,6 +103,9 @@ struct PathScope {
     bin: bool,
     /// The measurement crate: wall-clock timing is its whole point.
     bench_crate: bool,
+    /// Simulation hot paths (`simgrid`/`core` lib sources): trace-sized
+    /// buffer copies are budget violations there (PP007).
+    hot_path: bool,
 }
 
 fn path_scope(relpath: &str) -> PathScope {
@@ -104,10 +114,14 @@ fn path_scope(relpath: &str) -> PathScope {
         || relpath.contains("/benches/")
         || relpath.starts_with("examples/")
         || relpath.contains("/examples/");
+    let bin = relpath.contains("/src/bin/") || relpath.ends_with("src/main.rs");
     PathScope {
         test_path,
-        bin: relpath.contains("/src/bin/") || relpath.ends_with("src/main.rs"),
+        bin,
         bench_crate: relpath.starts_with("crates/bench/"),
+        hot_path: !bin
+            && (relpath.starts_with("crates/simgrid/src/")
+                || relpath.starts_with("crates/core/src/")),
     }
 }
 
@@ -135,6 +149,9 @@ pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
         }
         if !in_test && !scope.bin {
             pp003(relpath, idx, code_line, &mut findings);
+        }
+        if !in_test && scope.hot_path {
+            pp007(relpath, idx, code_line, &mut findings);
         }
     }
     if !scope.test_path && !scope.bin {
@@ -424,6 +441,50 @@ fn pp005(file: &str, idx: usize, code_line: &str, findings: &mut Vec<Finding>) {
     }
 }
 
+/// PP007: trace-sized buffer copies in `simgrid`/`core` hot paths.
+///
+/// Flags `.values().to_vec()` literally, plus `.clone()`/`.to_vec()`
+/// whose receiver chain ends in a trace-sized buffer name
+/// ([`PP007_BUFFERS`]). The grid-scale memory budget (O(1) amortized
+/// bytes/machine) dies by a thousand such copies; route queries through
+/// `TraceRef`/`TraceStore` views instead, or justify an intentional copy
+/// with `tidy:allow(PP007): reason`.
+fn pp007(file: &str, idx: usize, code_line: &str, findings: &mut Vec<Finding>) {
+    let mut from = 0;
+    while let Some(at) = find_word(code_line, ".values().to_vec()", from) {
+        push(
+            findings,
+            file,
+            idx,
+            at,
+            "PP007",
+            "`.values().to_vec()` copies a full value buffer in a hot path; iterate the slice or use a TraceRef view".to_string(),
+        );
+        from = at + ".values().to_vec()".len();
+    }
+    for pat in [".clone()", ".to_vec()"] {
+        let mut from = 0;
+        while let Some(at) = find_word(code_line, pat, from) {
+            from = at + pat.len();
+            let chain = token_before(code_line, at);
+            let last = chain.rsplit('.').next().unwrap_or("");
+            let copies_buffer = PP007_BUFFERS
+                .iter()
+                .any(|b| last == *b || last.ends_with(&format!("_{b}")));
+            if copies_buffer {
+                push(
+                    findings,
+                    file,
+                    idx,
+                    at,
+                    "PP007",
+                    format!("`{last}{pat}` copies a trace-sized buffer in a hot path; borrow it or route through TraceStore views"),
+                );
+            }
+        }
+    }
+}
+
 /// PP006: public functions returning `Result` must carry an `# Errors`
 /// doc section. Trait-impl methods are exempt (their contract lives on
 /// the trait).
@@ -695,6 +756,42 @@ mod tests {
         let documented =
             "/// Does a thing.\n///\n/// # Errors\n/// When it cannot.\npub fn f() -> Result<(), E> { Ok(()) }\n";
         let f = lint_source("crates/x/src/a.rs", documented);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn pp007_flags_trace_buffer_copies_in_hot_crates_only() {
+        // Fires on buffer-suffixed receivers in simgrid/core lib sources.
+        let src = "fn f(m: &Machine) { let x = m.load.clone(); use_it(x); }\n";
+        let f = lint_source("crates/simgrid/src/a.rs", src);
+        assert_eq!(codes(&f), ["PP007"]);
+        let f = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(codes(&f), ["PP007"]);
+        // The literal full-copy idiom and `.to_vec()` forms fire too.
+        let f = lint_source(
+            "crates/simgrid/src/a.rs",
+            "fn f(t: &Trace) { sink(t.values().to_vec()); }\n",
+        );
+        assert_eq!(codes(&f), ["PP007"]);
+        let f = lint_source(
+            "crates/core/src/a.rs",
+            "fn f(p: &[f64]) { sink(self.prefix.to_vec()); }\n",
+        );
+        assert_eq!(codes(&f), ["PP007"]);
+        // Whole-segment matching: `payload` must not trip the `load` entry.
+        let f = lint_source(
+            "crates/simgrid/src/a.rs",
+            "fn f(e: &Ev) { let p = e.payload.clone(); use_it(p); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // Out of the hot crates — or in tests — the copy is fine.
+        let f = lint_source("crates/sor/src/a.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        let f = lint_source("crates/simgrid/tests/a.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        // An intentional copy carries a justified allow.
+        let allowed = "fn f(m: &Machine) {\n    // tidy:allow(PP007): oracle tests need a standalone trace\n    let x = m.load.clone();\n    use_it(x);\n}\n";
+        let f = lint_source("crates/simgrid/src/a.rs", allowed);
         assert!(f.is_empty(), "{f:?}");
     }
 

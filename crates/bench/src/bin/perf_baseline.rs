@@ -15,6 +15,13 @@
 //!   wall-clock speedup and worker count as committed entries (the
 //!   speedup scales with the host's cores; `PRODPRED_THREADS` pins it).
 //!
+//! **Single-core rule:** when the pool resolves to one worker there is no
+//! parallelism to measure — a "speedup" would only record scheduling
+//! noise around 1.0× and read as a regression. The `*_par` and
+//! `*_speedup` rows are therefore omitted entirely on 1-worker hosts;
+//! consumers must treat their absence as "n/a", not as a missing
+//! measurement.
+//!
 //! Usage: `cargo run --release --bin perf_baseline [output.json]`
 
 use std::time::Instant;
@@ -179,11 +186,6 @@ fn main() {
         std::hint::black_box(monte_carlo_par(&tree, MC_SAMPLES, 7, 1));
     });
     push(&mut results, "mc_validate_seq", mc_seq, "s");
-    let mc_par = median_secs(5, || {
-        std::hint::black_box(monte_carlo_par(&tree, MC_SAMPLES, 7, threads));
-    });
-    push(&mut results, "mc_validate_par", mc_par, "s");
-    push(&mut results, "mc_validate_speedup", mc_seq / mc_par, "x");
 
     // --- deterministic work pool: multi-seed experiment sweep ---
     let seeds: Vec<u64> = (1..=8).collect();
@@ -191,11 +193,25 @@ fn main() {
         std::hint::black_box(platform2_seed_sweep(&seeds, 1600, 4, 1));
     });
     push(&mut results, "sweep_seq", sweep_seq, "s");
-    let sweep_par = median_secs(3, || {
-        std::hint::black_box(platform2_seed_sweep(&seeds, 1600, 4, threads));
-    });
-    push(&mut results, "sweep_par", sweep_par, "s");
-    push(&mut results, "sweep_speedup", sweep_seq / sweep_par, "x");
+
+    // Speedup rows only exist where there is parallelism to measure; on a
+    // 1-worker host they are omitted (n/a), per the single-core rule in
+    // the module docs.
+    if threads > 1 {
+        let mc_par = median_secs(5, || {
+            std::hint::black_box(monte_carlo_par(&tree, MC_SAMPLES, 7, threads));
+        });
+        push(&mut results, "mc_validate_par", mc_par, "s");
+        push(&mut results, "mc_validate_speedup", mc_seq / mc_par, "x");
+        let sweep_par = median_secs(3, || {
+            std::hint::black_box(platform2_seed_sweep(&seeds, 1600, 4, threads));
+        });
+        push(&mut results, "sweep_par", sweep_par, "s");
+        push(&mut results, "sweep_speedup", sweep_seq / sweep_par, "x");
+    } else {
+        println!("{:<44} {:>14} (1 worker)", "mc_validate_speedup", "n/a");
+        println!("{:<44} {:>14} (1 worker)", "sweep_speedup", "n/a");
+    }
 
     let json = serde_json::to_string_pretty(&results).expect("serializable measurements");
     std::fs::write(&out_path, json + "\n").expect("write baseline file");

@@ -43,6 +43,7 @@
 pub mod advisor;
 pub mod ep;
 pub mod experiment;
+pub mod grid;
 pub mod predictor;
 pub mod report;
 pub mod scheduler;
@@ -51,6 +52,8 @@ pub mod sweep;
 
 pub use advisor::{deadline_report, service_range, DeadlineReport, PredictionQuality};
 pub use ep::{ep_policy_study, predict_ep, simulate_ep, EpJob, EpRun, EpStudyRow};
+pub use grid::{simulate_grid_sharded, GridSimConfig, GridSimResult, TenantSpec};
+
 pub use experiment::{
     dedicated_check, platform1_experiment, platform1_experiment_with_faults, platform2_experiment,
     platform2_experiment_supervised, platform2_experiment_with_faults, run_series,

@@ -1,0 +1,107 @@
+//! Tier-1 pins for the 1000×-scale grid path: sharded simulation must be
+//! bit-identical at 1/2/4/8 pool threads, and the columnar store's
+//! [`prodpred_simgrid::store::TraceRef`] views must agree with the
+//! materialized `*_reference` oracles to ≤ 1e-9.
+
+use prodpred_core::{simulate_grid_sharded, GridSimConfig, TenantSpec};
+use prodpred_simgrid::store::MachineSlot;
+use prodpred_simgrid::GridPlatform;
+
+fn grid() -> GridPlatform {
+    GridPlatform::production(96, 4242, 900.0, 1)
+}
+
+fn cfg() -> GridSimConfig {
+    GridSimConfig {
+        tenants: 32,
+        shards: 6,
+        tenant: TenantSpec {
+            n: 150,
+            iterations: 5,
+            procs: 4,
+        },
+        seed: 77,
+        mean_arrival_gap: 8.0,
+    }
+}
+
+#[test]
+fn sharded_grid_simulation_bit_identical_at_1_2_4_8_threads() {
+    let g = grid();
+    let c = cfg();
+    let baseline = simulate_grid_sharded(&g, &c, 1);
+    for threads in [2usize, 4, 8] {
+        let run = simulate_grid_sharded(&g, &c, threads);
+        assert_eq!(baseline.digest, run.digest, "digest at {threads} threads");
+        for t in 0..c.tenants {
+            assert_eq!(
+                baseline.tenant_secs[t].to_bits(),
+                run.tenant_secs[t].to_bits(),
+                "tenant {t} secs at {threads} threads"
+            );
+            assert_eq!(
+                baseline.tenant_start[t].to_bits(),
+                run.tenant_start[t].to_bits(),
+                "tenant {t} start at {threads} threads"
+            );
+        }
+        assert_eq!(baseline.events, run.events, "events at {threads} threads");
+        assert_eq!(
+            baseline.makespan.to_bits(),
+            run.makespan.to_bits(),
+            "makespan at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn grid_generation_bit_identical_across_thread_counts() {
+    let one = grid();
+    let eight = GridPlatform::production(96, 4242, 900.0, 8);
+    assert_eq!(one.len(), eight.len());
+    for i in 0..one.len() {
+        assert_eq!(one.slot(i), eight.slot(i), "slot {i}");
+    }
+    // Spot-check full trace content, not just slots.
+    for i in [0usize, 31, 95] {
+        assert_eq!(one.trace(i).materialize(), eight.trace(i).materialize());
+    }
+}
+
+#[test]
+fn trace_ref_agrees_with_reference_oracles() {
+    let g = grid();
+    for i in [0usize, 17, 50, 95] {
+        let view = g.trace(i);
+        let full = view.materialize();
+        let (lo, hi) = (view.t0() - 10.0, view.t_end() + 10.0);
+        let points: Vec<f64> = (0..=40).map(|k| lo + (hi - lo) * k as f64 / 40.0).collect();
+        for (pi, &a) in points.iter().enumerate() {
+            for &b in &points[pi..] {
+                let fast = view.integral(a, b);
+                let slow = full.integral_reference(a, b);
+                assert!(
+                    (fast - slow).abs() <= 1e-9,
+                    "machine {i} integral([{a}, {b}]): {fast} vs {slow}"
+                );
+            }
+        }
+        for &start in &[0.0, 123.4, 880.0] {
+            for &work in &[0.05, 2.0, 60.0, 2000.0] {
+                let fast = view.time_to_complete(start, work);
+                let slow = full.time_to_complete_reference(start, work);
+                assert!(
+                    (fast - slow).abs() <= 1e-9,
+                    "machine {i} ttc({start}, {work}): {fast} vs {slow}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn slots_are_pure_functions_of_seed_and_index() {
+    let a = MachineSlot::derive(4242, 12, 0, 8, 256);
+    let b = MachineSlot::derive(4242, 12, 0, 8, 256);
+    assert_eq!(a, b);
+}

@@ -123,6 +123,12 @@ pub fn chunk_lengths(total: usize, chunk: usize) -> Vec<usize> {
 /// bit-identical to `items.iter().enumerate().map(...)` at every thread
 /// count.
 ///
+/// When the resolved thread count is 1 (or there is at most one item),
+/// the map runs **inline on the caller thread** — no spawn, no scope, no
+/// channel — so single-core hosts (`PRODPRED_THREADS=1`) pay zero
+/// parallelism overhead. The inline path is the literal sequential map,
+/// so it is bit-identical to the threaded one by construction.
+///
 /// # Panics
 ///
 /// Propagates a panic from any task.
@@ -235,6 +241,26 @@ mod tests {
     fn zero_threads_means_auto() {
         let items = [1u32, 2, 3];
         assert_eq!(parallel_map(&items, 0, |_, &x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn single_thread_runs_inline_on_the_caller() {
+        // The satellite fix for BENCH_baseline's 0.98x single-core
+        // "speedup": at threads=1 there must be no spawn at all. Every
+        // task must observe the caller's own thread id.
+        let caller = std::thread::current().id();
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, 1, |i, &m| {
+            assert_eq!(
+                std::thread::current().id(),
+                caller,
+                "task {i} ran off the caller thread"
+            );
+            derive_seed(m, i as u64)
+        });
+        // ...and the inline result is bit-identical to the threaded one.
+        let threaded = parallel_map(&items, 4, |i, &m| derive_seed(m, i as u64));
+        assert_eq!(out, threaded);
     }
 
     #[test]

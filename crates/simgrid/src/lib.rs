@@ -20,6 +20,10 @@
 //!   long-tailed under contention (Figure 3),
 //! * [`trace`] — step-function resource traces with work integration
 //!   (elapsed time to complete a given amount of dedicated work),
+//! * [`store`] — columnar structure-of-arrays trace storage for grids of
+//!   tens of thousands of machines: shared class template columns, tiny
+//!   per-machine slots, and [`store::TraceRef`] views with the same
+//!   query contracts as a full trace,
 //! * [`event`] — a small deterministic discrete-event engine driving the
 //!   session workload generator,
 //! * [`platform`] — the two experimental platforms from Section 3 plus a
@@ -37,18 +41,22 @@
 pub mod benchmark;
 pub mod event;
 pub mod faults;
+pub mod grid;
 pub mod load;
 pub mod machine;
 pub mod memory;
 pub mod network;
 pub mod platform;
 pub mod rng;
+pub mod store;
 pub mod trace;
 
 pub use event::EventQueue;
 pub use faults::{FaultConfig, FaultPlan, LoadStorm, PollOutcome, SensorFaults, WorkerDeath};
+pub use grid::{GridClassSpec, GridPlatform};
 pub use machine::{Machine, MachineClass, MachineSpec};
 pub use memory::PagingModel;
 pub use network::{Ethernet, NetworkSpec};
 pub use platform::Platform;
+pub use store::{MachineSlot, TemplateSpec, TraceRef, TraceStore};
 pub use trace::Trace;

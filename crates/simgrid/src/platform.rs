@@ -87,6 +87,70 @@ impl Platform {
         }
     }
 
+    /// Builds a platform by generating every machine's load trace in
+    /// fixed-size chunks fanned over the work pool: each chunk is a pure
+    /// function of `(machine, chunk index, seed)` (see
+    /// [`crate::load::generate_chunk`]), so generation order — and the
+    /// thread count — is irrelevant to the result. Machine `i`'s chunk
+    /// stream is seeded exactly like [`Platform::from_generators`] seeds
+    /// its whole-trace generation (`derive_seed(seed, i)`), but the chunk
+    /// discipline restarts the process at chunk boundaries, so the two
+    /// constructors produce *different* (both valid) trace realizations.
+    ///
+    /// For grids where even one trace per machine is too much memory, use
+    /// [`crate::store::TraceStore::generate_streamed`] instead — this
+    /// constructor still materializes a full [`Trace`] per machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` and `generators` differ in length, or
+    /// `horizon <= 0`, or `chunk_steps == 0`.
+    pub fn from_generators_streamed(
+        specs: Vec<MachineSpec>,
+        generators: &[&(dyn LoadGenerator + Sync)],
+        network_avail: Trace,
+        seed: u64,
+        horizon: f64,
+        chunk_steps: usize,
+        threads: usize,
+    ) -> Self {
+        assert_eq!(specs.len(), generators.len());
+        assert!(horizon > 0.0);
+        assert!(chunk_steps > 0, "chunk_steps must be positive");
+        let steps = (horizon / TRACE_DT).ceil() as usize;
+        let n_chunks = steps.div_ceil(chunk_steps);
+        let tasks: Vec<(usize, usize)> = (0..specs.len())
+            .flat_map(|m| (0..n_chunks).map(move |k| (m, k)))
+            .collect();
+        let blocks = prodpred_pool::parallel_map(&tasks, threads, |_, &(m, k)| {
+            crate::load::generate_chunk(
+                generators[m],
+                derive_seed(seed, m),
+                0.0,
+                TRACE_DT,
+                steps,
+                chunk_steps,
+                k,
+            )
+        });
+        let machines = specs
+            .into_iter()
+            .enumerate()
+            .map(|(m, spec)| {
+                let mut values = Vec::with_capacity(steps);
+                for k in 0..n_chunks {
+                    values.extend_from_slice(&blocks[m * n_chunks + k]);
+                }
+                Machine::new(spec, Trace::new(0.0, TRACE_DT, values))
+            })
+            .collect();
+        Self {
+            machines,
+            network: Ethernet::new(NetworkSpec::default(), network_avail),
+            horizon,
+        }
+    }
+
     /// A dedicated platform: every machine fully available, quiet network.
     pub fn dedicated(classes: &[MachineClass], horizon: f64) -> Self {
         let steps = (horizon / TRACE_DT).ceil() as usize;
@@ -233,6 +297,37 @@ mod tests {
     fn machines_get_independent_loads() {
         let p = Platform::platform2(4, 600.0);
         assert_ne!(p.machines[2].load, p.machines[3].load);
+    }
+
+    #[test]
+    fn streamed_platform_is_thread_count_invariant() {
+        let bursty = MarkovModal::platform2(25.0);
+        let build = |threads: usize| {
+            Platform::from_generators_streamed(
+                vec![
+                    MachineSpec::new("u-a", MachineClass::UltraSparc),
+                    MachineSpec::new("u-b", MachineClass::UltraSparc),
+                    MachineSpec::new("s5", MachineClass::Sparc5),
+                ],
+                &[&bursty, &bursty, &bursty],
+                Trace::constant(0.0, TRACE_DT, 0.9, 700),
+                21,
+                700.0,
+                128,
+                threads,
+            )
+        };
+        let one = build(1);
+        for threads in [2usize, 4, 8] {
+            let many = build(threads);
+            for (a, b) in one.machines.iter().zip(&many.machines) {
+                assert_eq!(a.load, b.load, "{} at {threads} threads", a.spec.name);
+            }
+        }
+        // Chunk assembly matches direct chunked generation per machine.
+        let direct =
+            crate::load::generate_chunked(&bursty, derive_seed(21, 1), 0.0, TRACE_DT, 700, 128);
+        assert_eq!(one.machines[1].load, direct);
     }
 
     #[test]

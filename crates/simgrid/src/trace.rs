@@ -21,7 +21,10 @@ use serde::{Deserialize, Serialize};
 
 /// Availability at or below this floor is clamped up during work
 /// integration so a zero-availability stretch cannot hang the simulation.
-const AVAIL_FLOOR: f64 = 1e-6;
+/// Crate-visible so the columnar [`crate::store::TraceStore`] can assert
+/// its templates stay strictly above it (which lets the store serve work
+/// integration from a single raw prefix array).
+pub(crate) const AVAIL_FLOOR: f64 = 1e-6;
 
 /// A piecewise-constant time series starting at `t0` with step `dt`.
 ///
@@ -45,7 +48,7 @@ pub struct Trace {
 /// clamping each value to at least `floor` (pass `f64::NEG_INFINITY` for
 /// no clamping). `out[k]` covers the first `k` whole steps; `out.len() ==
 /// values.len() + 1`.
-fn cumulative_prefix(dt: f64, values: &[f64], floor: f64) -> Vec<f64> {
+pub(crate) fn cumulative_prefix(dt: f64, values: &[f64], floor: f64) -> Vec<f64> {
     let mut out = Vec::with_capacity(values.len() + 1);
     out.push(0.0);
     let mut sum = 0.0;
@@ -113,6 +116,13 @@ impl Trace {
     /// Raw samples.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Consumes the trace, returning its samples without copying — the
+    /// chunked generators hand freshly generated blocks to the columnar
+    /// store this way.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
     }
 
     /// Number of steps.
@@ -664,6 +674,85 @@ mod tests {
     fn downsample_factor_one_is_identity() {
         let t = ramp();
         assert_eq!(t.downsample(1), t);
+    }
+
+    // --- boundary cases for the view-routing helpers ---
+    // `slice`, `downsample`, and `sample_every` back the `TraceRef`
+    // materialization path, so their edges are load-bearing.
+
+    #[test]
+    fn sample_every_empty_interval_is_empty() {
+        let t = ramp();
+        assert!(t.sample_every(1.0, 1.0, 0.5).is_empty(), "a == b");
+        // Interval shorter than one cadence still yields the start sample.
+        assert_eq!(t.sample_every(1.0, 1.1, 0.5), vec![(1.0, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sample_every_rejects_inverted_interval() {
+        ramp().sample_every(2.0, 1.0, 0.5);
+    }
+
+    #[test]
+    fn sample_every_clamps_beyond_horizon() {
+        let t = ramp();
+        let s = t.sample_every(2.5, 4.5, 1.0);
+        // Samples past t_end hold the final value.
+        assert_eq!(s, vec![(2.5, 0.25), (3.5, 0.25)]);
+    }
+
+    #[test]
+    fn slice_entirely_before_horizon_clamps_to_first_step() {
+        let t = Trace::new(10.0, 2.0, vec![1.0, 2.0, 3.0]);
+        // [0, 5) lies before t0: the clamped slice is the first step.
+        let s = t.slice(0.0, 5.0);
+        assert_eq!(s.t0(), 10.0);
+        assert_eq!(s.values(), &[1.0]);
+    }
+
+    #[test]
+    fn slice_entirely_beyond_horizon_clamps_to_last_step() {
+        let t = Trace::new(10.0, 2.0, vec![1.0, 2.0, 3.0]);
+        let s = t.slice(100.0, 200.0);
+        assert_eq!(s.values(), &[3.0]);
+        assert_eq!(s.t0(), 14.0);
+    }
+
+    #[test]
+    fn slice_single_step_interval() {
+        let t = Trace::new(0.0, 1.0, vec![1.0, 2.0, 3.0, 4.0]);
+        // An interval inside one step keeps exactly that step.
+        let s = t.slice(1.2, 1.8);
+        assert_eq!(s.t0(), 1.0);
+        assert_eq!(s.values(), &[2.0]);
+    }
+
+    #[test]
+    fn downsample_factor_exceeding_len_collapses_to_mean() {
+        let t = Trace::new(0.0, 1.0, vec![1.0, 3.0, 5.0]);
+        let d = t.downsample(10);
+        assert_eq!(d.len(), 1);
+        assert!((d.values()[0] - 3.0).abs() < 1e-12);
+        assert_eq!(d.dt(), 10.0);
+    }
+
+    #[test]
+    fn downsample_non_divisible_factor_preserves_integral() {
+        // 7 samples at factor 3: chunks of 3, 3, 1 — the ragged tail must
+        // average over its own length, and the *integral over the covered
+        // span* is only preserved chunk-by-chunk where chunks are full.
+        let t = Trace::new(0.0, 1.0, vec![2.0, 4.0, 6.0, 1.0, 1.0, 1.0, 9.0]);
+        let d = t.downsample(3);
+        assert_eq!(d.values(), &[4.0, 1.0, 9.0]);
+        // Full chunks preserve their own integral exactly.
+        assert!((d.integral(0.0, 6.0) - t.integral(0.0, 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn downsample_rejects_zero_factor() {
+        ramp().downsample(0);
     }
 
     #[test]

@@ -65,18 +65,27 @@ pub struct DistSorResult {
     pub skew_secs: f64,
 }
 
-/// Simulates one distributed SOR run.
+/// Simulates one distributed SOR run against an abstract platform: the
+/// generic core behind [`simulate`], also driven at grid scale by
+/// `prodpred-core`'s sharded tenant simulation with
+/// [`prodpred_simgrid::grid::GridPlatform`] trace views.
+///
+/// `compute(proc, strip, clock)` returns the wall-clock seconds for
+/// `proc` to finish one colour phase of `strip` starting at `clock`;
+/// `transfer(bytes, t)` the seconds to move one ghost-row message
+/// starting at `t`. [`simulate`] wraps this with closures performing the
+/// exact arithmetic it always performed, so results are bit-identical.
 ///
 /// # Panics
 ///
-/// Panics if there are more strips than machines, if any strip is empty,
-/// or if `iterations == 0`.
-pub fn simulate(platform: &Platform, strips: &[Strip], cfg: DistSorConfig) -> DistSorResult {
+/// Panics if any strip is empty or `iterations == 0`.
+pub fn simulate_with(
+    strips: &[Strip],
+    cfg: DistSorConfig,
+    mut compute: impl FnMut(usize, &Strip, f64) -> f64,
+    mut transfer: impl FnMut(f64, f64) -> f64,
+) -> DistSorResult {
     assert!(cfg.iterations > 0, "need at least one iteration");
-    assert!(
-        strips.len() <= platform.machines.len(),
-        "more strips than machines"
-    );
     assert!(
         strips.iter().all(|s| s.n_rows() > 0),
         "every strip needs rows"
@@ -93,14 +102,7 @@ pub fn simulate(platform: &Platform, strips: &[Strip], cfg: DistSorConfig) -> Di
             // Compute phase: half the strip's elements have this colour.
             let mut ready = vec![0.0f64; p];
             for (i, strip) in strips.iter().enumerate() {
-                let machine = &platform.machines[i];
-                let mut elems = strip.elements(cfg.n) as f64 / 2.0;
-                if let Some(paging) = &cfg.paging {
-                    // Paging inflates the per-element cost; expressing it
-                    // as extra elements keeps the load-trace integration.
-                    elems *= paging.slowdown(&machine.spec, strip.elements(cfg.n) as f64);
-                }
-                let dt = machine.compute_secs(elems, clocks[i]);
+                let dt = compute(i, strip, clocks[i]);
                 ready[i] = clocks[i] + dt;
             }
 
@@ -126,7 +128,7 @@ pub fn simulate(platform: &Platform, strips: &[Strip], cfg: DistSorConfig) -> Di
                     let mut t = sync;
                     let messages = 2 * (usize::from(i > 0) + usize::from(i < p - 1));
                     for _ in 0..messages {
-                        t += platform.network.transfer_secs(ghost_bytes, t);
+                        t += transfer(ghost_bytes, t);
                     }
                     clocks[i] = t;
                 }
@@ -145,6 +147,34 @@ pub fn simulate(platform: &Platform, strips: &[Strip], cfg: DistSorConfig) -> Di
         iteration_secs,
         skew_secs: finish_max - finish_min,
     }
+}
+
+/// Simulates one distributed SOR run.
+///
+/// # Panics
+///
+/// Panics if there are more strips than machines, if any strip is empty,
+/// or if `iterations == 0`.
+pub fn simulate(platform: &Platform, strips: &[Strip], cfg: DistSorConfig) -> DistSorResult {
+    assert!(
+        strips.len() <= platform.machines.len(),
+        "more strips than machines"
+    );
+    simulate_with(
+        strips,
+        cfg,
+        |i, strip, clock| {
+            let machine = &platform.machines[i];
+            let mut elems = strip.elements(cfg.n) as f64 / 2.0;
+            if let Some(paging) = &cfg.paging {
+                // Paging inflates the per-element cost; expressing it
+                // as extra elements keeps the load-trace integration.
+                elems *= paging.slowdown(&machine.spec, strip.elements(cfg.n) as f64);
+            }
+            machine.compute_secs(elems, clock)
+        },
+        |bytes, t| platform.network.transfer_secs(bytes, t),
+    )
 }
 
 #[cfg(test)]
@@ -296,6 +326,34 @@ mod tests {
         let early = simulate(&p, &strips, cfg(1000, 10)).total_secs;
         let late = simulate(&p, &strips, DistSorConfig::new(1000, 10, 6000.0)).total_secs;
         assert!(late < early * 0.5, "late {late} vs early {early}");
+    }
+
+    #[test]
+    fn simulate_with_closures_is_bit_identical_to_simulate() {
+        // The generic core must reproduce the wrapped path exactly —
+        // grid-scale tenant simulation relies on this equivalence.
+        let p = Platform::platform2(13, 50_000.0);
+        let strips = partition_equal(798, 4);
+        let mut c = cfg(800, 12);
+        c.paging = Some(prodpred_simgrid::PagingModel::default());
+        let wrapped = simulate(&p, &strips, c);
+        let direct = simulate_with(
+            &strips,
+            c,
+            |i, strip, clock| {
+                let machine = &p.machines[i];
+                let mut elems = strip.elements(c.n) as f64 / 2.0;
+                if let Some(paging) = &c.paging {
+                    elems *= paging.slowdown(&machine.spec, strip.elements(c.n) as f64);
+                }
+                machine.compute_secs(elems, clock)
+            },
+            |bytes, t| p.network.transfer_secs(bytes, t),
+        );
+        assert_eq!(wrapped.total_secs.to_bits(), direct.total_secs.to_bits());
+        assert_eq!(wrapped.per_proc_finish, direct.per_proc_finish);
+        assert_eq!(wrapped.iteration_secs, direct.iteration_secs);
+        assert_eq!(wrapped.skew_secs.to_bits(), direct.skew_secs.to_bits());
     }
 
     #[test]

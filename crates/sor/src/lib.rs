@@ -55,7 +55,7 @@ pub use checkpoint::{
 };
 pub use decomp::{partition_equal, partition_rows, Strip};
 pub use decomp2d::{partition_blocks, Block, BlockLayout};
-pub use distsim::{simulate, DistSorConfig, DistSorResult};
+pub use distsim::{simulate, simulate_with, DistSorConfig, DistSorResult};
 pub use distsim2d::simulate_blocks;
 pub use exchange::{ExchangeError, ExchangePolicy};
 pub use grid::{optimal_omega, Color, Grid};
