@@ -12,6 +12,8 @@
 //! | PP004 | float hygiene: `partial_cmp` ordering, `==`/`!=` against a float literal |
 //! | PP005 | raw `.lock().unwrap()` bypassing the poison-recovering helpers |
 //! | PP006 | `pub fn … -> Result` without an `# Errors` doc section |
+//! | PP007 | trace-sized buffer copy in a `simgrid`/`core` hot path |
+//! | PP008 | `std::net` socket usage outside the service crate's shell |
 //!
 //! Matching runs over *masked* source (see [`crate::scan`]): strings,
 //! comments and doc examples can never trigger a lint. Findings are
@@ -32,7 +34,7 @@ pub struct Finding {
     pub line: usize,
     /// 1-based column (byte offset into the line).
     pub col: usize,
-    /// Stable lint code (`PP000` … `PP007`).
+    /// Stable lint code (`PP000` … `PP008`).
     pub code: &'static str,
     /// Human-readable description, stable across runs.
     pub message: String,
@@ -49,8 +51,8 @@ impl Finding {
 }
 
 /// All stable lint codes, in order.
-pub const CODES: [&str; 8] = [
-    "PP000", "PP001", "PP002", "PP003", "PP004", "PP005", "PP006", "PP007",
+pub const CODES: [&str; 9] = [
+    "PP000", "PP001", "PP002", "PP003", "PP004", "PP005", "PP006", "PP007", "PP008",
 ];
 
 /// Nondeterminism sources flagged by PP001.
@@ -83,6 +85,9 @@ const PP003_PANICS: [&str; 4] = [".unwrap()", ".expect(", ".unwrap_err()", ".exp
 /// `_`-separated suffix of it), so `payload.clone()` does not trip the
 /// `load` entry.
 const PP007_BUFFERS: [&str; 6] = ["trace", "load", "avail", "values", "prefix", "columns"];
+
+/// Socket tokens flagged by PP008 outside the service shell.
+const PP008_NET: [&str; 4] = ["std::net", "TcpListener", "TcpStream", "UdpSocket"];
 
 /// Raw guard acquisitions flagged by PP005.
 const PP005_LOCKS: [&str; 6] = [
@@ -152,6 +157,12 @@ pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
         }
         if !in_test && scope.hot_path {
             pp007(relpath, idx, code_line, &mut findings);
+        }
+        // PP008 runs in every scope, tests included: the tier-1 suite is
+        // contractually socket-free, so sockets outside the shell are a
+        // defect even in test code.
+        if !pp008_exempt(relpath) {
+            pp008(relpath, idx, code_line, &mut findings);
         }
     }
     if !scope.test_path && !scope.bin {
@@ -485,6 +496,39 @@ fn pp007(file: &str, idx: usize, code_line: &str, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Paths allowed to touch `std::net`: the service crate's shell module
+/// (the designed socket veneer) and its binary targets (the daemon and
+/// its smoke-mode HTTP client).
+fn pp008_exempt(relpath: &str) -> bool {
+    relpath == "crates/service/src/shell.rs" || relpath.starts_with("crates/service/src/bin/")
+}
+
+/// PP008: `std::net` socket usage outside the service crate's shell.
+///
+/// The service core is a pure function of `(sensor trace, clock)` and
+/// the tier-1 tests drive it with zero real I/O — a guarantee that only
+/// holds while socket code stays quarantined in
+/// `crates/service/src/shell.rs` and the service binaries. Any other
+/// `std::net` reference (tests included) is flagged.
+fn pp008(file: &str, idx: usize, code_line: &str, findings: &mut Vec<Finding>) {
+    for pat in PP008_NET {
+        let mut from = 0;
+        while let Some(at) = find_word(code_line, pat, from) {
+            push(
+                findings,
+                file,
+                idx,
+                at,
+                "PP008",
+                format!(
+                    "`{pat}` outside the service shell; sockets live only in crates/service/src/shell.rs (the core must stay I/O-free)"
+                ),
+            );
+            from = at + pat.len();
+        }
+    }
+}
+
 /// PP006: public functions returning `Result` must carry an `# Errors`
 /// doc section. Trait-impl methods are exempt (their contract lives on
 /// the trait).
@@ -793,6 +837,40 @@ mod tests {
         let allowed = "fn f(m: &Machine) {\n    // tidy:allow(PP007): oracle tests need a standalone trace\n    let x = m.load.clone();\n    use_it(x);\n}\n";
         let f = lint_source("crates/simgrid/src/a.rs", allowed);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn pp008_fences_sockets_into_the_service_shell() {
+        let src =
+            "use std::net::TcpListener;\nfn f() { let l = TcpListener::bind(\"x\"); use_it(l); }\n";
+        // Any ordinary lib source: two findings on line 1 (`std::net` and
+        // the type), one on line 2.
+        let f = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(codes(&f), ["PP008", "PP008", "PP008"]);
+        // Tests are NOT exempt: tier-1 is contractually socket-free.
+        let f = lint_source("tests/service_core.rs", src);
+        assert_eq!(codes(&f), ["PP008", "PP008", "PP008"]);
+        // Other crates' bins are not exempt either.
+        let f = lint_source("crates/bench/src/bin/replay.rs", src);
+        assert_eq!(codes(&f), ["PP008", "PP008", "PP008"]);
+        // The designed socket veneer and the service binaries are exempt.
+        assert!(lint_source("crates/service/src/shell.rs", src).is_empty());
+        assert!(lint_source("crates/service/src/bin/serviced.rs", src).is_empty());
+        // Elsewhere in the service crate the fence still holds.
+        let f = lint_source("crates/service/src/core.rs", src);
+        assert_eq!(codes(&f), ["PP008", "PP008", "PP008"]);
+        // Masked occurrences (strings, comments) never fire.
+        let f = lint_source(
+            "crates/core/src/a.rs",
+            "fn f() { let s = \"std::net::TcpStream\"; use_it(s); } // std::net\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // `UdpSocket` and bare `TcpStream` are fenced too.
+        let f = lint_source(
+            "crates/nws/src/a.rs",
+            "fn f() { let s = TcpStream::connect(\"x\"); let u = UdpSocket::bind(\"y\"); use_both(s, u); }\n",
+        );
+        assert_eq!(codes(&f), ["PP008", "PP008"]);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Replay-driven latency benchmark for the prediction service: the gate
+//! behind the committed `BENCH_service.json`.
+//!
+//! Drives [`prodpred_service::ServiceCore`] **in-process** (no sockets —
+//! the HTTP shell is a veneer; this measures the query path itself) with
+//! the seeded request stream from [`prodpred_service::replay`]:
+//!
+//! * requests are split round-robin across client threads,
+//! * an ingest tick (snapshot publish + wholesale cache invalidation)
+//!   fires between fixed-size request batches, so the cache keeps being
+//!   cold-started the way a live daemon's is,
+//! * every request must succeed; per-request latency is recorded and
+//!   summarized as p50/p99/max, qps, and cache hit rate.
+//!
+//! Before measuring, the bench asserts the service invariant that makes
+//! caching sound at all: a cached answer is bit-identical to the
+//! uncached path for every distinct request configuration in the stream.
+//!
+//! Usage: `cargo run --release --bin service_replay [requests] [threads]
+//! [batch] [output.json]` — defaults 20000 requests, 4 threads, batch
+//! 2000 (one epoch bump per 2000 requests).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use prodpred_service::replay::{percentile_us, request_for, DISTINCT_REQUESTS};
+use prodpred_service::{ReplayReport, ServiceConfig, ServiceCore};
+
+const SEED: u64 = 42;
+const WARMUP: u64 = 500;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let requests: u64 = args
+        .next()
+        .map(|a| a.parse().expect("requests must be a number"))
+        .unwrap_or(20_000);
+    let threads: usize = args
+        .next()
+        .map(|a| a.parse().expect("threads must be a number"))
+        .unwrap_or(4);
+    let batch: u64 = args
+        .next()
+        .map(|a| a.parse().expect("batch must be a number"))
+        .unwrap_or(2_000);
+    let out = args
+        .next()
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    let core = Arc::new(ServiceCore::new(ServiceConfig {
+        seed: SEED,
+        ..ServiceConfig::default()
+    }));
+
+    // Soundness gate first: cached answers must be bit-identical to the
+    // uncached path across the whole configuration space of the stream.
+    let mut checked = std::collections::HashSet::new();
+    let mut index = 0u64;
+    while checked.len() < DISTINCT_REQUESTS && index < 50_000 {
+        let req = request_for(SEED, index);
+        index += 1;
+        if !checked.insert(format!("{req:?}")) {
+            continue;
+        }
+        let uncached = core.query_uncached(&req).expect("uncached query failed");
+        core.query(&req).expect("populating query failed");
+        let cached = core.query(&req).expect("cached query failed");
+        assert!(cached.cache_hit, "second identical query missed the cache");
+        assert_eq!(
+            (
+                uncached.mean.to_bits(),
+                uncached.lo.to_bits(),
+                uncached.hi.to_bits()
+            ),
+            (
+                cached.mean.to_bits(),
+                cached.lo.to_bits(),
+                cached.hi.to_bits()
+            ),
+            "cached diverges from uncached for {req:?}"
+        );
+    }
+    eprintln!(
+        "soundness: {} configs cached == uncached bitwise",
+        checked.len()
+    );
+
+    // Warmup epoch: populate code paths and let the allocator settle.
+    core.ingest_tick();
+    for i in 0..WARMUP {
+        core.query(&request_for(SEED, i))
+            .expect("warmup query failed");
+    }
+
+    let stats_before = core.stats();
+    let epoch_before = core.epoch();
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(requests as usize);
+    let mut errors = 0u64;
+    let mut done = 0u64;
+    while done < requests {
+        let size = batch.min(requests - done);
+        core.ingest_tick();
+        let (batch_latencies, batch_errors) = replay_batch(&core, done, size, threads);
+        latencies.extend(batch_latencies);
+        errors += batch_errors;
+        done += size;
+    }
+    let elapsed_us = started.elapsed().as_micros() as u64;
+
+    let stats = core.stats();
+    let hits = stats.cache.hits - stats_before.cache.hits;
+    let misses = stats.cache.misses - stats_before.cache.misses;
+    let report = ReplayReport {
+        seed: SEED,
+        requests,
+        threads,
+        ticks: core.epoch() - epoch_before,
+        elapsed_us,
+        qps: requests as f64 / (elapsed_us.max(1) as f64 / 1e6),
+        p50_us: percentile_us(&mut latencies.clone(), 0.50),
+        p99_us: percentile_us(&mut latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+        cache_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        errors,
+    };
+    assert_eq!(report.errors, 0, "replay produced failing queries");
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{json}");
+    std::fs::write(&out, json + "\n").expect("write report");
+    eprintln!(
+        "service_replay: {} requests, {} threads: p50 {}us p99 {}us, {:.0} qps, hit rate {:.1}% -> {}",
+        report.requests,
+        report.threads,
+        report.p50_us,
+        report.p99_us,
+        report.qps,
+        100.0 * report.cache_hit_rate,
+        out
+    );
+}
+
+/// Replays `size` requests starting at stream offset `start`, split
+/// round-robin across `threads` client threads hammering the core
+/// concurrently (while sharing it with nothing else — the ingest tick
+/// fired before the batch). Returns (latencies, error count).
+fn replay_batch(core: &Arc<ServiceCore>, start: u64, size: u64, threads: usize) -> (Vec<u64>, u64) {
+    let threads = threads.max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let core = Arc::clone(core);
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(size as usize / threads + 1);
+                    let mut errors = 0u64;
+                    let mut i = start + t as u64;
+                    while i < start + size {
+                        let req = request_for(SEED, i);
+                        let t0 = Instant::now();
+                        match core.query(&req) {
+                            Ok(_) => latencies.push(t0.elapsed().as_micros() as u64),
+                            Err(e) => {
+                                errors += 1;
+                                eprintln!("request {i} failed: {e}");
+                            }
+                        }
+                        i += threads as u64;
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(size as usize);
+        let mut errors = 0u64;
+        for h in handles {
+            let (lat, err) = h.join().expect("client thread panicked");
+            all.extend(lat);
+            errors += err;
+        }
+        (all, errors)
+    })
+}

@@ -61,7 +61,8 @@ pub use experiment::{
     ExperimentSeries, FaultedSeries, RunRecord, SupervisedSeries,
 };
 pub use predictor::{
-    predict_dedicated, LoadSource, Prediction, PredictorConfig, PredictorError, SorPredictor,
+    predict_dedicated, LoadSource, LoadView, Prediction, PredictorConfig, PredictorError,
+    SorPredictor,
 };
 pub use scheduler::{
     allocate_units, decompose, planned_completion, AllocationPolicy, DecompositionPolicy,

@@ -6,7 +6,7 @@
 //! structural performance model", with the load (and its variance)
 //! supplied by the Network Weather Service at run time.
 
-use prodpred_nws::NwsService;
+use prodpred_nws::{ForecastSnapshot, NwsService};
 use prodpred_simgrid::Platform;
 use prodpred_sor::Strip;
 use prodpred_stochastic::{Dependence, MaxStrategy, StochasticValue};
@@ -32,7 +32,7 @@ pub enum LoadSource {
 }
 
 /// Predictor configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PredictorConfig {
     /// Red+black iterations the application will run.
     pub iterations: usize,
@@ -117,6 +117,87 @@ impl std::fmt::Display for PredictorError {
 
 impl std::error::Error for PredictorError {}
 
+/// A source of stochastic load and bandwidth values for the prediction
+/// pipeline — the seam that lets one [`SorPredictor`] implementation run
+/// against either the **live** [`NwsService`] (sensor locks, forecaster
+/// tournament per query) or an **immutable** [`ForecastSnapshot`]
+/// (epoch-published, lock-free, tournament already paid at publish).
+///
+/// Every method mirrors the corresponding `NwsService` query; the
+/// snapshot implementation is pinned bit-identical to the live one, so a
+/// prediction computed from a snapshot equals the prediction the live
+/// service would have issued at the capture instant.
+pub trait LoadView {
+    /// Number of monitored machines.
+    fn n_machines(&self) -> usize;
+    /// Instantaneous stochastic CPU availability (the silent forecast
+    /// path — [`NwsService::cpu_stochastic`]).
+    fn cpu_stochastic(&self, i: usize) -> Option<StochasticValue>;
+    /// Fault-aware instantaneous value ([`NwsService::cpu_query`]):
+    /// staleness-widened, falling down the forecast → window-stats →
+    /// last-known chain.
+    fn cpu_query_value(&self, i: usize) -> Option<StochasticValue>;
+    /// Multi-modal weighted average ([`NwsService::cpu_modal_stochastic`]).
+    fn cpu_modal_stochastic(&self, i: usize) -> Option<StochasticValue>;
+    /// Load averaged over a run of `horizon_secs`
+    /// ([`NwsService::cpu_stochastic_for_horizon`]).
+    fn cpu_stochastic_for_horizon(&self, i: usize, horizon_secs: f64) -> Option<StochasticValue>;
+    /// Available-bandwidth fraction, silent path
+    /// ([`NwsService::bandwidth_fraction_stochastic`]).
+    fn bandwidth_fraction(&self) -> Option<StochasticValue>;
+    /// Available-bandwidth fraction, fault-aware path
+    /// ([`NwsService::bandwidth_fraction_query`]).
+    fn bandwidth_fraction_query_value(&self) -> Option<StochasticValue>;
+}
+
+impl LoadView for NwsService {
+    fn n_machines(&self) -> usize {
+        NwsService::n_machines(self)
+    }
+    fn cpu_stochastic(&self, i: usize) -> Option<StochasticValue> {
+        NwsService::cpu_stochastic(self, i)
+    }
+    fn cpu_query_value(&self, i: usize) -> Option<StochasticValue> {
+        self.cpu_query(i).ok().map(|q| q.value)
+    }
+    fn cpu_modal_stochastic(&self, i: usize) -> Option<StochasticValue> {
+        NwsService::cpu_modal_stochastic(self, i)
+    }
+    fn cpu_stochastic_for_horizon(&self, i: usize, horizon_secs: f64) -> Option<StochasticValue> {
+        NwsService::cpu_stochastic_for_horizon(self, i, horizon_secs)
+    }
+    fn bandwidth_fraction(&self) -> Option<StochasticValue> {
+        self.bandwidth_fraction_stochastic()
+    }
+    fn bandwidth_fraction_query_value(&self) -> Option<StochasticValue> {
+        self.bandwidth_fraction_query().ok().map(|q| q.value)
+    }
+}
+
+impl LoadView for ForecastSnapshot {
+    fn n_machines(&self) -> usize {
+        ForecastSnapshot::n_machines(self)
+    }
+    fn cpu_stochastic(&self, i: usize) -> Option<StochasticValue> {
+        ForecastSnapshot::cpu_stochastic(self, i)
+    }
+    fn cpu_query_value(&self, i: usize) -> Option<StochasticValue> {
+        self.machines[i].query.map(|q| q.value)
+    }
+    fn cpu_modal_stochastic(&self, i: usize) -> Option<StochasticValue> {
+        ForecastSnapshot::cpu_modal_stochastic(self, i)
+    }
+    fn cpu_stochastic_for_horizon(&self, i: usize, horizon_secs: f64) -> Option<StochasticValue> {
+        ForecastSnapshot::cpu_stochastic_for_horizon(self, i, horizon_secs)
+    }
+    fn bandwidth_fraction(&self) -> Option<StochasticValue> {
+        self.bandwidth_fraction_stochastic()
+    }
+    fn bandwidth_fraction_query_value(&self) -> Option<StochasticValue> {
+        self.bandwidth_query.map(|q| q.value)
+    }
+}
+
 /// A prediction issued before a run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Prediction {
@@ -130,34 +211,36 @@ pub struct Prediction {
     pub loads: Vec<StochasticValue>,
 }
 
-/// Predicts SOR execution times on a platform from live NWS data.
-pub struct SorPredictor<'a> {
+/// Predicts SOR execution times on a platform from a [`LoadView`]: the
+/// live NWS (the default) or an epoch-published [`ForecastSnapshot`].
+pub struct SorPredictor<'a, V: LoadView = NwsService> {
     platform: &'a Platform,
-    nws: &'a NwsService,
+    nws: &'a V,
     config: PredictorConfig,
 }
 
-impl<'a> SorPredictor<'a> {
-    /// Creates a predictor over a platform and its NWS.
+impl<'a, V: LoadView> SorPredictor<'a, V> {
+    /// Creates a predictor over a platform and its load view (live NWS
+    /// or frozen snapshot).
     ///
     /// # Panics
     ///
-    /// Panics if the NWS monitors a different platform — use
+    /// Panics if the view monitors a different platform — use
     /// [`SorPredictor::try_new`] to handle the mismatch as a typed error.
-    pub fn new(platform: &'a Platform, nws: &'a NwsService, config: PredictorConfig) -> Self {
+    pub fn new(platform: &'a Platform, nws: &'a V, config: PredictorConfig) -> Self {
         Self::try_new(platform, nws, config).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible [`SorPredictor::new`]: a platform/NWS mismatch surfaces
+    /// Fallible [`SorPredictor::new`]: a platform/view mismatch surfaces
     /// as [`PredictorError::PlatformMismatch`] instead of a panic.
     ///
     /// # Errors
     ///
-    /// Returns [`PredictorError::PlatformMismatch`] when the NWS monitors a
-    /// different platform than `platform`.
+    /// Returns [`PredictorError::PlatformMismatch`] when the view monitors
+    /// a different platform than `platform`.
     pub fn try_new(
         platform: &'a Platform,
-        nws: &'a NwsService,
+        nws: &'a V,
         config: PredictorConfig,
     ) -> Result<Self, PredictorError> {
         if nws.n_machines() != platform.machines.len() {
@@ -207,9 +290,9 @@ impl<'a> SorPredictor<'a> {
             });
         }
         let bw_avail = if self.config.staleness_aware {
-            self.nws.bandwidth_fraction_query().ok().map(|q| q.value)
+            self.nws.bandwidth_fraction_query_value()
         } else {
-            self.nws.bandwidth_fraction_stochastic()
+            self.nws.bandwidth_fraction()
         }
         .ok_or(PredictorError::NoData { machine: None })?;
         Ok(SorModelInputs {
@@ -232,7 +315,7 @@ impl<'a> SorPredictor<'a> {
     /// fault-aware query path when the config asks for it.
     fn instantaneous_load(&self, i: usize) -> Option<StochasticValue> {
         if self.config.staleness_aware {
-            self.nws.cpu_query(i).ok().map(|q| q.value)
+            self.nws.cpu_query_value(i)
         } else {
             self.nws.cpu_stochastic(i)
         }

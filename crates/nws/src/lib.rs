@@ -17,7 +17,11 @@
 //!   `mean ± 2σ` stochastic values for CPU availability and bandwidth,
 //!   with fault-aware queries ([`service::QuerySummary`]) that degrade
 //!   gracefully (forecast → window statistics → last-known value,
-//!   spreads widened with measurement staleness) instead of failing.
+//!   spreads widened with measurement staleness) instead of failing,
+//! * [`snapshot::ForecastSnapshot`] — the full query surface frozen at
+//!   one instant, bit-identical to the live service, for epoch-published
+//!   prediction serving (ingest runs the forecaster tournament once per
+//!   epoch; readers never touch a sensor lock).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,8 +33,10 @@ pub mod forecast;
 pub mod sensor;
 pub mod series;
 pub mod service;
+pub mod snapshot;
 
 pub use forecast::{AdaptiveForecaster, Forecast, Forecaster};
 pub use sensor::Sensor;
 pub use series::TimeSeries;
 pub use service::{NwsConfig, NwsService, QueryError, QueryMode, QuerySummary, SpreadPolicy};
+pub use snapshot::{ForecastSnapshot, HorizonBasis, MachineSnapshot};

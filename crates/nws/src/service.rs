@@ -13,6 +13,7 @@ use crate::sensor::Sensor;
 use prodpred_simgrid::faults::{FaultPlan, BANDWIDTH_RESOURCE};
 use prodpred_simgrid::Platform;
 use prodpred_stochastic::{StochasticValue, Summary};
+use serde::{Deserialize, Serialize};
 use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Locks a sensor for reading, recovering from poisoning: a panic in
@@ -34,7 +35,7 @@ fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 /// this chain as the retained history thins out: the forecaster needs a
 /// few samples to postcast, window statistics need two, and a single
 /// measurement can still be reported as a point value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum QueryMode {
     /// Full service: adaptive forecast mean + configured spread policy.
     Forecast,
@@ -46,7 +47,7 @@ pub enum QueryMode {
 
 /// A fault-aware query result: the stochastic value plus everything a
 /// caller needs to judge how much to trust it.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QuerySummary {
     /// The reported `mean ± 2σ`, already staleness-widened.
     pub value: StochasticValue,
@@ -476,6 +477,12 @@ impl NwsService {
             Some(model) => Some(model.weighted_average()),
             None => self.cpu_stochastic(i),
         }
+    }
+
+    /// The resource label of machine `i`'s CPU sensor, e.g.
+    /// `"cpu:sparc2-a"`.
+    pub fn cpu_resource_name(&self, i: usize) -> String {
+        read_lock(&self.cpu[i]).name.clone()
     }
 
     /// The latest raw CPU measurement for machine `i`.

@@ -1,0 +1,225 @@
+//! `serviced` — the prediction daemon.
+//!
+//! Default mode binds the HTTP shell and serves until killed:
+//!
+//! ```text
+//! serviced --host 127.0.0.1 --port 8017 --seed 42
+//! curl 'http://127.0.0.1:8017/predict?platform=2&n=1600&procs=4'
+//! ```
+//!
+//! `--smoke N` instead boots on an ephemeral loopback port, replays `N`
+//! seeded requests over real sockets, requires every one to come back
+//! `200 OK`, prints a latency report, and exits non-zero on any error —
+//! the CI `service-smoke` job runs exactly this. With `--gate FILE` the
+//! smoke run also compares its socket-path p99 against the committed
+//! in-process benchmark report (`BENCH_service.json`), scaled by
+//! `--margin` and a floor that absorbs loopback + shared-runner noise.
+
+use prodpred_service::replay::{percentile_us, request_path, ReplayReport};
+use prodpred_service::{serve, ServiceConfig, ServiceCore, ShellConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    host: String,
+    port: u16,
+    seed: u64,
+    workers: usize,
+    tick_millis: u64,
+    smoke: Option<u64>,
+    gate: Option<String>,
+    margin: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        host: "127.0.0.1".to_string(),
+        port: 8017,
+        seed: 42,
+        workers: 0,
+        tick_millis: 250,
+        smoke: None,
+        gate: None,
+        margin: 20.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--host" => args.host = value("--host")?,
+            "--port" => args.port = parse(&value("--port")?, "--port")?,
+            "--seed" => args.seed = parse(&value("--seed")?, "--seed")?,
+            "--workers" => args.workers = parse(&value("--workers")?, "--workers")?,
+            "--tick-ms" => args.tick_millis = parse(&value("--tick-ms")?, "--tick-ms")?,
+            "--smoke" => args.smoke = Some(parse(&value("--smoke")?, "--smoke")?),
+            "--gate" => args.gate = Some(value("--gate")?),
+            "--margin" => args.margin = parse(&value("--margin")?, "--margin")?,
+            "--help" | "-h" => {
+                println!(
+                    "serviced [--host H] [--port P] [--seed S] [--workers W] [--tick-ms T]\n\
+                     \x20        [--smoke N [--gate BENCH_service.json] [--margin M]]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value for {flag}: {s}"))
+}
+
+/// One blocking HTTP GET over a fresh connection; returns `(status,
+/// body)`.
+fn get(addr: SocketAddr, target: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+fn smoke(core: Arc<ServiceCore>, args: &Args, requests: u64) -> Result<ReplayReport, String> {
+    let shell = ShellConfig {
+        addr: format!("{}:0", args.host),
+        workers: args.workers,
+        tick_millis: args.tick_millis,
+    };
+    let mut handle = serve(core.clone(), &shell).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = handle.addr();
+    eprintln!("smoke: daemon on {addr}, replaying {requests} requests");
+
+    let epoch_before = core.epoch();
+    let mut latencies = Vec::with_capacity(requests as usize);
+    let started = Instant::now();
+    let mut errors = 0u64;
+    for i in 0..requests {
+        let target = request_path(args.seed, i);
+        let t0 = Instant::now();
+        match get(addr, &target) {
+            Ok((200, _)) => latencies.push(t0.elapsed().as_micros() as u64),
+            Ok((status, body)) => {
+                errors += 1;
+                eprintln!("smoke: request {i} {target} -> {status}: {body}");
+            }
+            Err(e) => {
+                errors += 1;
+                eprintln!("smoke: request {i} {target} -> {e}");
+            }
+        }
+    }
+    let elapsed_us = started.elapsed().as_micros() as u64;
+    let stats = core.stats();
+    let hits_denominator = (stats.cache.hits + stats.cache.misses).max(1);
+    let report = ReplayReport {
+        seed: args.seed,
+        requests,
+        threads: 1,
+        ticks: core.epoch() - epoch_before,
+        elapsed_us,
+        qps: requests as f64 / (elapsed_us.max(1) as f64 / 1e6),
+        p50_us: percentile_us(&mut latencies.clone(), 0.50),
+        p99_us: percentile_us(&mut latencies, 0.99),
+        max_us: latencies.iter().copied().max().unwrap_or(0),
+        cache_hit_rate: stats.cache.hits as f64 / hits_denominator as f64,
+        errors,
+    };
+    handle.shutdown();
+    if errors > 0 {
+        return Err(format!("{errors} of {requests} requests failed"));
+    }
+    Ok(report)
+}
+
+/// p99 gate: smoke (socket path, shared runner) vs committed in-process
+/// bench, with a multiplicative margin and an absolute floor.
+fn gate(report: &ReplayReport, path: &str, margin: f64) -> Result<(), String> {
+    let committed =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read gate file {path}: {e}"))?;
+    let committed: ReplayReport = serde_json::from_str(&committed)
+        .map_err(|e| format!("cannot parse gate file {path}: {e}"))?;
+    let floor_us = 50_000.0; // loopback + scheduler noise on a busy runner
+    let budget = (committed.p99_us as f64 * margin).max(floor_us);
+    if (report.p99_us as f64) > budget {
+        return Err(format!(
+            "p99 {}us exceeds budget {:.0}us (committed {}us x margin {margin})",
+            report.p99_us, budget, committed.p99_us
+        ));
+    }
+    eprintln!(
+        "gate: p99 {}us within budget {:.0}us (committed {}us x margin {margin})",
+        report.p99_us, budget, committed.p99_us
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(why) => {
+            eprintln!("serviced: {why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let core = Arc::new(ServiceCore::new(ServiceConfig {
+        seed: args.seed,
+        ..ServiceConfig::default()
+    }));
+
+    if let Some(requests) = args.smoke {
+        let report = match smoke(core, &args, requests) {
+            Ok(report) => report,
+            Err(why) => {
+                eprintln!("serviced: smoke failed: {why}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("serviced: cannot render report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &args.gate {
+            if let Err(why) = gate(&report, path, args.margin) {
+                eprintln!("serviced: gate failed: {why}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let shell = ShellConfig {
+        addr: format!("{}:{}", args.host, args.port),
+        workers: args.workers,
+        tick_millis: args.tick_millis,
+    };
+    match serve(core, &shell) {
+        Ok(handle) => {
+            eprintln!("serviced: listening on {}", handle.addr());
+            // Serve until killed (CI wraps this in `timeout`).
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Err(e) => {
+            eprintln!("serviced: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! The pure service core: simulated platforms, NWS ingest, epoch
+//! publication, and the cached query path — everything the daemon does,
+//! minus the sockets.
+//!
+//! The core is a pure function of `(seed, tick count, query stream)`:
+//! no wall clock, no I/O. The ingest side advances the simulated
+//! sensors one `publish_interval` per [`ServiceCore::ingest_tick`],
+//! freezes an immutable [`ForecastSnapshot`], publishes it through the
+//! epoch swap, and bumps the prediction cache. The query side loads the
+//! latest snapshot without locking against the writer, consults the
+//! cache, and only on a miss runs the structural-model algebra against
+//! the frozen snapshot. Tier-1 tests drive all of it end to end with
+//! zero real I/O; the `std::net` shell in [`crate::shell`] is a veneer.
+
+use crate::cache::{CacheConfig, CacheStats, EpochCache, QueryKey};
+use crate::swap::EpochSwap;
+use prodpred_core::{Prediction, PredictorConfig, PredictorError, SorPredictor};
+use prodpred_nws::snapshot::ForecastSnapshot;
+use prodpred_nws::{NwsConfig, NwsService};
+use prodpred_simgrid::Platform;
+use prodpred_sor::decomp::partition_equal;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Service-wide tunables. Everything downstream — traces, sensor
+/// histories, snapshots, predictions — is a deterministic function of
+/// these.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Seed for both simulated platforms' load traces.
+    pub seed: u64,
+    /// Simulated-trace horizon in seconds; ticking past it clamps.
+    pub horizon: f64,
+    /// Sensor history accumulated before the first snapshot publishes,
+    /// so forecasters start with a warm window.
+    pub warmup: f64,
+    /// Simulated seconds advanced per ingest tick (one snapshot per
+    /// tick; the paper's NWS polled every 5 s).
+    pub publish_interval: f64,
+    /// Prediction-cache sizing.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            horizon: 4.0 * 3600.0,
+            warmup: 600.0,
+            publish_interval: 5.0,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// One query against the service: which testbed, what problem, which
+/// predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Testbed: 1 (four Sparc IPC-class) or 2 (four Sparc 5/10-class).
+    pub platform: u8,
+    /// SOR grid size (n × n, interior n − 2).
+    pub n: usize,
+    /// Processors the grid is partitioned across.
+    pub procs: usize,
+    /// Structural-model configuration.
+    pub config: PredictorConfig,
+}
+
+/// The service's answer, tagged with the snapshot epoch that produced
+/// it so clients can correlate answers across the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Echo of the requested testbed.
+    pub platform: u8,
+    /// Echo of the requested grid size.
+    pub n: usize,
+    /// Echo of the requested processor count.
+    pub procs: usize,
+    /// Snapshot epoch the prediction was computed from.
+    pub epoch: u64,
+    /// Simulated time at which that snapshot froze its sensors.
+    pub captured_at: f64,
+    /// Whether this answer came from the prediction cache.
+    pub cache_hit: bool,
+    /// Predicted execution time, mean (seconds).
+    pub mean: f64,
+    /// Lower edge of the stochastic prediction interval.
+    pub lo: f64,
+    /// Upper edge of the stochastic prediction interval.
+    pub hi: f64,
+    /// Conventional point prediction (all parameters at their means).
+    pub point: f64,
+}
+
+/// Liveness counters for `/metrics` and the replay bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Snapshots published so far (== the current epoch).
+    pub epochs_published: u64,
+    /// Queries answered, hits and misses both.
+    pub queries: u64,
+    /// Queries rejected before reaching the model.
+    pub rejected: u64,
+    /// Combined cache counters across both platforms.
+    pub cache: CacheStats,
+}
+
+/// Everything that can go wrong answering a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The request was malformed (bad parameter value or combination).
+    BadRequest(String),
+    /// The request named a platform the service does not host.
+    UnknownPlatform(u8),
+    /// No snapshot has been published yet for the platform.
+    NotReady {
+        /// The platform still warming up.
+        platform: u8,
+    },
+    /// The structural model itself refused the inputs.
+    Predictor(PredictorError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadRequest(why) => write!(f, "bad request: {why}"),
+            Self::UnknownPlatform(p) => write!(f, "unknown platform {p} (have 1 and 2)"),
+            Self::NotReady { platform } => {
+                write!(f, "platform {platform} has not published a snapshot yet")
+            }
+            Self::Predictor(e) => write!(f, "prediction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Predictor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PredictorError> for ServiceError {
+    fn from(e: PredictorError) -> Self {
+        Self::Predictor(e)
+    }
+}
+
+/// One hosted testbed: its simulated platform, live NWS, epoch-published
+/// snapshots, and prediction cache.
+struct PlatformState {
+    platform: Platform,
+    nws: NwsService,
+    published: EpochSwap<ForecastSnapshot>,
+    cache: EpochCache<PredictResponse>,
+    /// Simulated "now" in seconds. Held for the whole ingest tick, which
+    /// also serializes writers; the query path never touches it.
+    clock: Mutex<f64>,
+}
+
+impl PlatformState {
+    fn new(id: u8, config: &ServiceConfig) -> Self {
+        let platform = match id {
+            1 => Platform::platform1(config.seed, config.horizon),
+            _ => Platform::platform2(config.seed, config.horizon),
+        };
+        let nws = NwsService::attach(&platform, NwsConfig::default());
+        Self {
+            platform,
+            nws,
+            published: EpochSwap::new(),
+            cache: EpochCache::new(config.cache),
+            clock: Mutex::new(0.0),
+        }
+    }
+
+    /// Advances sensors by `dt` (clamped to `horizon`) and publishes the
+    /// next snapshot. Returns the new epoch.
+    fn tick(&self, dt: f64, horizon: f64) -> u64 {
+        let mut clock = self.clock.lock().unwrap_or_else(PoisonError::into_inner);
+        *clock = (*clock + dt).min(horizon);
+        self.nws.advance_to(&self.platform, *clock);
+        let snapshot = self.nws.snapshot(self.published.epoch() + 1);
+        let epoch = self.published.publish(snapshot);
+        self.cache.bump_to(epoch);
+        epoch
+    }
+}
+
+/// The daemon's heart: both testbeds plus the counters, behind a pure
+/// tick/query API.
+pub struct ServiceCore {
+    config: ServiceConfig,
+    platforms: [PlatformState; 2],
+    queries: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ServiceCore {
+    /// Builds the service and warms it up: sensors advanced to
+    /// `config.warmup`, epoch 1 published for both platforms, cache
+    /// empty. Deterministic in `config`.
+    pub fn new(config: ServiceConfig) -> Self {
+        let platforms = [
+            PlatformState::new(1, &config),
+            PlatformState::new(2, &config),
+        ];
+        let core = Self {
+            config,
+            platforms,
+            queries: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        };
+        for p in &core.platforms {
+            p.tick(core.config.warmup, core.config.horizon);
+        }
+        core
+    }
+
+    /// The configuration the core was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// One ingest step: advances both platforms' sensors by
+    /// `publish_interval` simulated seconds, publishes fresh snapshots,
+    /// and invalidates both caches. Concurrent callers serialize; the
+    /// query path is never blocked. Returns the new shared epoch.
+    pub fn ingest_tick(&self) -> u64 {
+        let mut epoch = 0;
+        for p in &self.platforms {
+            epoch = p.tick(self.config.publish_interval, self.config.horizon);
+        }
+        epoch
+    }
+
+    fn platform_state(&self, id: u8) -> Result<&PlatformState, ServiceError> {
+        match id {
+            1 => Ok(&self.platforms[0]),
+            2 => Ok(&self.platforms[1]),
+            other => Err(ServiceError::UnknownPlatform(other)),
+        }
+    }
+
+    fn validate(req: &PredictRequest) -> Result<(), ServiceError> {
+        if req.n < 16 || req.n > 20_000 {
+            return Err(ServiceError::BadRequest(format!(
+                "n = {} out of range [16, 20000]",
+                req.n
+            )));
+        }
+        if req.procs == 0 || req.procs > req.n - 2 {
+            return Err(ServiceError::BadRequest(format!(
+                "procs = {} must be in [1, n - 2]",
+                req.procs
+            )));
+        }
+        if req.config.iterations == 0 {
+            return Err(ServiceError::BadRequest(
+                "iterations must be at least 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Answers one query against the latest published snapshot.
+    ///
+    /// The fast path is entirely lock-free with respect to the ingest
+    /// writer: an epoch-swap load plus one sharded cache probe. Misses
+    /// run the structural model against the frozen snapshot — whose
+    /// arithmetic is bit-identical to the live service at capture time —
+    /// and populate the cache for the rest of the epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadRequest`] on out-of-range parameters,
+    /// [`ServiceError::UnknownPlatform`] for platforms other than 1/2,
+    /// [`ServiceError::NotReady`] before the first publish, and
+    /// [`ServiceError::Predictor`] when the model rejects the inputs
+    /// (e.g. a dry sensor under fault injection).
+    pub fn query(&self, req: &PredictRequest) -> Result<PredictResponse, ServiceError> {
+        let outcome = self.query_inner(req);
+        match outcome {
+            Ok(_) => {
+                self.queries.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    fn query_inner(&self, req: &PredictRequest) -> Result<PredictResponse, ServiceError> {
+        let state = self.platform_state(req.platform)?;
+        Self::validate(req)?;
+        let (epoch, snapshot) = state.published.load().ok_or(ServiceError::NotReady {
+            platform: req.platform,
+        })?;
+        let key = QueryKey::new(req.platform, req.n, req.procs, &req.config);
+        if let Some(cached) = state.cache.get(epoch, &key) {
+            let mut response = (*cached).clone();
+            response.cache_hit = true;
+            return Ok(response);
+        }
+        let prediction = Self::predict(&state.platform, &snapshot, req)?;
+        let response = PredictResponse {
+            platform: req.platform,
+            n: req.n,
+            procs: req.procs,
+            epoch,
+            captured_at: snapshot.captured_at,
+            cache_hit: false,
+            mean: prediction.stochastic.mean(),
+            lo: prediction.stochastic.lo(),
+            hi: prediction.stochastic.hi(),
+            point: prediction.point,
+        };
+        let stored = state.cache.insert(epoch, key, response);
+        Ok((*stored).clone())
+    }
+
+    fn predict(
+        platform: &Platform,
+        snapshot: &ForecastSnapshot,
+        req: &PredictRequest,
+    ) -> Result<Prediction, ServiceError> {
+        let predictor = SorPredictor::try_new(platform, snapshot, req.config)?;
+        let strips = partition_equal(req.n - 2, req.procs);
+        Ok(predictor.try_predict(req.n, &strips)?)
+    }
+
+    /// Answers the same query with the cache bypassed — the reference
+    /// path tests pin the cached path against, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServiceCore::query`].
+    pub fn query_uncached(&self, req: &PredictRequest) -> Result<PredictResponse, ServiceError> {
+        let state = self.platform_state(req.platform)?;
+        Self::validate(req)?;
+        let (epoch, snapshot) = state.published.load().ok_or(ServiceError::NotReady {
+            platform: req.platform,
+        })?;
+        let prediction = Self::predict(&state.platform, &snapshot, req)?;
+        Ok(PredictResponse {
+            platform: req.platform,
+            n: req.n,
+            procs: req.procs,
+            epoch,
+            captured_at: snapshot.captured_at,
+            cache_hit: false,
+            mean: prediction.stochastic.mean(),
+            lo: prediction.stochastic.lo(),
+            hi: prediction.stochastic.hi(),
+            point: prediction.point,
+        })
+    }
+
+    /// The latest published epoch (platform 2's, which ticks last; both
+    /// platforms publish in lockstep).
+    pub fn epoch(&self) -> u64 {
+        self.platforms[1].published.epoch()
+    }
+
+    /// Point-in-time service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let mut cache = CacheStats::default();
+        for p in &self.platforms {
+            let s = p.cache.stats();
+            cache.hits += s.hits;
+            cache.misses += s.misses;
+            cache.invalidated += s.invalidated;
+            cache.evicted += s.evicted;
+            cache.entries += s.entries;
+        }
+        ServiceStats {
+            epochs_published: self.epoch(),
+            queries: self.queries.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cache,
+        }
+    }
+}
+
+/// A convenience handle for sharing a core across threads.
+pub type SharedCore = Arc<ServiceCore>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prodpred_core::LoadSource;
+
+    fn small_core() -> ServiceCore {
+        ServiceCore::new(ServiceConfig {
+            seed: 7,
+            horizon: 2000.0,
+            warmup: 300.0,
+            publish_interval: 5.0,
+            ..ServiceConfig::default()
+        })
+    }
+
+    fn req(platform: u8, n: usize) -> PredictRequest {
+        PredictRequest {
+            platform,
+            n,
+            procs: 4,
+            config: PredictorConfig::default(),
+        }
+    }
+
+    #[test]
+    fn warm_core_answers_immediately() {
+        let core = small_core();
+        assert_eq!(core.epoch(), 1);
+        let r = core.query(&req(2, 600)).unwrap();
+        assert_eq!((r.platform, r.n, r.epoch, r.cache_hit), (2, 600, 1, false));
+        assert!(r.mean > 0.0 && r.lo <= r.mean && r.mean <= r.hi);
+    }
+
+    #[test]
+    fn second_identical_query_is_a_cache_hit_and_bit_identical() {
+        let core = small_core();
+        let miss = core.query(&req(1, 800)).unwrap();
+        let hit = core.query(&req(1, 800)).unwrap();
+        assert!(!miss.cache_hit && hit.cache_hit);
+        assert_eq!(
+            (
+                miss.mean.to_bits(),
+                miss.lo.to_bits(),
+                miss.hi.to_bits(),
+                miss.point.to_bits()
+            ),
+            (
+                hit.mean.to_bits(),
+                hit.lo.to_bits(),
+                hit.hi.to_bits(),
+                hit.point.to_bits()
+            ),
+        );
+    }
+
+    #[test]
+    fn cached_equals_uncached_bitwise() {
+        let core = small_core();
+        let r = req(2, 1000);
+        let uncached = core.query_uncached(&r).unwrap();
+        core.query(&r).unwrap(); // populate
+        let cached = core.query(&r).unwrap();
+        assert!(cached.cache_hit);
+        assert_eq!(uncached.mean.to_bits(), cached.mean.to_bits());
+        assert_eq!(uncached.lo.to_bits(), cached.lo.to_bits());
+        assert_eq!(uncached.hi.to_bits(), cached.hi.to_bits());
+        assert_eq!(uncached.point.to_bits(), cached.point.to_bits());
+    }
+
+    #[test]
+    fn ingest_tick_bumps_epoch_and_invalidates() {
+        let core = small_core();
+        core.query(&req(1, 600)).unwrap();
+        assert_eq!(core.stats().cache.entries, 1);
+        assert_eq!(core.ingest_tick(), 2);
+        assert_eq!(core.stats().cache.entries, 0);
+        let r = core.query(&req(1, 600)).unwrap();
+        assert_eq!((r.epoch, r.cache_hit), (2, false));
+    }
+
+    #[test]
+    fn same_seed_same_answers_across_cores() {
+        let a = small_core().query(&req(2, 1600)).unwrap();
+        let b = small_core().query(&req(2, 1600)).unwrap();
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.captured_at.to_bits(), b.captured_at.to_bits());
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_typed_errors() {
+        let core = small_core();
+        assert!(matches!(
+            core.query(&req(3, 600)),
+            Err(ServiceError::UnknownPlatform(3))
+        ));
+        assert!(matches!(
+            core.query(&req(1, 4)),
+            Err(ServiceError::BadRequest(_))
+        ));
+        let mut r = req(1, 600);
+        r.procs = 0;
+        assert!(matches!(core.query(&r), Err(ServiceError::BadRequest(_))));
+        let mut r = req(1, 600);
+        r.config.iterations = 0;
+        assert!(matches!(core.query(&r), Err(ServiceError::BadRequest(_))));
+        assert_eq!(core.stats().rejected, 4);
+    }
+
+    #[test]
+    fn service_error_display_and_source() {
+        use std::error::Error as _;
+        let e = ServiceError::NotReady { platform: 1 };
+        assert!(e.to_string().contains("platform 1"));
+        assert!(e.source().is_none());
+        let e = ServiceError::Predictor(PredictorError::NoData { machine: Some(0) });
+        assert!(e.to_string().contains("prediction failed"));
+        assert!(e.source().unwrap().to_string().contains("machine 0"));
+    }
+
+    #[test]
+    fn load_source_variants_all_answer() {
+        let core = small_core();
+        for source in [
+            LoadSource::Instantaneous,
+            LoadSource::RunHorizon,
+            LoadSource::ModalAverage,
+        ] {
+            let mut r = req(2, 600);
+            r.config.load_source = source;
+            let resp = core.query(&r).unwrap();
+            assert!(resp.mean > 0.0, "{source:?} produced no prediction");
+        }
+    }
+}

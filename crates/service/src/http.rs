@@ -1,0 +1,351 @@
+//! Socket-free HTTP/1.1 request handling: parse a request target, route
+//! it through [`ServiceCore`], and render a response.
+//!
+//! Everything here is pure string-in, string-out, so tier-1 tests can
+//! drive the full daemon surface — routing, parameter parsing, error
+//! mapping, JSON rendering — without opening a socket. The `std::net`
+//! veneer in [`crate::shell`] only reads bytes, calls [`handle`], and
+//! writes bytes back.
+
+use crate::core::{PredictRequest, ServiceCore, ServiceError};
+use prodpred_core::{LoadSource, PredictorConfig};
+use prodpred_stochastic::MaxStrategy;
+
+/// A rendered-to-be HTTP response: status line plus JSON body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// HTTP status code (200, 400, 404, 503).
+    pub status: u16,
+    /// Reason phrase matching `status`.
+    pub reason: &'static str,
+    /// JSON body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    fn ok(body: String) -> Self {
+        Self {
+            status: 200,
+            reason: "OK",
+            body,
+        }
+    }
+
+    fn error(status: u16, reason: &'static str, message: &str) -> Self {
+        Self {
+            status,
+            reason,
+            body: format!("{{\"error\":{}}}", json_string(message)),
+        }
+    }
+
+    /// Renders the full HTTP/1.1 wire form (headers + body).
+    pub fn render(&self) -> String {
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            self.reason,
+            self.body.len(),
+            self.body
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Splits a request target into `(path, query pairs)`.
+fn split_target(target: &str) -> (&str, Vec<(&str, &str)>) {
+    match target.split_once('?') {
+        None => (target, Vec::new()),
+        Some((path, query)) => {
+            let pairs = query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| p.split_once('=').unwrap_or((p, "")))
+                .collect();
+            (path, pairs)
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("parameter {key}={value} is not a valid number"))
+}
+
+/// Builds a [`PredictRequest`] from `/predict` query parameters.
+///
+/// Required: `platform`, `n`, `procs`. Optional (defaulting to
+/// [`PredictorConfig::default`]): `iters`, `source`
+/// (`inst`/`horizon`/`modal`), `staleness` (`0`/`1`), `max`
+/// (`mean`/`upper`/`lower`/`clark`/`mc:<samples>:<seed>`), `cap`
+/// (relative half-width cap, or `none`).
+///
+/// # Errors
+///
+/// A human-readable message naming the offending parameter.
+pub fn parse_predict(pairs: &[(&str, &str)]) -> Result<PredictRequest, String> {
+    let mut platform: Option<u8> = None;
+    let mut n: Option<usize> = None;
+    let mut procs: Option<usize> = None;
+    let mut config = PredictorConfig::default();
+    for &(key, value) in pairs {
+        match key {
+            "platform" => platform = Some(parse_num(key, value)?),
+            "n" => n = Some(parse_num(key, value)?),
+            "procs" => procs = Some(parse_num(key, value)?),
+            "iters" => config.iterations = parse_num(key, value)?,
+            "source" => {
+                config.load_source = match value {
+                    "inst" => LoadSource::Instantaneous,
+                    "horizon" => LoadSource::RunHorizon,
+                    "modal" => LoadSource::ModalAverage,
+                    other => return Err(format!("unknown source {other:?} (inst/horizon/modal)")),
+                }
+            }
+            "staleness" => {
+                config.staleness_aware = match value {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(format!("staleness={other} must be 0 or 1")),
+                }
+            }
+            "max" => {
+                config.max_strategy = match value {
+                    "mean" => MaxStrategy::ByMean,
+                    "upper" => MaxStrategy::ByUpperBound,
+                    "lower" => MaxStrategy::ByLowerBound,
+                    "clark" => MaxStrategy::Clark,
+                    mc => {
+                        let mut parts = mc.split(':');
+                        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                            (Some("mc"), Some(samples), Some(seed), None) => {
+                                MaxStrategy::MonteCarlo {
+                                    samples: parse_num("max samples", samples)?,
+                                    seed: parse_num("max seed", seed)?,
+                                }
+                            }
+                            _ => {
+                                return Err(format!(
+                                "unknown max {mc:?} (mean/upper/lower/clark/mc:<samples>:<seed>)"
+                            ))
+                            }
+                        }
+                    }
+                }
+            }
+            "cap" => {
+                config.max_load_rel_width = if value == "none" {
+                    None
+                } else {
+                    Some(parse_num(key, value)?)
+                }
+            }
+            other => return Err(format!("unknown parameter {other:?}")),
+        }
+    }
+    Ok(PredictRequest {
+        platform: platform.ok_or("missing required parameter: platform")?,
+        n: n.ok_or("missing required parameter: n")?,
+        procs: procs.ok_or("missing required parameter: procs")?,
+        config,
+    })
+}
+
+fn error_response(e: &ServiceError) -> HttpResponse {
+    use prodpred_core::PredictorError;
+    match e {
+        ServiceError::BadRequest(_) => HttpResponse::error(400, "Bad Request", &e.to_string()),
+        ServiceError::UnknownPlatform(_) => HttpResponse::error(404, "Not Found", &e.to_string()),
+        ServiceError::NotReady { .. } => {
+            HttpResponse::error(503, "Service Unavailable", &e.to_string())
+        }
+        // A dry sensor is transient (more polls may fill it); structural
+        // rejections are the client's fault.
+        ServiceError::Predictor(PredictorError::NoData { .. }) => {
+            HttpResponse::error(503, "Service Unavailable", &e.to_string())
+        }
+        ServiceError::Predictor(_) => HttpResponse::error(400, "Bad Request", &e.to_string()),
+    }
+}
+
+fn to_json<T: serde::Serialize>(value: &T) -> HttpResponse {
+    match serde_json::to_string(value) {
+        Ok(body) => HttpResponse::ok(body),
+        Err(e) => HttpResponse::error(500, "Internal Server Error", &e.to_string()),
+    }
+}
+
+/// Routes one request target (e.g. `/predict?platform=2&n=1600&procs=4`)
+/// through the core and renders the response. The daemon's entire
+/// routing table lives here, socket-free.
+pub fn handle(core: &ServiceCore, target: &str) -> HttpResponse {
+    let (path, pairs) = split_target(target);
+    match path {
+        "/predict" => match parse_predict(&pairs) {
+            Err(why) => HttpResponse::error(400, "Bad Request", &why),
+            Ok(req) => match core.query(&req) {
+                Ok(response) => to_json(&response),
+                Err(e) => error_response(&e),
+            },
+        },
+        "/health" => {
+            if core.epoch() == 0 {
+                HttpResponse::error(503, "Service Unavailable", "no snapshot published yet")
+            } else {
+                HttpResponse::ok(format!("{{\"status\":\"ok\",\"epoch\":{}}}", core.epoch()))
+            }
+        }
+        "/metrics" => to_json(&core.stats()),
+        _ => HttpResponse::error(404, "Not Found", &format!("no route for {path}")),
+    }
+}
+
+/// Parses the request line of an HTTP/1.1 request head and returns the
+/// target, rejecting anything but `GET`.
+///
+/// # Errors
+///
+/// A ready-to-send [`HttpResponse`] (400 or 405) describing the defect.
+pub fn request_target(head: &str) -> Result<&str, HttpResponse> {
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("GET"), Some(target), Some(version)) if version.starts_with("HTTP/1.") => Ok(target),
+        (Some("GET"), _, _) => Err(HttpResponse::error(
+            400,
+            "Bad Request",
+            "malformed request line",
+        )),
+        (Some(method), _, _) => Err(HttpResponse::error(
+            405,
+            "Method Not Allowed",
+            &format!("method {method} not supported (GET only)"),
+        )),
+        _ => Err(HttpResponse::error(400, "Bad Request", "empty request")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{ServiceConfig, ServiceCore};
+
+    fn core() -> ServiceCore {
+        ServiceCore::new(ServiceConfig {
+            seed: 7,
+            horizon: 2000.0,
+            warmup: 300.0,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn predict_round_trips_through_json() {
+        let core = core();
+        let r = handle(&core, "/predict?platform=2&n=1600&procs=4");
+        assert_eq!(r.status, 200, "{}", r.body);
+        let parsed: crate::core::PredictResponse = serde_json::from_str(&r.body).unwrap();
+        assert_eq!((parsed.platform, parsed.n, parsed.procs), (2, 1600, 4));
+        assert!(parsed.mean > 0.0);
+    }
+
+    #[test]
+    fn full_parameter_surface_parses() {
+        let pairs = [
+            ("platform", "1"),
+            ("n", "600"),
+            ("procs", "2"),
+            ("iters", "40"),
+            ("source", "modal"),
+            ("staleness", "1"),
+            ("max", "mc:500:9"),
+            ("cap", "0.25"),
+        ];
+        let req = parse_predict(&pairs).unwrap();
+        assert_eq!((req.platform, req.n, req.procs), (1, 600, 2));
+        assert_eq!(req.config.iterations, 40);
+        assert_eq!(req.config.load_source, LoadSource::ModalAverage);
+        assert!(req.config.staleness_aware);
+        assert_eq!(
+            req.config.max_strategy,
+            MaxStrategy::MonteCarlo {
+                samples: 500,
+                seed: 9
+            }
+        );
+        assert_eq!(req.config.max_load_rel_width, Some(0.25));
+    }
+
+    #[test]
+    fn errors_map_to_http_statuses() {
+        let core = core();
+        assert_eq!(handle(&core, "/predict?platform=1&n=600").status, 400);
+        assert_eq!(
+            handle(&core, "/predict?platform=9&n=600&procs=2").status,
+            404
+        );
+        assert_eq!(
+            handle(&core, "/predict?platform=1&n=600&procs=2&source=x").status,
+            400
+        );
+        assert_eq!(handle(&core, "/nope").status, 404);
+        assert_eq!(handle(&core, "/health").status, 200);
+        assert_eq!(handle(&core, "/metrics").status, 200);
+    }
+
+    #[test]
+    fn request_line_parsing() {
+        assert_eq!(
+            request_target("GET /health HTTP/1.1\r\nHost: x\r\n\r\n").unwrap(),
+            "/health"
+        );
+        assert_eq!(
+            request_target("POST /health HTTP/1.1").unwrap_err().status,
+            405
+        );
+        assert_eq!(request_target("").unwrap_err().status, 400);
+        assert_eq!(request_target("GET /health").unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn render_carries_content_length() {
+        let r = HttpResponse::ok("{\"a\":1}".to_string());
+        let wire = r.render();
+        assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(wire.contains("Content-Length: 7\r\n"));
+        assert!(wire.ends_with("\r\n\r\n{\"a\":1}"));
+    }
+
+    #[test]
+    fn json_error_bodies_escape_quotes() {
+        let core = core();
+        let r = handle(&core, "/predict?platform=1&n=600&procs=2&source=bad");
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("\\\"bad\\\""), "{}", r.body);
+        #[derive(serde::Deserialize)]
+        struct ErrBody {
+            error: String,
+        }
+        let parsed: ErrBody = serde_json::from_str(&r.body).unwrap();
+        assert!(parsed.error.contains("\"bad\""));
+    }
+}

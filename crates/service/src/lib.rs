@@ -1,0 +1,43 @@
+//! Prediction-as-a-service: the paper's structural predictor behind a
+//! daemon with epoch-published forecast snapshots and a lock-free query
+//! path.
+//!
+//! The paper's predictor answers "how long will this SOR run take right
+//! now?" — a question whose answer decays as fast as the load does. This
+//! crate packages it as a continuously-refreshing service:
+//!
+//! * [`swap`] — `EpochSwap`, single-writer epoch publication of
+//!   immutable values with reader loads that never wait on the writer;
+//! * [`cache`] — the sharded, bounded, deterministic prediction cache,
+//!   keyed by `(query configuration, snapshot epoch)` and invalidated
+//!   wholesale on every epoch bump;
+//! * [`core`] — the pure service core: simulated platforms, NWS ingest
+//!   ticks, snapshot publication, the cached query path. A pure function
+//!   of `(seed, ticks, queries)` — no wall clock, no I/O;
+//! * [`http`] — socket-free request parsing, routing, and response
+//!   rendering;
+//! * [`replay`] — the seeded request stream shared by the latency bench,
+//!   the CI smoke test, and the tier-1 tests;
+//! * [`shell`] — the thin `std::net` veneer (the only socket code in the
+//!   workspace, fenced by tidy lint PP008).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod cache;
+pub mod core;
+pub mod http;
+pub mod replay;
+pub mod shell;
+pub mod swap;
+
+pub use cache::{CacheConfig, CacheStats, EpochCache, QueryKey};
+pub use core::{
+    PredictRequest, PredictResponse, ServiceConfig, ServiceCore, ServiceError, ServiceStats,
+    SharedCore,
+};
+pub use http::{handle, HttpResponse};
+pub use replay::{percentile_us, request_for, request_path, ReplayReport};
+pub use shell::{serve, ShellConfig, ShellHandle};
+pub use swap::EpochSwap;

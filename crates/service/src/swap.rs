@@ -1,0 +1,222 @@
+//! Epoch-pointer publication: a hand-rolled, std-only arc-swap that lets
+//! one ingest thread publish immutable snapshots while any number of
+//! reader threads load the latest one without ever waiting on the
+//! writer.
+//!
+//! ## The protocol
+//!
+//! [`EpochSwap`] keeps a small ring of slots, each holding `(epoch,
+//! Arc<T>)`, plus a single `AtomicU64` naming the latest published
+//! epoch. Publication writes the *next* ring slot — one the last `N-1`
+//! epochs of readers cannot be looking at — and only then bumps the
+//! epoch counter with `Release` ordering. A read loads the epoch
+//! (`Acquire`), indexes its slot, clones the `Arc`, and validates that
+//! the slot still carries the expected epoch; a reader that slept so
+//! long the writer lapped the whole ring simply observes the mismatch
+//! and retries against the now-newer epoch.
+//!
+//! ## Why this is "lock-free reads" without unsafe code
+//!
+//! The read path takes no `Mutex` and never blocks on the writer in
+//! steady state: the writer only ever write-locks the slot `N-1` epochs
+//! ahead of the one current readers index, so a reader's slot
+//! acquisition is always uncontended (an atomic refcount bump, no
+//! waiting). The only way a reader meets the writer on a slot is being
+//! delayed for `N-1` full publish intervals — seconds, against a
+//! nanosecond read — and even then it waits only for one pointer store
+//! before detecting the epoch mismatch and retrying. The classic
+//! `AtomicPtr`-of-`Arc` formulation buys the same property with unsafe
+//! deferred reclamation; the ring buys it with slot validation and keeps
+//! the crate `forbid(unsafe_code)`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+/// Ring capacity: how many epochs of grace a stalled reader gets before
+/// its load retries. Publication cadence is seconds; reads are
+/// sub-microsecond, so 8 is already astronomically conservative.
+const SLOTS: usize = 8;
+
+struct Slot<T> {
+    epoch: u64,
+    value: Option<Arc<T>>,
+}
+
+/// Single-writer, many-reader epoch publication of immutable values.
+///
+/// ```
+/// use prodpred_service::swap::EpochSwap;
+/// let swap: EpochSwap<String> = EpochSwap::new();
+/// assert!(swap.load().is_none());
+/// swap.publish("hello".to_string());
+/// let (epoch, value) = swap.load().unwrap();
+/// assert_eq!((epoch, value.as_str()), (1, "hello"));
+/// ```
+pub struct EpochSwap<T> {
+    /// Latest published epoch; 0 means nothing published yet.
+    epoch: AtomicU64,
+    slots: Box<[RwLock<Slot<T>>]>,
+    /// Serializes publishers (the reader path never touches this).
+    writer: Mutex<u64>,
+}
+
+impl<T> Default for EpochSwap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EpochSwap<T> {
+    /// An empty publication point (no epoch yet).
+    pub fn new() -> Self {
+        let slots = (0..SLOTS)
+            .map(|_| {
+                RwLock::new(Slot {
+                    epoch: 0,
+                    value: None,
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            epoch: AtomicU64::new(0),
+            slots,
+            writer: Mutex::new(0),
+        }
+    }
+
+    /// The latest published epoch (0 before the first publish). A plain
+    /// atomic load — readers use it to detect staleness cheaply.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publishes `value` as the next epoch and returns that epoch.
+    /// Publishers are serialized against each other; readers are never
+    /// blocked (they read a different slot).
+    pub fn publish(&self, value: T) -> u64 {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let epoch = *writer + 1;
+        {
+            let mut slot = self.slots[(epoch as usize) % SLOTS]
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            slot.epoch = epoch;
+            slot.value = Some(Arc::new(value));
+        }
+        // The slot is fully written before the epoch becomes visible.
+        self.epoch.store(epoch, Ordering::Release);
+        *writer = epoch;
+        epoch
+    }
+
+    /// Loads the latest published `(epoch, value)`, or `None` before the
+    /// first publish. Wait-free against the writer in steady state; a
+    /// reader lapped by `SLOTS - 1` publishes mid-load retries against
+    /// the fresher epoch.
+    pub fn load(&self) -> Option<(u64, Arc<T>)> {
+        loop {
+            let epoch = self.epoch.load(Ordering::Acquire);
+            if epoch == 0 {
+                return None;
+            }
+            let slot = self.slots[(epoch as usize) % SLOTS]
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            if slot.epoch == epoch {
+                if let Some(value) = &slot.value {
+                    return Some((epoch, Arc::clone(value)));
+                }
+            }
+            // Lapped: the writer reused this slot for a newer epoch
+            // between our epoch load and slot read. Retry; the fresh
+            // epoch's slot is untouched for another SLOTS - 1 publishes.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn empty_then_publish_then_load() {
+        let swap: EpochSwap<u32> = EpochSwap::new();
+        assert_eq!(swap.epoch(), 0);
+        assert!(swap.load().is_none());
+        assert_eq!(swap.publish(7), 1);
+        assert_eq!(swap.epoch(), 1);
+        let (e, v) = swap.load().unwrap();
+        assert_eq!((e, *v), (1, 7));
+    }
+
+    #[test]
+    fn epochs_are_sequential_and_latest_wins() {
+        let swap: EpochSwap<u32> = EpochSwap::new();
+        for i in 1..=100u32 {
+            assert_eq!(swap.publish(i), u64::from(i));
+        }
+        let (e, v) = swap.load().unwrap();
+        assert_eq!((e, *v), (100, 100));
+    }
+
+    #[test]
+    fn held_arc_survives_ring_reuse() {
+        // A reader's Arc stays valid no matter how many epochs lap the
+        // ring: the Arc owns the value, the ring only owns a reference.
+        let swap: EpochSwap<Vec<u64>> = EpochSwap::new();
+        swap.publish(vec![42; 1000]);
+        let (e, old) = swap.load().unwrap();
+        assert_eq!(e, 1);
+        for i in 0..(SLOTS as u64 * 4) {
+            swap.publish(vec![i; 10]);
+        }
+        assert_eq!(old.len(), 1000);
+        assert!(old.iter().all(|&x| x == 42));
+        let (e, _) = swap.load().unwrap();
+        assert_eq!(e, 1 + SLOTS as u64 * 4);
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_a_coherent_pair() {
+        // Hammer loads while a writer publishes: every observed value
+        // must equal its epoch (the pair is published atomically), and
+        // epochs must be monotone per reader.
+        let swap = Arc::new(EpochSwap::<u64>::new());
+        swap.publish(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let swap = Arc::clone(&swap);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    let mut seen = 0u64;
+                    // Load-then-check: even if the writer outruns thread
+                    // startup, every reader validates at least one load.
+                    loop {
+                        let (e, v) = swap.load().unwrap();
+                        assert_eq!(e, *v, "epoch and payload published atomically");
+                        assert!(e >= last, "epochs monotone per reader");
+                        last = e;
+                        seen += 1;
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for i in 2..=5000u64 {
+            swap.publish(i);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        let (e, v) = swap.load().unwrap();
+        assert_eq!((e, *v), (5000, 5000));
+    }
+}

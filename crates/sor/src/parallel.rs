@@ -69,7 +69,24 @@ impl std::fmt::Display for SolveError {
     }
 }
 
-impl std::error::Error for SolveError {}
+impl std::error::Error for SolveError {
+    /// The underlying [`CheckpointError`](crate::checkpoint::CheckpointError)
+    /// for [`SolveError::Checkpoint`], so `Box<dyn Error>` chains (the
+    /// service layer's error propagation) reach the root cause without
+    /// matching on every variant.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Checkpoint(e) => Some(e),
+            Self::WorkerDied { .. } | Self::ExchangeTimeout { .. } => None,
+        }
+    }
+}
+
+impl From<crate::checkpoint::CheckpointError> for SolveError {
+    fn from(e: crate::checkpoint::CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
 
 /// Options for a fallible parallel solve: how patiently workers wait on
 /// their neighbours, and an optional injected worker death.

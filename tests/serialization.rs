@@ -2,6 +2,8 @@
 //! traces and results can be archived and replotted.
 
 use prodpred_core::{platform2_experiment, ExperimentSeries};
+use prodpred_nws::snapshot::ForecastSnapshot;
+use prodpred_nws::{NwsConfig, NwsService, QuerySummary};
 use prodpred_simgrid::{Platform, Trace};
 use prodpred_stochastic::StochasticValue;
 
@@ -38,6 +40,75 @@ fn platform_round_trip_preserves_behaviour() {
         p.network.transfer_secs(1.0e5, 100.0),
         back.network.transfer_secs(1.0e5, 100.0)
     );
+}
+
+#[test]
+fn query_summary_round_trip() {
+    let platform = Platform::platform2(11, 900.0);
+    let nws = NwsService::attach(&platform, NwsConfig::default());
+    nws.advance_to(&platform, 600.0);
+    let summary: QuerySummary = nws.cpu_query(0).unwrap();
+    let json = serde_json::to_string(&summary).unwrap();
+    let back: QuerySummary = serde_json::from_str(&json).unwrap();
+    assert_eq!(summary, back);
+    assert_eq!(summary.value.mean().to_bits(), back.value.mean().to_bits());
+}
+
+#[test]
+fn forecast_snapshot_round_trip_preserves_answers() {
+    let platform = Platform::platform2(11, 900.0);
+    let nws = NwsService::attach(&platform, NwsConfig::default());
+    nws.advance_to(&platform, 600.0);
+    let snapshot = nws.snapshot(3);
+    let json = serde_json::to_string(&snapshot).unwrap();
+    let back: ForecastSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(snapshot, back);
+    // The reloaded snapshot answers queries bit-identically, including
+    // the horizon-scaled OU arithmetic.
+    for i in 0..snapshot.n_machines() {
+        for horizon in [1.0, 60.0, 900.0] {
+            let a = snapshot.cpu_stochastic_for_horizon(i, horizon);
+            let b = back.cpu_stochastic_for_horizon(i, horizon);
+            assert_eq!(a.map(|v| v.mean().to_bits()), b.map(|v| v.mean().to_bits()));
+        }
+    }
+}
+
+#[test]
+fn predict_response_round_trip() {
+    use prodpred_service::{PredictResponse, ServiceConfig, ServiceCore};
+    let core = ServiceCore::new(ServiceConfig {
+        seed: 11,
+        horizon: 1200.0,
+        warmup: 300.0,
+        ..ServiceConfig::default()
+    });
+    let response = core.query(&prodpred_service::request_for(11, 0)).unwrap();
+    let json = serde_json::to_string(&response).unwrap();
+    let back: PredictResponse = serde_json::from_str(&json).unwrap();
+    assert_eq!(response, back);
+    assert_eq!(response.mean.to_bits(), back.mean.to_bits());
+}
+
+#[test]
+fn replay_report_round_trip() {
+    use prodpred_service::ReplayReport;
+    let report = ReplayReport {
+        seed: 42,
+        requests: 20_000,
+        threads: 4,
+        ticks: 10,
+        elapsed_us: 123_456,
+        qps: 162_004.5,
+        p50_us: 1,
+        p99_us: 9,
+        max_us: 1_500,
+        cache_hit_rate: 0.9,
+        errors: 0,
+    };
+    let json = serde_json::to_string(&report).unwrap();
+    let back: ReplayReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
 }
 
 #[test]

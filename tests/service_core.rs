@@ -1,0 +1,316 @@
+//! Tier-1 coverage of the prediction service, end to end, with zero
+//! real I/O: epoch publication, cache invalidation and eviction,
+//! concurrent reader storms pinned bit-identical to the uncached path,
+//! and the full HTTP routing surface driven through the socket-free
+//! [`prodpred_service::handle`] layer.
+
+use prodpred_service::{
+    handle, request_for, request_path, CacheConfig, PredictResponse, ServiceConfig, ServiceCore,
+};
+use std::sync::Arc;
+
+const SEED: u64 = 17;
+
+fn small_config() -> ServiceConfig {
+    ServiceConfig {
+        seed: SEED,
+        horizon: 2400.0,
+        warmup: 300.0,
+        publish_interval: 5.0,
+        ..ServiceConfig::default()
+    }
+}
+
+fn bits(r: &PredictResponse) -> (u64, u64, u64, u64, u64) {
+    (
+        r.mean.to_bits(),
+        r.lo.to_bits(),
+        r.hi.to_bits(),
+        r.point.to_bits(),
+        r.epoch,
+    )
+}
+
+#[test]
+fn epoch_bump_invalidates_every_stale_entry() {
+    let core = ServiceCore::new(small_config());
+    // Populate the cache with a spread of distinct configurations.
+    for i in 0..64 {
+        core.query(&request_for(SEED, i)).unwrap();
+    }
+    let populated = core.stats();
+    assert!(populated.cache.entries > 10, "cache never populated");
+
+    let epoch = core.ingest_tick();
+    let after = core.stats();
+    assert_eq!(after.cache.entries, 0, "stale entries survived the bump");
+    assert_eq!(
+        after.cache.invalidated, populated.cache.entries,
+        "invalidation count must equal the dropped population"
+    );
+
+    // Re-issuing the same stream: every distinct configuration must miss
+    // once (no stale entry can answer), then duplicates hit the freshly
+    // repopulated epoch — so the hit/miss structure of the first pass
+    // repeats exactly.
+    for i in 0..64 {
+        let r = core.query(&request_for(SEED, i)).unwrap();
+        assert_eq!(r.epoch, epoch);
+    }
+    let refreshed = core.stats();
+    assert_eq!(
+        refreshed.cache.hits,
+        2 * populated.cache.hits,
+        "a post-bump query hit a stale entry"
+    );
+    assert_eq!(refreshed.cache.misses, 2 * populated.cache.misses);
+    assert_eq!(refreshed.cache.entries, populated.cache.entries);
+}
+
+#[test]
+fn bounded_eviction_is_deterministic_across_runs() {
+    let tiny = ServiceConfig {
+        cache: CacheConfig {
+            capacity: 16,
+            shards: 4,
+        },
+        ..small_config()
+    };
+    let run = || {
+        let core = ServiceCore::new(tiny);
+        let mut responses = Vec::new();
+        for i in 0..400 {
+            responses.push(bits(&core.query(&request_for(SEED, i)).unwrap()));
+        }
+        let s = core.stats();
+        (
+            responses,
+            s.cache.hits,
+            s.cache.misses,
+            s.cache.evicted,
+            s.cache.entries,
+        )
+    };
+    let (answers_a, hits_a, misses_a, evicted_a, entries_a) = run();
+    let (answers_b, hits_b, misses_b, evicted_b, entries_b) = run();
+    assert!(
+        evicted_a > 0,
+        "a 16-entry cache must evict under 400 queries"
+    );
+    // The core holds one 16-entry cache per hosted platform.
+    assert!(entries_a <= 32);
+    assert_eq!(answers_a, answers_b, "answers depend on eviction history");
+    assert_eq!(
+        (hits_a, misses_a, evicted_a, entries_a),
+        (hits_b, misses_b, evicted_b, entries_b),
+        "cache dynamics are not deterministic"
+    );
+}
+
+#[test]
+fn eviction_never_changes_answers() {
+    // Same query stream against an unbounded and a tiny cache: identical
+    // answers, bit for bit — eviction only costs recomputation.
+    let roomy = ServiceCore::new(small_config());
+    let tiny = ServiceCore::new(ServiceConfig {
+        cache: CacheConfig {
+            capacity: 8,
+            shards: 2,
+        },
+        ..small_config()
+    });
+    for i in 0..300 {
+        let req = request_for(SEED, i);
+        assert_eq!(
+            bits(&roomy.query(&req).unwrap()),
+            bits(&tiny.query(&req).unwrap()),
+            "request {i} diverged under eviction pressure"
+        );
+    }
+    assert!(tiny.stats().cache.evicted > 0);
+}
+
+/// The acceptance pin: a storm of concurrent readers, at every pool
+/// width, produces answers bit-identical to the single-threaded
+/// uncached reference path.
+#[test]
+fn reader_storm_is_bit_identical_to_uncached_at_every_width() {
+    const REQUESTS: u64 = 240;
+
+    // Reference: fresh core, cache bypassed entirely.
+    let reference_core = ServiceCore::new(small_config());
+    let reference: Vec<_> = (0..REQUESTS)
+        .map(|i| {
+            bits(
+                &reference_core
+                    .query_uncached(&request_for(SEED, i))
+                    .unwrap(),
+            )
+        })
+        .collect();
+
+    for threads in [1usize, 2, 4, 8] {
+        let core = Arc::new(ServiceCore::new(small_config()));
+        let mut answers = vec![None; REQUESTS as usize];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let core = Arc::clone(&core);
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        let mut i = t as u64;
+                        while i < REQUESTS {
+                            let r = core.query(&request_for(SEED, i)).unwrap();
+                            mine.push((i as usize, bits(&r)));
+                            i += threads as u64;
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, b) in h.join().unwrap() {
+                    answers[i] = Some(b);
+                }
+            }
+        });
+        let answers: Vec<_> = answers.into_iter().map(Option::unwrap).collect();
+        assert_eq!(
+            answers, reference,
+            "{threads}-thread storm diverged from the uncached reference"
+        );
+        let s = core.stats();
+        assert!(
+            s.cache.hits > 0,
+            "{threads}-thread storm never hit the cache"
+        );
+        assert_eq!(s.cache.hits + s.cache.misses, REQUESTS);
+    }
+}
+
+#[test]
+fn readers_survive_a_concurrent_ingest_writer() {
+    // Queries racing epoch bumps: every answer must be Ok, carry an
+    // epoch that was actually published, and be internally coherent.
+    let core = Arc::new(ServiceCore::new(small_config()));
+    let first_epoch = core.epoch();
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..4)
+            .map(|t| {
+                let core = Arc::clone(&core);
+                scope.spawn(move || {
+                    let mut last_epoch = 0;
+                    for i in 0..200u64 {
+                        let r = core.query(&request_for(SEED + t, i)).unwrap();
+                        assert!(r.epoch >= first_epoch);
+                        assert!(r.epoch >= last_epoch, "epoch went backwards");
+                        assert!(r.lo <= r.mean && r.mean <= r.hi);
+                        last_epoch = r.epoch;
+                    }
+                    last_epoch
+                })
+            })
+            .collect();
+        let writer = {
+            let core = Arc::clone(&core);
+            scope.spawn(move || {
+                for _ in 0..40 {
+                    core.ingest_tick();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        writer.join().unwrap();
+        for r in readers {
+            let last = r.join().unwrap();
+            assert!(last <= core.epoch());
+        }
+    });
+    assert_eq!(core.epoch(), first_epoch + 40);
+    assert_eq!(core.stats().rejected, 0);
+}
+
+#[test]
+fn http_surface_end_to_end_without_sockets() {
+    let core = ServiceCore::new(small_config());
+
+    let health = handle(&core, "/health");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"epoch\":1"), "{}", health.body);
+
+    // The exact replay paths the bench and CI smoke put on the wire.
+    for i in 0..50 {
+        let path = request_path(SEED, i);
+        let response = handle(&core, &path);
+        assert_eq!(response.status, 200, "{path} -> {}", response.body);
+        let parsed: PredictResponse = serde_json::from_str(&response.body).unwrap();
+        let direct = core.query(&request_for(SEED, i)).unwrap();
+        assert_eq!(
+            parsed.mean.to_bits(),
+            direct.mean.to_bits(),
+            "HTTP answer diverges from the core for {path}"
+        );
+    }
+
+    let metrics = handle(&core, "/metrics");
+    assert_eq!(metrics.status, 200);
+    let stats: prodpred_service::ServiceStats = serde_json::from_str(&metrics.body).unwrap();
+    assert!(stats.queries >= 100);
+    assert!(stats.cache.hits > 0);
+
+    // The wire rendering carries the body it says it does.
+    let wire = handle(&core, "/health").render();
+    let body = wire.split("\r\n\r\n").nth(1).unwrap();
+    let advertised: usize = wire
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(advertised, body.len());
+
+    assert_eq!(
+        handle(&core, "/predict?platform=9&n=600&procs=2").status,
+        404
+    );
+    assert_eq!(handle(&core, "/predict?platform=1&n=2&procs=2").status, 400);
+    assert_eq!(handle(&core, "/missing").status, 404);
+}
+
+#[test]
+fn snapshot_answers_match_live_service_at_capture_time() {
+    // The frozen snapshot feeding the service must reproduce the live
+    // predictor bit-for-bit at the instant of capture — the property
+    // that makes serving from a snapshot sound.
+    use prodpred_core::{PredictorConfig, SorPredictor};
+    use prodpred_nws::{NwsConfig, NwsService};
+    use prodpred_simgrid::Platform;
+    use prodpred_sor::decomp::partition_equal;
+
+    let platform = Platform::platform2(SEED, 1500.0);
+    let nws = NwsService::attach(&platform, NwsConfig::default());
+    nws.advance_to(&platform, 900.0);
+    let snapshot = nws.snapshot(1);
+
+    for n in [400usize, 1000, 1600] {
+        let strips = partition_equal(n - 2, 4);
+        let config = PredictorConfig::default();
+        let live = SorPredictor::try_new(&platform, &nws, config)
+            .unwrap()
+            .try_predict(n, &strips)
+            .unwrap();
+        let frozen = SorPredictor::try_new(&platform, &snapshot, config)
+            .unwrap()
+            .try_predict(n, &strips)
+            .unwrap();
+        assert_eq!(
+            live.stochastic.mean().to_bits(),
+            frozen.stochastic.mean().to_bits()
+        );
+        assert_eq!(
+            live.stochastic.half_width().to_bits(),
+            frozen.stochastic.half_width().to_bits()
+        );
+        assert_eq!(live.point.to_bits(), frozen.point.to_bits());
+    }
+}
