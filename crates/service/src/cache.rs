@@ -118,6 +118,12 @@ pub struct CacheStats {
 }
 
 struct Shard<V> {
+    /// The epoch this shard's entries were computed from. Checked under
+    /// the shard lock by `get`/`insert`, advanced under the same lock by
+    /// `bump_to` — so a lookup can never observe "new epoch" while the
+    /// shard still holds old-epoch entries, and a stale insert can never
+    /// land behind the clear (no check-then-lock window).
+    epoch: u64,
     map: HashMap<QueryKey, Arc<V>>,
     /// First-insertion order for deterministic FIFO eviction.
     order: VecDeque<QueryKey>,
@@ -143,6 +149,7 @@ impl<V> EpochCache<V> {
         let shards = (0..shards)
             .map(|_| {
                 Mutex::new(Shard {
+                    epoch: 0,
                     map: HashMap::new(),
                     order: VecDeque::new(),
                 })
@@ -171,36 +178,40 @@ impl<V> EpochCache<V> {
 
     /// Advances the cache to `epoch`, dropping **every** entry: a new
     /// snapshot invalidates all predictions computed from the old one.
-    /// Idempotent for the current epoch; ignores regressions.
+    /// Idempotent for the current epoch; ignores regressions even under
+    /// concurrent callers (`fetch_max` keeps the stored epoch monotone,
+    /// and the per-shard epoch only ever advances under its lock).
     pub fn bump_to(&self, epoch: u64) {
-        if epoch <= self.epoch.load(Ordering::Acquire) {
+        if self.epoch.fetch_max(epoch, Ordering::AcqRel) >= epoch {
             return;
         }
-        // Set the epoch first: concurrent miss-fills computed from the
-        // old snapshot see the bump and refuse to insert, so a bump can
-        // never resurrect stale entries behind the clear.
-        self.epoch.store(epoch, Ordering::Release);
         for shard in &self.shards {
             let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
-            self.invalidated
-                .fetch_add(guard.map.len() as u64, Ordering::Relaxed);
-            guard.map.clear();
-            guard.order.clear();
+            if guard.epoch < epoch {
+                self.invalidated
+                    .fetch_add(guard.map.len() as u64, Ordering::Relaxed);
+                guard.map.clear();
+                guard.order.clear();
+                guard.epoch = epoch;
+            }
         }
     }
 
     /// Looks up `key` as of `epoch`. A lookup against any epoch other
-    /// than the cache's current one is a guaranteed miss (the caller's
-    /// snapshot is stale or the cache already moved on).
+    /// than the shard's current one is a guaranteed miss (the caller's
+    /// snapshot is stale, or a concurrent bump has not reached this
+    /// shard yet). The epoch comparison happens under the shard lock, so
+    /// a hit is always an entry computed from the caller's own epoch.
     pub fn get(&self, epoch: u64, key: &QueryKey) -> Option<Arc<V>> {
-        if epoch != self.epoch.load(Ordering::Acquire) {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
         let guard = self
             .shard(key)
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        if epoch != guard.epoch {
+            drop(guard);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         match guard.map.get(key) {
             Some(v) => {
                 let v = Arc::clone(v);
@@ -223,13 +234,20 @@ impl<V> EpochCache<V> {
     /// (an earlier racing insert wins, keeping hits bit-identical).
     pub fn insert(&self, epoch: u64, key: QueryKey, value: V) -> Arc<V> {
         let value = Arc::new(value);
-        if self.per_shard_capacity == 0 || epoch != self.epoch.load(Ordering::Acquire) {
+        if self.per_shard_capacity == 0 {
             return value;
         }
         let mut guard = self
             .shard(&key)
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        // Epoch check under the shard lock: a concurrent `bump_to` that
+        // has already swept this shard advanced `guard.epoch` under this
+        // same lock, so the stale insert is dropped here — it can never
+        // land behind the clear and be served as a fresh-epoch hit.
+        if epoch != guard.epoch {
+            return value;
+        }
         if let Some(existing) = guard.map.get(&key) {
             return Arc::clone(existing);
         }
@@ -354,6 +372,75 @@ mod tests {
         let mut cfg = base;
         cfg.load_source = prodpred_core::LoadSource::ModalAverage;
         assert_ne!(a, QueryKey::new(1, 1000, 4, &cfg));
+    }
+
+    #[test]
+    fn bump_regressions_are_ignored_in_any_order() {
+        // A lower bump arriving after a higher one (the interleaving two
+        // racing callers can produce) must not regress the epoch or drop
+        // the newer epoch's entries.
+        let cache: EpochCache<u64> = EpochCache::new(CacheConfig::default());
+        cache.bump_to(3);
+        cache.insert(3, key(1), 7);
+        cache.bump_to(2);
+        assert_eq!(cache.epoch(), 3);
+        assert_eq!(*cache.get(3, &key(1)).unwrap(), 7);
+        cache.bump_to(3); // idempotent for the current epoch
+        assert_eq!(*cache.get(3, &key(1)).unwrap(), 7);
+    }
+
+    #[test]
+    fn bumps_racing_inserts_never_serve_cross_epoch_values() {
+        // Writers insert values tagged with their epoch while a bumper
+        // advances the cache; any hit must carry the reader's own epoch.
+        // This is the TOCTOU shape: an insert that passes a pre-lock
+        // epoch check, loses the race to a bump, and lands anyway would
+        // surface here as a hit whose value names the wrong epoch.
+        use std::sync::atomic::AtomicBool;
+        let cache: Arc<EpochCache<u64>> = Arc::new(EpochCache::new(CacheConfig {
+            capacity: 256,
+            shards: 4,
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let bumper = {
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for epoch in 2..300 {
+                    cache.bump_to(epoch);
+                    std::thread::yield_now();
+                }
+                stop.store(true, Ordering::Release);
+            })
+        };
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let epoch = cache.epoch();
+                        for n in 0..16 {
+                            if let Some(v) = cache.get(epoch, &key(n)) {
+                                assert_eq!(*v, epoch, "cross-epoch value served");
+                            } else {
+                                cache.insert(epoch, key(n), epoch);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        bumper.join().unwrap();
+        for w in workers {
+            w.join().unwrap();
+        }
+        // Whatever survived belongs to the final epoch only.
+        for n in 0..16 {
+            if let Some(v) = cache.get(cache.epoch(), &key(n)) {
+                assert_eq!(*v, cache.epoch());
+            }
+        }
     }
 
     #[test]

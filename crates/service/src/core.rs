@@ -18,6 +18,7 @@ use prodpred_core::{Prediction, PredictorConfig, PredictorError, SorPredictor};
 use prodpred_nws::snapshot::ForecastSnapshot;
 use prodpred_nws::{NwsConfig, NwsService};
 use prodpred_simgrid::Platform;
+use prodpred_stochastic::MaxStrategy;
 use prodpred_sor::decomp::partition_equal;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -266,6 +267,20 @@ impl ServiceCore {
                 "iterations must be at least 1".to_string(),
             ));
         }
+        if let MaxStrategy::MonteCarlo { samples, .. } = req.config.max_strategy {
+            if samples == 0 || samples > 1_000_000 {
+                return Err(ServiceError::BadRequest(format!(
+                    "mc samples = {samples} out of range [1, 1000000]"
+                )));
+            }
+        }
+        if let Some(cap) = req.config.max_load_rel_width {
+            if !cap.is_finite() || cap <= 0.0 {
+                return Err(ServiceError::BadRequest(format!(
+                    "cap = {cap} must be finite and positive"
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -363,10 +378,16 @@ impl ServiceCore {
         })
     }
 
-    /// The latest published epoch (platform 2's, which ticks last; both
-    /// platforms publish in lockstep).
+    /// The latest published epoch across both platforms. They publish in
+    /// lockstep, but mid-`ingest_tick` platform 1 is briefly one ahead —
+    /// taking the max keeps `/health` and [`ServiceStats`] consistent
+    /// with the epoch any concurrent [`PredictResponse`] can carry.
     pub fn epoch(&self) -> u64 {
-        self.platforms[1].published.epoch()
+        self.platforms
+            .iter()
+            .map(|p| p.published.epoch())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Point-in-time service counters.
@@ -498,6 +519,43 @@ mod tests {
         r.config.iterations = 0;
         assert!(matches!(core.query(&r), Err(ServiceError::BadRequest(_))));
         assert_eq!(core.stats().rejected, 4);
+    }
+
+    #[test]
+    fn unbounded_monte_carlo_samples_are_rejected() {
+        let core = small_core();
+        let mut r = req(1, 600);
+        r.config.max_strategy = MaxStrategy::MonteCarlo {
+            samples: 9_999_999_999,
+            seed: 1,
+        };
+        assert!(matches!(core.query(&r), Err(ServiceError::BadRequest(_))));
+        r.config.max_strategy = MaxStrategy::MonteCarlo {
+            samples: 0,
+            seed: 1,
+        };
+        assert!(matches!(core.query(&r), Err(ServiceError::BadRequest(_))));
+        r.config.max_strategy = MaxStrategy::MonteCarlo {
+            samples: 1_000_000,
+            seed: 1,
+        };
+        assert!(core.query(&r).is_ok(), "cap boundary must stay accepted");
+    }
+
+    #[test]
+    fn non_finite_and_non_positive_caps_are_rejected() {
+        let core = small_core();
+        for cap in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.25] {
+            let mut r = req(1, 600);
+            r.config.max_load_rel_width = Some(cap);
+            assert!(
+                matches!(core.query(&r), Err(ServiceError::BadRequest(_))),
+                "cap = {cap} must be rejected"
+            );
+        }
+        let mut r = req(1, 600);
+        r.config.max_load_rel_width = Some(0.25);
+        assert!(core.query(&r).is_ok());
     }
 
     #[test]

@@ -299,6 +299,18 @@ mod tests {
     fn errors_map_to_http_statuses() {
         let core = core();
         assert_eq!(handle(&core, "/predict?platform=1&n=600").status, 400);
+        // f64::from_str accepts these; validation must still reject them.
+        for cap in ["NaN", "inf", "-1", "0"] {
+            assert_eq!(
+                handle(&core, &format!("/predict?platform=1&n=600&procs=2&cap={cap}")).status,
+                400,
+                "cap={cap} must not reach the model"
+            );
+        }
+        assert_eq!(
+            handle(&core, "/predict?platform=1&n=600&procs=2&max=mc:9999999999:1").status,
+            400
+        );
         assert_eq!(
             handle(&core, "/predict?platform=9&n=600&procs=2").status,
             404
