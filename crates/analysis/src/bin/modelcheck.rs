@@ -6,6 +6,7 @@
 //! modelcheck --ranks 3 --halves 4    bigger configuration
 //! modelcheck --kill R:H              one seeded kill variant only
 //! modelcheck --timeouts              healthy run with timeout transitions only
+//! modelcheck --ckpt                  checkpoint/resume recovery suite only
 //! ```
 //!
 //! The default suite runs, for the chosen configuration:
@@ -14,11 +15,17 @@
 //! 2. the healthy protocol with `ExchangePolicy` timeout transitions,
 //! 3. every kill schedule `rank x half` (proves the typed `WorkerDied`
 //!    path is reached in **every** interleaving of every schedule),
-//! 4. every kill schedule with timeouts enabled as well.
+//! 4. every kill schedule with timeouts enabled as well,
+//! 5. the checkpoint/resume recovery suite (`prodpred_analysis::ckpt`):
+//!    every single-kill position against the segment grid, a
+//!    consumed-kill-behind-the-checkpoint schedule, disabled
+//!    checkpointing, and budget exhaustion — proving rollback
+//!    convergence and that a consumed death never re-fires.
 //!
 //! Exit code 0 means every property held over the full state space; the
 //! explored-state counts are printed per configuration.
 
+use prodpred_analysis::ckpt::{check_ckpt, CkptConfig, CkptReport, MAX_KILLS};
 use prodpred_analysis::model::{check, ModelConfig, Report};
 use prodpred_simgrid::faults::WorkerDeath;
 use std::process::ExitCode;
@@ -28,6 +35,7 @@ struct Options {
     halves: usize,
     kill: Option<WorkerDeath>,
     timeouts_only: bool,
+    ckpt_only: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -36,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
         halves: 2,
         kill: None,
         timeouts_only: false,
+        ckpt_only: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,9 +70,10 @@ fn parse_args() -> Result<Options, String> {
                 });
             }
             "--timeouts" => opts.timeouts_only = true,
+            "--ckpt" => opts.ckpt_only = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: modelcheck [--ranks N] [--halves M] [--kill R:H] [--timeouts]"
+                    "usage: modelcheck [--ranks N] [--halves M] [--kill R:H] [--timeouts] [--ckpt]"
                         .to_string(),
                 );
             }
@@ -110,6 +120,118 @@ fn run_one(config: ModelConfig, failures: &mut u32) -> Report {
     report
 }
 
+fn describe_ckpt(report: &CkptReport) -> String {
+    let c = report.config;
+    let kills: Vec<String> = c
+        .kills
+        .iter()
+        .flatten()
+        .map(|d| format!("{}:{}", d.rank, d.at_half_iteration))
+        .collect();
+    let kills = if kills.is_empty() {
+        "healthy".to_string()
+    } else {
+        format!("kills [{}]", kills.join(", "))
+    };
+    format!(
+        "ckpt {} ranks x {} iterations every {}, {kills}, retries {}: {} states, {} transitions, {} terminals ({} completed, {} abandoned, expect {:?}/{} fired), depth {}",
+        c.ranks,
+        c.iterations,
+        c.every,
+        c.max_retries,
+        report.states,
+        report.transitions,
+        report.terminals,
+        report.completed_terminals,
+        report.abandoned_terminals,
+        report.expected,
+        report.expected_fired,
+        report.max_depth
+    )
+}
+
+fn run_one_ckpt(config: CkptConfig, failures: &mut u32) -> CkptReport {
+    let report = check_ckpt(config);
+    if report.holds() {
+        println!("ok    {}", describe_ckpt(&report));
+    } else {
+        *failures += 1;
+        println!("FAIL  {}", describe_ckpt(&report));
+        if let Some(v) = &report.violation {
+            println!("      violation: {}", v.kind);
+            for (i, step) in v.trace.iter().enumerate() {
+                println!("      {i:>3}. {step}");
+            }
+        }
+    }
+    report
+}
+
+/// The checkpoint/resume recovery suite: every single-kill position on
+/// a segmented run, the consumed-kill translation, disabled
+/// checkpointing, and budget exhaustion. `ranks` and `iterations` are
+/// clamped to the ckpt model's fixed-size bounds.
+fn ckpt_suite(ranks: usize, iterations: usize, failures: &mut u32) -> u64 {
+    use prodpred_analysis::ckpt::{MAX_ITERATIONS, MAX_RANKS};
+    let ranks = ranks.clamp(2, MAX_RANKS);
+    let iterations = iterations.clamp(2, MAX_ITERATIONS);
+    let every = (iterations / 2).max(1);
+    let base = CkptConfig {
+        ranks,
+        iterations,
+        every,
+        kills: [None; MAX_KILLS],
+        max_retries: 3,
+    };
+    let mut total_states = 0u64;
+    // Healthy segmented run.
+    total_states += run_one_ckpt(base, failures).states;
+    // Every single-kill position: each must recover and converge.
+    for rank in 0..ranks {
+        for half in 0..2 * iterations {
+            let mut config = base;
+            config.kills[0] = Some(WorkerDeath {
+                rank,
+                at_half_iteration: half,
+            });
+            total_states += run_one_ckpt(config, failures).states;
+        }
+    }
+    // A kill consumed behind the checkpoint: fire late, schedule the
+    // next attempt's kill before the resume point — it must never fire.
+    let mut consumed = base;
+    consumed.kills[0] = Some(WorkerDeath {
+        rank: 0,
+        at_half_iteration: 2 * (iterations - 1),
+    });
+    consumed.kills[1] = Some(WorkerDeath {
+        rank: ranks - 1,
+        at_half_iteration: 0,
+    });
+    total_states += run_one_ckpt(consumed, failures).states;
+    // Checkpointing disabled: recovery recomputes from iteration 0.
+    let mut disabled = base;
+    disabled.every = 0;
+    disabled.kills[0] = Some(WorkerDeath {
+        rank: 0,
+        at_half_iteration: 2 * iterations - 1,
+    });
+    total_states += run_one_ckpt(disabled, failures).states;
+    // Budget exhaustion: more firing kills than retries.
+    let mut exhausted = base;
+    exhausted.max_retries = 1;
+    exhausted.kills[0] = Some(WorkerDeath {
+        rank: 0,
+        at_half_iteration: 1,
+    });
+    exhausted.kills[1] = Some(WorkerDeath {
+        rank: ranks - 1,
+        at_half_iteration: 2,
+    });
+    total_states += run_one_ckpt(exhausted, failures).states;
+    total_states
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -127,6 +249,20 @@ fn main() -> ExitCode {
     let mut failures = 0u32;
     let mut total_states = 0u64;
 
+    if opts.ckpt_only {
+        total_states += ckpt_suite(opts.ranks, opts.halves, &mut failures);
+        println!(
+            "modelcheck: {total_states} states explored across the ckpt suite; {failures} failure(s)"
+        );
+        return if failures == 0 {
+            println!(
+                "modelcheck: checkpoint/resume convergence and consumed-death properties hold"
+            );
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if let Some(kill) = opts.kill {
         let report = run_one(
             ModelConfig {
@@ -188,11 +324,16 @@ fn main() -> ExitCode {
                 }
             }
         }
+        // The recovery layer above the solves: checkpoint barriers,
+        // rollback, and the absolute kill addressing.
+        total_states += ckpt_suite(opts.ranks, opts.halves, &mut failures);
     }
 
     println!("modelcheck: {total_states} states explored across the suite; {failures} failure(s)");
     if failures == 0 {
-        println!("modelcheck: deadlock-freedom, delivery, and typed-death properties hold");
+        println!(
+            "modelcheck: deadlock-freedom, delivery, typed-death, and checkpoint/resume properties hold"
+        );
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

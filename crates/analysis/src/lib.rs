@@ -16,6 +16,13 @@
 //!   delivery, and typed worker-death surfacing under injected kills
 //!   and `ExchangePolicy` timeouts. Run it via `cargo run -p
 //!   prodpred-analysis --bin modelcheck`.
+//! * [`ckpt`] — the same treatment for the checkpoint/resume recovery
+//!   protocol layered above the solves: segment barriers, snapshots at
+//!   boundaries, the absolute→segment kill translation, and rollback,
+//!   proving that a consumed death never re-fires and that every
+//!   interleaving of a killed-then-resumed run converges to the
+//!   unfaulted delivery state (or a typed abandonment). Part of the
+//!   default `modelcheck` suite.
 //!
 //! The two halves meet in the middle: the lints keep nondeterminism and
 //! unchecked panics out of the sources, and the model checker proves
@@ -27,6 +34,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod baseline;
+pub mod ckpt;
 pub mod lints;
 pub mod model;
 pub mod scan;

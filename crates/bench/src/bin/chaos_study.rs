@@ -25,7 +25,7 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-use prodpred_core::{solve_strips_supervised, RetryPolicy};
+use prodpred_core::{predict_campaign, solve_strips_supervised, RetryPolicy};
 use prodpred_pool::parallel_map;
 use prodpred_simgrid::faults::{mix, FaultSchedule};
 use prodpred_sor::{
@@ -64,6 +64,7 @@ struct Outcome {
     retries: u64,
     abandoned: bool,
     resumed_iterations_saved: u64,
+    backoff_secs: f64,
     exact: bool,
     /// Interior sum bits of the final grid state (the solution when
     /// completed, the last checkpoint boundary when abandoned).
@@ -103,6 +104,7 @@ fn run_schedule(schedule: &FaultSchedule, reference: &Grid) -> Outcome {
             retries: recovery.stats.retries,
             abandoned: recovery.stats.abandoned > 0,
             resumed_iterations_saved: recovery.stats.resumed_iterations_saved,
+            backoff_secs: recovery.stats.backoff_secs,
             exact: recovery.succeeded() && grid.max_diff(reference) == 0.0, // tidy:allow(PP004): bit-exact recovery equality is the point of this field
             sum_bits: grid.interior_sum().to_bits(),
         }
@@ -114,6 +116,7 @@ fn run_schedule(schedule: &FaultSchedule, reference: &Grid) -> Outcome {
         retries: 0,
         abandoned: false,
         resumed_iterations_saved: 0,
+        backoff_secs: 0.0,
         exact: false,
         sum_bits: 0,
     })
@@ -215,8 +218,16 @@ struct ChaosReport {
     completion_rate_without_recovery: f64,
     recovered_exact: usize,
     mean_retries: f64,
+    mean_backoff_secs: f64,
     abandoned: usize,
     resumed_iterations_saved: u64,
+    /// Fault-model forecasts of the campaign aggregates above, computed
+    /// *before* running a single schedule (`prodpred_core::faultmodel`
+    /// at intensity 1.0 — the campaign's own kill-count distribution).
+    predicted_completion_rate: f64,
+    predicted_mean_retries: f64,
+    predicted_mean_backoff_secs: f64,
+    predicted_mean_saved_iterations: f64,
     healthy_solve_secs: f64,
     checkpointed_solve_secs: f64,
     checkpoint_overhead_healthy: f64,
@@ -258,6 +269,16 @@ fn main() {
     let abandoned = outcomes.iter().filter(|o| o.abandoned).count();
     let retries: u64 = outcomes.iter().map(|o| o.retries).sum();
     let saved: u64 = outcomes.iter().map(|o| o.resumed_iterations_saved).sum();
+    let backoff: f64 = outcomes.iter().map(|o| o.backoff_secs).sum();
+
+    // The fault model's forecast of the same aggregates, from the kill
+    // distribution alone — the numbers `faultpred_study` gates.
+    let predicted = predict_campaign(
+        1.0,
+        &retry(),
+        CheckpointPolicy::every(CHECKPOINT_EVERY),
+        ITERATIONS,
+    );
 
     // The invariants the campaign exists to enforce.
     assert_eq!(panics, 0, "every failure must be a typed error");
@@ -290,6 +311,26 @@ fn main() {
     );
     println!("iterations saved     {saved:>8}  (resumed from checkpoints, not recomputed)");
     println!("digest (1 == 8 thr)  {digest1:>#18x}");
+    println!(
+        "predicted            {:>8.3}  completion rate (measured {:.3})",
+        predicted.completion_rate,
+        with_recovery as f64 / schedules as f64
+    );
+    println!(
+        "                     {:>8.3}  mean retries (measured {:.3})",
+        predicted.mean_retries,
+        retries as f64 / schedules as f64
+    );
+    println!(
+        "                     {:>8.1}  mean backoff secs (measured {:.1})",
+        predicted.mean_backoff_secs,
+        backoff / schedules as f64
+    );
+    println!(
+        "                     {:>8.2}  mean saved iterations (measured {:.2})",
+        predicted.mean_saved_iterations,
+        saved as f64 / schedules as f64
+    );
 
     println!("\n-- healthy checkpoint overhead (n=513, 480 iters, 1 mid-solve checkpoint) --");
     let (base, checkpointed, overhead) = healthy_checkpoint_overhead();
@@ -308,8 +349,13 @@ fn main() {
         completion_rate_without_recovery: without_recovery as f64 / schedules as f64,
         recovered_exact: exact,
         mean_retries: retries as f64 / schedules as f64,
+        mean_backoff_secs: backoff / schedules as f64,
         abandoned,
         resumed_iterations_saved: saved,
+        predicted_completion_rate: predicted.completion_rate,
+        predicted_mean_retries: predicted.mean_retries,
+        predicted_mean_backoff_secs: predicted.mean_backoff_secs,
+        predicted_mean_saved_iterations: predicted.mean_saved_iterations,
         healthy_solve_secs: base,
         checkpointed_solve_secs: checkpointed,
         checkpoint_overhead_healthy: overhead,

@@ -12,7 +12,8 @@
 //! bit-identical at any thread count.
 
 use prodpred_core::report::{f, render_table};
-use prodpred_core::{platform1_fault_sweep, platform2_fault_sweep, FaultStudyRow};
+use prodpred_core::{platform1_fault_sweep, platform2_fault_sweep, spread_widening, FaultStudyRow};
+use prodpred_simgrid::faults::FaultConfig;
 
 const SEEDS: [u64; 4] = [11, 23, 47, 95];
 const INTENSITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
@@ -36,6 +37,37 @@ fn rows_to_table(rows: &[FaultStudyRow]) -> Vec<Vec<String>> {
         })
         .collect()
 }
+
+/// The fault-model validation view: each measured degradation aggregate
+/// next to the `core::faultmodel` term that predicts it. Row 0 (the
+/// healthy intensity) is the baseline for the measured ratios.
+fn model_table(rows: &[FaultStudyRow]) -> Vec<Vec<String>> {
+    let base = &rows[0];
+    rows.iter()
+        .map(|r| {
+            let cfg = FaultConfig::with_intensity(0, r.intensity);
+            vec![
+                f(r.intensity, 2),
+                f(r.mean_actual_secs, 1),
+                f(r.mean_actual_secs / base.mean_actual_secs, 3),
+                f(r.mean_half_width_secs / base.mean_half_width_secs, 3),
+                f(spread_widening(&cfg), 3),
+                f(r.degraded_fraction * 100.0, 0),
+                f(cfg.perturbation_rate() * 100.0, 0),
+            ]
+        })
+        .collect()
+}
+
+const MODEL_HEADERS: [&str; 7] = [
+    "intensity",
+    "actual s",
+    "slowdown",
+    "widen meas",
+    "widen pred",
+    "degraded %",
+    "degr pred %",
+];
 
 const HEADERS: [&str; 11] = [
     "intensity",
@@ -64,10 +96,14 @@ fn main() {
     let sizes = [1000, 1200, 1400, 1600, 1800, 2000];
     let p1 = platform1_fault_sweep(&SEEDS, &sizes, &INTENSITIES, 0);
     println!("{}", render_table(&HEADERS, &rows_to_table(&p1)));
+    println!("\n   fault-model validation (measured vs predicted):\n");
+    println!("{}", render_table(&MODEL_HEADERS, &model_table(&p1)));
 
     println!("\n-- Platform 2 (Figures 12-17 series, 1600^2 x 10 runs) --\n");
     let p2 = platform2_fault_sweep(&SEEDS, 1600, 10, &INTENSITIES, 0);
     println!("{}", render_table(&HEADERS, &rows_to_table(&p2)));
+    println!("\n   fault-model validation (measured vs predicted):\n");
+    println!("{}", render_table(&MODEL_HEADERS, &model_table(&p2)));
 
     println!(
         "\nReading: coverage is the fraction of actual times inside the\n\
@@ -75,6 +111,11 @@ fn main() {
          its intervals as measurements age, so coverage should erode slowly\n\
          while the mean-point error grows with intensity; 'degraded' counts\n\
          queries answered from a fallback estimator or stale data, and\n\
-         'skipped' counts runs the service declined to predict at all."
+         'skipped' counts runs the service declined to predict at all.\n\
+         The validation tables pair each measured aggregate with the\n\
+         core::faultmodel term that predicts it: interval widening vs\n\
+         the 1/sqrt(kept-fraction) spread term, and the degraded-query\n\
+         fraction vs the sensor perturbation rate. The per-run degraded\n\
+         runtime prediction is validated (and gated) by faultpred_study."
     );
 }

@@ -90,7 +90,7 @@ impl Default for ExperimentConfig {
 /// Degradation accounting over one faulted series: how much the
 /// measurement substrate decayed, and how often the prediction service
 /// had to fall below full quality to keep answering.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct DegradationStats {
     /// CPU queries issued for prediction accounting (one per in-use
     /// machine per run).

@@ -14,6 +14,10 @@
 //!   the Platform-2 bursty repetition study (Figures 12–17),
 //! * [`supervisor`] — bounded deterministic retry, per-resource circuit
 //!   breakers, and checkpoint-resuming supervised SOR solves,
+//! * [`faultmodel`] — fault-aware degradation terms for the structural
+//!   model: expected retries/backoff, checkpoint overhead, blackout
+//!   ride-through, storm stretch, and sensor spread widening, all pure
+//!   functions of the fault configuration,
 //! * [`report`] — text rendering of every table and figure,
 //! * [`sweep`] — deterministic parallel fan-out of independent
 //!   experiment replications (seeds, sizes, configurations) over the
@@ -43,6 +47,7 @@
 pub mod advisor;
 pub mod ep;
 pub mod experiment;
+pub mod faultmodel;
 pub mod grid;
 pub mod predictor;
 pub mod report;
@@ -52,6 +57,10 @@ pub mod sweep;
 
 pub use advisor::{deadline_report, service_range, DeadlineReport, PredictionQuality};
 pub use ep::{ep_policy_study, predict_ep, simulate_ep, EpJob, EpRun, EpStudyRow};
+pub use faultmodel::{
+    blackout_delay, checkpoint_overhead_fraction, kill_distribution, predict_campaign,
+    spread_widening, storm_stretched_secs, CampaignPrediction, FaultModel,
+};
 pub use grid::{simulate_grid_sharded, GridSimConfig, GridSimResult, TenantSpec};
 
 pub use experiment::{

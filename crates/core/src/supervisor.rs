@@ -492,6 +492,84 @@ mod tests {
         assert_eq!(policy.backoff_secs(2), 45.0);
     }
 
+    mod backoff_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // The jittered wait never leaves the ±jitter_fraction band
+            // around the capped exponential base.
+            #[test]
+            fn jitter_stays_within_the_configured_band(
+                seed in 0u64..u64::MAX,
+                attempt in 0u32..64,
+                base in 0.1f64..100.0,
+                factor in 1.0f64..4.0,
+                cap in 1.0f64..10_000.0,
+                jitter in 0.0f64..0.5,
+            ) {
+                let policy = RetryPolicy {
+                    max_retries: 3,
+                    base_backoff_secs: base,
+                    backoff_factor: factor,
+                    max_backoff_secs: cap,
+                    jitter_fraction: jitter,
+                    seed,
+                };
+                let nominal = (base * factor.powi(attempt as i32)).min(cap);
+                let w = policy.backoff_secs(attempt);
+                prop_assert!(w.is_finite());
+                prop_assert!((w - nominal).abs() <= nominal * jitter + 1e-9,
+                    "attempt {}: {} vs nominal {}", attempt, w, nominal);
+            }
+
+            // With jitter off, the capped base is monotone in the attempt
+            // index: later retries never wait less.
+            #[test]
+            fn cap_is_monotone_without_jitter(
+                base in 0.1f64..100.0,
+                factor in 1.0f64..4.0,
+                cap in 1.0f64..10_000.0,
+                attempt in 0u32..63,
+            ) {
+                let policy = RetryPolicy {
+                    jitter_fraction: 0.0,
+                    base_backoff_secs: base,
+                    backoff_factor: factor,
+                    max_backoff_secs: cap,
+                    ..Default::default()
+                };
+                let a = policy.backoff_secs(attempt);
+                let b = policy.backoff_secs(attempt + 1);
+                prop_assert!(b >= a, "attempt {}: {} then {}", attempt, a, b);
+                prop_assert!(a <= cap && b <= cap);
+            }
+
+            // Huge attempt indices overflow `powi` to infinity (or, past
+            // i32::MAX, wrap the exponent negative); the cap must still
+            // bound the wait to a finite value either way.
+            #[test]
+            fn huge_attempts_stay_finite_and_capped(
+                seed in 0u64..u64::MAX,
+                pick in 0usize..5,
+            ) {
+                // Attempt indices where `powi` overflows to infinity
+                // (around i32::MAX) or the `as i32` cast wraps negative.
+                const HUGE: [u32; 5] =
+                    [1_000, 100_000, i32::MAX as u32, i32::MAX as u32 + 1, u32::MAX];
+                let attempt = HUGE[pick];
+                let policy = RetryPolicy { seed, ..Default::default() };
+                let w = policy.backoff_secs(attempt);
+                prop_assert!(w.is_finite(), "attempt {}: {}", attempt, w);
+                prop_assert!(
+                    w <= policy.max_backoff_secs * (1.0 + policy.jitter_fraction),
+                    "attempt {}: {} above the jittered cap", attempt, w
+                );
+                prop_assert!(w >= 0.0);
+            }
+        }
+    }
+
     #[test]
     fn breaker_trips_after_threshold_and_recovers_through_half_open() {
         let mut b = CircuitBreaker::new(3, 100.0);

@@ -115,6 +115,15 @@ pub struct FaultStudyRow {
     /// Mean relative error of the stochastic mean over every completed
     /// run: `|predicted_mean − actual| / actual`.
     pub mean_abs_error: f64,
+    /// Mean actual wall-clock seconds per completed run — the measured
+    /// side of the fault model's degraded-runtime prediction.
+    pub mean_actual_secs: f64,
+    /// Mean launch time of the completed runs, for evaluating the fault
+    /// model's window terms (storms, blackouts) at the row's epoch.
+    pub mean_start_secs: f64,
+    /// Mean predicted ±2σ half-width per completed run — the measured
+    /// side of the fault model's spread-widening prediction.
+    pub mean_half_width_secs: f64,
     /// Worst per-replication maximum mean-point error.
     pub worst_mean_error: f64,
     /// Fraction of predictor queries answered off the degraded path
@@ -145,12 +154,19 @@ fn fault_rows(
                 chunk.iter().filter_map(|f| f.series.accuracy()).collect();
             let runs: usize = chunk.iter().map(|f| f.series.records.len()).sum();
             let mut abs_err_sum = 0.0;
+            let mut actual_sum = 0.0;
+            let mut start_sum = 0.0;
+            let mut half_width_sum = 0.0;
             for f in chunk {
                 for r in &f.series.records {
                     abs_err_sum +=
                         (r.prediction.stochastic.mean() - r.actual_secs).abs() / r.actual_secs;
+                    actual_sum += r.actual_secs;
+                    start_sum += r.start;
+                    half_width_sum += r.prediction.stochastic.half_width();
                 }
             }
+            let per_run = |sum: f64| if runs == 0 { 0.0 } else { sum / runs as f64 };
             let queries: usize = chunk.iter().map(|f| f.stats.queries).sum();
             let degraded: usize = chunk.iter().map(|f| f.stats.degraded_queries).sum();
             FaultStudyRow {
@@ -168,11 +184,10 @@ fn fault_rows(
                     .map(|r| r.coverage)
                     .fold(f64::INFINITY, f64::min)
                     .min(1.0),
-                mean_abs_error: if runs == 0 {
-                    0.0
-                } else {
-                    abs_err_sum / runs as f64
-                },
+                mean_abs_error: per_run(abs_err_sum),
+                mean_actual_secs: per_run(actual_sum),
+                mean_start_secs: per_run(start_sum),
+                mean_half_width_secs: per_run(half_width_sum),
                 worst_mean_error: reports.iter().map(|r| r.max_mean_error).fold(0.0, f64::max),
                 degraded_fraction: if queries == 0 {
                     0.0
@@ -268,6 +283,11 @@ mod tests {
             for (a, b) in sweep.iter().zip(&reference) {
                 assert_eq!(a.mean_abs_error.to_bits(), b.mean_abs_error.to_bits());
                 assert_eq!(a.mean_coverage.to_bits(), b.mean_coverage.to_bits());
+                assert_eq!(a.mean_actual_secs.to_bits(), b.mean_actual_secs.to_bits());
+                assert_eq!(
+                    a.mean_half_width_secs.to_bits(),
+                    b.mean_half_width_secs.to_bits()
+                );
                 assert_eq!(a.missed_polls, b.missed_polls);
                 assert_eq!(a.corrupt_polls, b.corrupt_polls);
                 assert_eq!(a.skipped_runs, b.skipped_runs);
@@ -285,6 +305,9 @@ mod tests {
         assert_eq!(row.corrupt_polls, 0);
         assert_eq!(row.runs, 4);
         assert!(row.mean_coverage > 0.0);
+        assert!(row.mean_actual_secs > 0.0);
+        assert!(row.mean_half_width_secs > 0.0);
+        assert!(row.mean_start_secs > 0.0);
     }
 
     #[test]

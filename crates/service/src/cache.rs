@@ -31,11 +31,18 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// fixed words (floats by bit pattern), so equality is exact and
 /// hashing is stable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct QueryKey([u64; 10]);
+pub struct QueryKey([u64; 11]);
 
 impl QueryKey {
-    /// Builds the key for a `(platform, n, procs, config)` query.
-    pub fn new(platform: u8, n: usize, procs: usize, config: &PredictorConfig) -> Self {
+    /// Builds the key for a `(platform, n, procs, config,
+    /// fault_intensity)` query.
+    pub fn new(
+        platform: u8,
+        n: usize,
+        procs: usize,
+        config: &PredictorConfig,
+        fault_intensity: Option<f64>,
+    ) -> Self {
         let (max_tag, max_a, max_b) = match config.max_strategy {
             MaxStrategy::ByMean => (0u64, 0u64, 0u64),
             MaxStrategy::ByUpperBound => (1, 0, 0),
@@ -55,6 +62,9 @@ impl QueryKey {
             prodpred_core::LoadSource::RunHorizon => 1,
             prodpred_core::LoadSource::ModalAverage => 2,
         };
+        // Same trick as the cap word: `u64::MAX` is a NaN bit pattern no
+        // validated intensity carries, so it is free to mean "healthy".
+        let fault = fault_intensity.map_or(u64::MAX, f64::to_bits);
         Self([
             u64::from(platform),
             n as u64,
@@ -66,6 +76,7 @@ impl QueryKey {
             dep,
             cap,
             (source << 1) | u64::from(config.staleness_aware),
+            fault,
         ])
     }
 
@@ -284,7 +295,7 @@ mod tests {
     use super::*;
 
     fn key(n: usize) -> QueryKey {
-        QueryKey::new(1, n, 4, &PredictorConfig::default())
+        QueryKey::new(1, n, 4, &PredictorConfig::default(), None)
     }
 
     #[test]
@@ -358,20 +369,36 @@ mod tests {
     #[test]
     fn distinct_configs_get_distinct_keys() {
         let base = PredictorConfig::default();
-        let a = QueryKey::new(1, 1000, 4, &base);
-        assert_eq!(a, QueryKey::new(1, 1000, 4, &base));
-        assert_ne!(a, QueryKey::new(2, 1000, 4, &base));
-        assert_ne!(a, QueryKey::new(1, 1001, 4, &base));
-        assert_ne!(a, QueryKey::new(1, 1000, 2, &base));
+        let a = QueryKey::new(1, 1000, 4, &base, None);
+        assert_eq!(a, QueryKey::new(1, 1000, 4, &base, None));
+        assert_ne!(a, QueryKey::new(2, 1000, 4, &base, None));
+        assert_ne!(a, QueryKey::new(1, 1001, 4, &base, None));
+        assert_ne!(a, QueryKey::new(1, 1000, 2, &base, None));
         let mut cfg = base;
         cfg.staleness_aware = true;
-        assert_ne!(a, QueryKey::new(1, 1000, 4, &cfg));
+        assert_ne!(a, QueryKey::new(1, 1000, 4, &cfg, None));
         let mut cfg = base;
         cfg.max_load_rel_width = Some(0.25);
-        assert_ne!(a, QueryKey::new(1, 1000, 4, &cfg));
+        assert_ne!(a, QueryKey::new(1, 1000, 4, &cfg, None));
         let mut cfg = base;
         cfg.load_source = prodpred_core::LoadSource::ModalAverage;
-        assert_ne!(a, QueryKey::new(1, 1000, 4, &cfg));
+        assert_ne!(a, QueryKey::new(1, 1000, 4, &cfg, None));
+    }
+
+    #[test]
+    fn fault_intensity_is_part_of_the_key() {
+        // A faulted query must never hit a healthy entry (or vice
+        // versa), and distinct intensities must not collide. `Some(0.0)`
+        // and `None` answer the same bits by construction, but they are
+        // still distinct keys — correct, just one redundant entry.
+        let base = PredictorConfig::default();
+        let healthy = QueryKey::new(1, 1000, 4, &base, None);
+        let zero = QueryKey::new(1, 1000, 4, &base, Some(0.0));
+        let half = QueryKey::new(1, 1000, 4, &base, Some(0.5));
+        assert_ne!(healthy, zero);
+        assert_ne!(healthy, half);
+        assert_ne!(zero, half);
+        assert_eq!(half, QueryKey::new(1, 1000, 4, &base, Some(0.5)));
     }
 
     #[test]
@@ -449,12 +476,12 @@ mod tests {
         // values so a hasher change cannot silently reshuffle shards.
         assert_eq!(
             key(1000).fingerprint(),
-            QueryKey::new(1, 1000, 4, &PredictorConfig::default()).fingerprint()
+            QueryKey::new(1, 1000, 4, &PredictorConfig::default(), None).fingerprint()
         );
-        // Golden value: FNV-1a over ten zero words (80 zero bytes).
-        let zeros = QueryKey([0; 10]);
+        // Golden value: FNV-1a over eleven zero words (88 zero bytes).
+        let zeros = QueryKey([0; 11]);
         let mut expect: u64 = 0xcbf2_9ce4_8422_2325;
-        for _ in 0..80 {
+        for _ in 0..88 {
             expect = expect.wrapping_mul(0x0000_0100_0000_01b3);
         }
         assert_eq!(zeros.fingerprint(), expect);

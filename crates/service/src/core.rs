@@ -14,12 +14,14 @@
 
 use crate::cache::{CacheConfig, CacheStats, EpochCache, QueryKey};
 use crate::swap::EpochSwap;
-use prodpred_core::{Prediction, PredictorConfig, PredictorError, SorPredictor};
+use prodpred_core::{FaultModel, Prediction, PredictorConfig, PredictorError, SorPredictor};
 use prodpred_nws::snapshot::ForecastSnapshot;
 use prodpred_nws::{NwsConfig, NwsService};
+use prodpred_simgrid::faults::FaultConfig;
 use prodpred_simgrid::Platform;
-use prodpred_stochastic::MaxStrategy;
 use prodpred_sor::decomp::partition_equal;
+use prodpred_stochastic::MaxStrategy;
+use prodpred_structural::{degrade, degrade_point};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,6 +70,14 @@ pub struct PredictRequest {
     pub procs: usize,
     /// Structural-model configuration.
     pub config: PredictorConfig,
+    /// Optional what-if fault intensity in `[0, 1]`: when set and
+    /// positive, the fault-aware degradation terms
+    /// ([`prodpred_core::FaultModel`]) are applied on top of the healthy
+    /// prediction. `None` and `Some(0.0)` both answer the healthy
+    /// prediction (bit-identically), but cache under distinct keys.
+    /// Serialized as `null` when absent (the vendored serde has no
+    /// field-skipping attributes).
+    pub fault_intensity: Option<f64>,
 }
 
 /// The service's answer, tagged with the snapshot epoch that produced
@@ -94,6 +104,9 @@ pub struct PredictResponse {
     pub hi: f64,
     /// Conventional point prediction (all parameters at their means).
     pub point: f64,
+    /// Echo of the requested fault intensity, when one was supplied;
+    /// `null` on the wire for healthy queries.
+    pub fault_intensity: Option<f64>,
 }
 
 /// Liveness counters for `/metrics` and the replay bench.
@@ -281,6 +294,15 @@ impl ServiceCore {
                 )));
             }
         }
+        if let Some(intensity) = req.fault_intensity {
+            // The typed constructor is the only validation path: NaN,
+            // infinities, and out-of-range values are all rejected here,
+            // so the panicking `with_intensity` is never reachable from
+            // untrusted input.
+            if let Err(e) = FaultConfig::try_with_intensity(0, intensity) {
+                return Err(ServiceError::BadRequest(e.to_string()));
+            }
+        }
         Ok(())
     }
 
@@ -318,25 +340,19 @@ impl ServiceCore {
         let (epoch, snapshot) = state.published.load().ok_or(ServiceError::NotReady {
             platform: req.platform,
         })?;
-        let key = QueryKey::new(req.platform, req.n, req.procs, &req.config);
+        let key = QueryKey::new(
+            req.platform,
+            req.n,
+            req.procs,
+            &req.config,
+            req.fault_intensity,
+        );
         if let Some(cached) = state.cache.get(epoch, &key) {
             let mut response = (*cached).clone();
             response.cache_hit = true;
             return Ok(response);
         }
-        let prediction = Self::predict(&state.platform, &snapshot, req)?;
-        let response = PredictResponse {
-            platform: req.platform,
-            n: req.n,
-            procs: req.procs,
-            epoch,
-            captured_at: snapshot.captured_at,
-            cache_hit: false,
-            mean: prediction.stochastic.mean(),
-            lo: prediction.stochastic.lo(),
-            hi: prediction.stochastic.hi(),
-            point: prediction.point,
-        };
+        let response = Self::answer(&state.platform, &snapshot, req, epoch)?;
         let stored = state.cache.insert(epoch, key, response);
         Ok((*stored).clone())
     }
@@ -351,6 +367,44 @@ impl ServiceCore {
         Ok(predictor.try_predict(req.n, &strips)?)
     }
 
+    /// The single response-construction path shared by the cached-miss
+    /// and uncached routes, so the two stay bit-identical by
+    /// construction: healthy structural prediction, then — only when a
+    /// positive `fault_intensity` was requested — the deterministic
+    /// fault-degradation terms on top. Zero intensity applies the exact
+    /// identity terms, so `fault_intensity=0` and no intensity answer
+    /// the same bits.
+    fn answer(
+        platform: &Platform,
+        snapshot: &ForecastSnapshot,
+        req: &PredictRequest,
+        epoch: u64,
+    ) -> Result<PredictResponse, ServiceError> {
+        let prediction = Self::predict(platform, snapshot, req)?;
+        let mut stochastic = prediction.stochastic;
+        let mut point = prediction.point;
+        if let Some(intensity) = req.fault_intensity {
+            let model = FaultModel::for_intensity(intensity, req.config.iterations, req.procs)
+                .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+            let terms = model.terms(stochastic.mean(), snapshot.captured_at);
+            stochastic = degrade(stochastic, &terms);
+            point = degrade_point(point, &terms);
+        }
+        Ok(PredictResponse {
+            platform: req.platform,
+            n: req.n,
+            procs: req.procs,
+            epoch,
+            captured_at: snapshot.captured_at,
+            cache_hit: false,
+            mean: stochastic.mean(),
+            lo: stochastic.lo(),
+            hi: stochastic.hi(),
+            point,
+            fault_intensity: req.fault_intensity,
+        })
+    }
+
     /// Answers the same query with the cache bypassed — the reference
     /// path tests pin the cached path against, bit for bit.
     ///
@@ -363,19 +417,7 @@ impl ServiceCore {
         let (epoch, snapshot) = state.published.load().ok_or(ServiceError::NotReady {
             platform: req.platform,
         })?;
-        let prediction = Self::predict(&state.platform, &snapshot, req)?;
-        Ok(PredictResponse {
-            platform: req.platform,
-            n: req.n,
-            procs: req.procs,
-            epoch,
-            captured_at: snapshot.captured_at,
-            cache_hit: false,
-            mean: prediction.stochastic.mean(),
-            lo: prediction.stochastic.lo(),
-            hi: prediction.stochastic.hi(),
-            point: prediction.point,
-        })
+        Self::answer(&state.platform, &snapshot, req, epoch)
     }
 
     /// The latest published epoch across both platforms. They publish in
@@ -434,6 +476,7 @@ mod tests {
             n,
             procs: 4,
             config: PredictorConfig::default(),
+            fault_intensity: None,
         }
     }
 
@@ -556,6 +599,84 @@ mod tests {
         let mut r = req(1, 600);
         r.config.max_load_rel_width = Some(0.25);
         assert!(core.query(&r).is_ok());
+    }
+
+    #[test]
+    fn bad_fault_intensities_are_rejected_with_typed_errors() {
+        let core = small_core();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.1, 1.01] {
+            let mut r = req(1, 600);
+            r.fault_intensity = Some(bad);
+            assert!(
+                matches!(core.query(&r), Err(ServiceError::BadRequest(_))),
+                "fault_intensity = {bad} must be rejected"
+            );
+        }
+        for good in [0.0, 0.5, 1.0] {
+            let mut r = req(1, 600);
+            r.fault_intensity = Some(good);
+            assert!(core.query(&r).is_ok(), "fault_intensity = {good}");
+        }
+    }
+
+    #[test]
+    fn zero_intensity_answers_the_healthy_bits() {
+        let core = small_core();
+        let healthy = core.query(&req(2, 800)).unwrap();
+        let mut r = req(2, 800);
+        r.fault_intensity = Some(0.0);
+        let zero = core.query(&r).unwrap();
+        assert!(
+            !zero.cache_hit,
+            "distinct key must not hit the healthy entry"
+        );
+        assert_eq!(zero.mean.to_bits(), healthy.mean.to_bits());
+        assert_eq!(zero.lo.to_bits(), healthy.lo.to_bits());
+        assert_eq!(zero.hi.to_bits(), healthy.hi.to_bits());
+        assert_eq!(zero.point.to_bits(), healthy.point.to_bits());
+        assert_eq!(zero.fault_intensity, Some(0.0));
+        assert_eq!(healthy.fault_intensity, None);
+    }
+
+    #[test]
+    fn degraded_predictions_are_monotone_in_intensity() {
+        let core = small_core();
+        let mut last = core.query(&req(2, 800)).unwrap();
+        for intensity in [0.25, 0.5, 0.75, 1.0] {
+            let mut r = req(2, 800);
+            r.fault_intensity = Some(intensity);
+            let degraded = core.query(&r).unwrap();
+            assert!(
+                degraded.mean > last.mean,
+                "intensity {intensity}: {} not above {}",
+                degraded.mean,
+                last.mean
+            );
+            assert!(
+                degraded.hi - degraded.lo > last.hi - last.lo,
+                "intensity {intensity}: interval must widen"
+            );
+            assert!(degraded.point > last.point);
+            last = degraded;
+        }
+    }
+
+    #[test]
+    fn faulted_cached_equals_uncached_bitwise() {
+        let core = small_core();
+        for intensity in [0.0, 0.3, 1.0] {
+            let mut r = req(2, 1000);
+            r.fault_intensity = Some(intensity);
+            let uncached = core.query_uncached(&r).unwrap();
+            core.query(&r).unwrap(); // populate
+            let cached = core.query(&r).unwrap();
+            assert!(cached.cache_hit, "intensity {intensity}");
+            assert_eq!(uncached.mean.to_bits(), cached.mean.to_bits());
+            assert_eq!(uncached.lo.to_bits(), cached.lo.to_bits());
+            assert_eq!(uncached.hi.to_bits(), cached.hi.to_bits());
+            assert_eq!(uncached.point.to_bits(), cached.point.to_bits());
+            assert_eq!(cached.fault_intensity, Some(intensity));
+        }
     }
 
     #[test]

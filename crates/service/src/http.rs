@@ -97,7 +97,8 @@ fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> 
 /// [`PredictorConfig::default`]): `iters`, `source`
 /// (`inst`/`horizon`/`modal`), `staleness` (`0`/`1`), `max`
 /// (`mean`/`upper`/`lower`/`clark`/`mc:<samples>:<seed>`), `cap`
-/// (relative half-width cap, or `none`).
+/// (relative half-width cap, or `none`), `fault_intensity` (what-if
+/// fault intensity in `[0, 1]`; omit for the healthy prediction).
 ///
 /// # Errors
 ///
@@ -106,6 +107,7 @@ pub fn parse_predict(pairs: &[(&str, &str)]) -> Result<PredictRequest, String> {
     let mut platform: Option<u8> = None;
     let mut n: Option<usize> = None;
     let mut procs: Option<usize> = None;
+    let mut fault_intensity: Option<f64> = None;
     let mut config = PredictorConfig::default();
     for &(key, value) in pairs {
         match key {
@@ -159,6 +161,10 @@ pub fn parse_predict(pairs: &[(&str, &str)]) -> Result<PredictRequest, String> {
                     Some(parse_num(key, value)?)
                 }
             }
+            // Range/finiteness checks live in `ServiceCore::validate`
+            // (via `FaultConfig::try_with_intensity`), which turns bad
+            // values into typed 400s — never a panic.
+            "fault_intensity" => fault_intensity = Some(parse_num(key, value)?),
             other => return Err(format!("unknown parameter {other:?}")),
         }
     }
@@ -167,6 +173,7 @@ pub fn parse_predict(pairs: &[(&str, &str)]) -> Result<PredictRequest, String> {
         n: n.ok_or("missing required parameter: n")?,
         procs: procs.ok_or("missing required parameter: procs")?,
         config,
+        fault_intensity,
     })
 }
 
@@ -279,9 +286,11 @@ mod tests {
             ("staleness", "1"),
             ("max", "mc:500:9"),
             ("cap", "0.25"),
+            ("fault_intensity", "0.5"),
         ];
         let req = parse_predict(&pairs).unwrap();
         assert_eq!((req.platform, req.n, req.procs), (1, 600, 2));
+        assert_eq!(req.fault_intensity, Some(0.5));
         assert_eq!(req.config.iterations, 40);
         assert_eq!(req.config.load_source, LoadSource::ModalAverage);
         assert!(req.config.staleness_aware);
@@ -302,13 +311,21 @@ mod tests {
         // f64::from_str accepts these; validation must still reject them.
         for cap in ["NaN", "inf", "-1", "0"] {
             assert_eq!(
-                handle(&core, &format!("/predict?platform=1&n=600&procs=2&cap={cap}")).status,
+                handle(
+                    &core,
+                    &format!("/predict?platform=1&n=600&procs=2&cap={cap}")
+                )
+                .status,
                 400,
                 "cap={cap} must not reach the model"
             );
         }
         assert_eq!(
-            handle(&core, "/predict?platform=1&n=600&procs=2&max=mc:9999999999:1").status,
+            handle(
+                &core,
+                "/predict?platform=1&n=600&procs=2&max=mc:9999999999:1"
+            )
+            .status,
             400
         );
         assert_eq!(
@@ -319,9 +336,41 @@ mod tests {
             handle(&core, "/predict?platform=1&n=600&procs=2&source=x").status,
             400
         );
+        // f64::from_str accepts NaN/inf and negatives; validation turns
+        // every one into a typed 400, never a panic in the daemon.
+        for bad in ["NaN", "inf", "-inf", "-0.1", "1.01", "x"] {
+            let target = format!("/predict?platform=1&n=600&procs=2&fault_intensity={bad}");
+            assert_eq!(
+                handle(&core, &target).status,
+                400,
+                "fault_intensity={bad} must not reach the model"
+            );
+        }
         assert_eq!(handle(&core, "/nope").status, 404);
         assert_eq!(handle(&core, "/health").status, 200);
         assert_eq!(handle(&core, "/metrics").status, 200);
+    }
+
+    #[test]
+    fn faulted_predict_round_trips_and_degrades() {
+        let core = core();
+        let healthy = handle(&core, "/predict?platform=2&n=1600&procs=4");
+        assert_eq!(healthy.status, 200, "{}", healthy.body);
+        let healthy: crate::core::PredictResponse = serde_json::from_str(&healthy.body).unwrap();
+        assert_eq!(healthy.fault_intensity, None);
+        let faulted = handle(
+            &core,
+            "/predict?platform=2&n=1600&procs=4&fault_intensity=0.5",
+        );
+        assert_eq!(faulted.status, 200, "{}", faulted.body);
+        let faulted: crate::core::PredictResponse = serde_json::from_str(&faulted.body).unwrap();
+        assert_eq!(faulted.fault_intensity, Some(0.5));
+        assert!(
+            faulted.mean > healthy.mean,
+            "degraded mean {} must exceed healthy {}",
+            faulted.mean,
+            healthy.mean
+        );
     }
 
     #[test]

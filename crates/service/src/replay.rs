@@ -47,6 +47,10 @@ pub fn request_for(master_seed: u64, index: u64) -> PredictRequest {
         n,
         procs,
         config,
+        // The replay workload stays healthy-only so the committed
+        // latency baselines keep measuring the same code path; the
+        // fault surface has its own bench (`faultpred_study`).
+        fault_intensity: None,
     }
 }
 

@@ -55,6 +55,28 @@ pub struct WorkerDeath {
     pub at_half_iteration: usize,
 }
 
+/// Why an intensity value was rejected by
+/// [`FaultConfig::try_with_intensity`]. Carries the offending value so
+/// service-layer callers can echo it back to the client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IntensityError {
+    /// The value was NaN or infinite.
+    NotFinite(f64),
+    /// The value was finite but outside `[0, 1]`.
+    OutOfRange(f64),
+}
+
+impl std::fmt::Display for IntensityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotFinite(v) => write!(f, "fault intensity must be finite, got {v}"),
+            Self::OutOfRange(v) => write!(f, "fault intensity must be in [0, 1], got {v}"),
+        }
+    }
+}
+
+impl std::error::Error for IntensityError {}
+
 /// The full fault model for one experiment. All probabilities are per
 /// scheduled sensor poll, in `[0, 1]`; the decision order on each poll is
 /// dropout → delay → spike → corruption (first match wins).
@@ -115,11 +137,36 @@ impl FaultConfig {
     /// the experiments' 300 s NWS warm-up, so they overlap the run window
     /// of the Platform 1/2 series (which span a few hundred seconds).
     /// This is the knob the `fault_study` bin sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity` is outside `[0, 1]` (including NaN). Callers
+    /// handling untrusted input (the service's `fault_intensity` query
+    /// parameter) must use [`FaultConfig::try_with_intensity`] instead.
     pub fn with_intensity(seed: u64, intensity: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&intensity),
-            "intensity must be in [0, 1]"
-        );
+        match Self::try_with_intensity(seed, intensity) {
+            Ok(cfg) => cfg,
+            Err(_) => panic!("intensity must be in [0, 1]"),
+        }
+    }
+
+    /// The typed-error twin of [`FaultConfig::with_intensity`]: rejects
+    /// non-finite values and values outside `[0, 1]` instead of
+    /// panicking. This is the only constructor service/HTTP input may
+    /// reach.
+    ///
+    /// # Errors
+    ///
+    /// [`IntensityError::NotFinite`] for NaN or ±infinity,
+    /// [`IntensityError::OutOfRange`] for finite values outside
+    /// `[0, 1]`; both carry the offending value.
+    pub fn try_with_intensity(seed: u64, intensity: f64) -> Result<Self, IntensityError> {
+        if !intensity.is_finite() {
+            return Err(IntensityError::NotFinite(intensity));
+        }
+        if !(0.0..=1.0).contains(&intensity) {
+            return Err(IntensityError::OutOfRange(intensity));
+        }
         let mut cfg = Self::none(seed);
         cfg.dropout = 0.15 * intensity;
         cfg.delay = 0.10 * intensity;
@@ -134,7 +181,7 @@ impl FaultConfig {
                 availability_factor: 0.4,
             });
         }
-        cfg
+        Ok(cfg)
     }
 
     /// Total probability that a poll outside a blackout window is
@@ -452,6 +499,41 @@ mod tests {
         assert_eq!(cfg, FaultConfig::none(3));
         let counts = count_outcomes(&cfg, 0, 10_000);
         assert_eq!(counts[0], 10_000);
+    }
+
+    #[test]
+    fn try_with_intensity_rejects_bad_values_with_typed_errors() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                FaultConfig::try_with_intensity(1, bad),
+                Err(IntensityError::NotFinite(_))
+            ));
+        }
+        for bad in [-0.1, 1.01, -1e9, 2.0] {
+            assert_eq!(
+                FaultConfig::try_with_intensity(1, bad),
+                Err(IntensityError::OutOfRange(bad))
+            );
+        }
+        // Error messages name the offending value.
+        let msg = IntensityError::OutOfRange(1.5).to_string();
+        assert!(msg.contains("1.5"), "{msg}");
+    }
+
+    #[test]
+    fn try_with_intensity_matches_the_panicking_constructor_on_valid_input() {
+        for intensity in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(
+                FaultConfig::try_with_intensity(7, intensity).unwrap(),
+                FaultConfig::with_intensity(7, intensity)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity must be in [0, 1]")]
+    fn with_intensity_still_panics_out_of_range() {
+        let _ = FaultConfig::with_intensity(0, 1.5);
     }
 
     #[test]

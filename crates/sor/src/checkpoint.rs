@@ -113,6 +113,19 @@ impl CheckpointPolicy {
     pub fn disabled() -> Self {
         Self { every: 0 }
     }
+
+    /// How many snapshots a healthy `iterations`-long solve records
+    /// under this policy: one per completed segment boundary short of
+    /// the end (`run_segments` skips the final boundary), i.e.
+    /// `⌊(iterations − 1) / every⌋`, or zero when disabled. This is the
+    /// count the fault-aware predictor amortizes checkpoint write cost
+    /// over.
+    pub fn checkpoints_for(&self, iterations: usize) -> usize {
+        match self.every {
+            0 => 0,
+            k => iterations.saturating_sub(1) / k,
+        }
+    }
 }
 
 /// A versioned, self-contained snapshot of a solve: the grid plus the
@@ -420,7 +433,21 @@ mod tests {
                 k => (iters - 1) / k,
             };
             assert_eq!(store.taken(), expected_taken, "cadence {every}");
+            assert_eq!(
+                CheckpointPolicy::every(every).checkpoints_for(iters),
+                expected_taken,
+                "checkpoints_for must match the driver at cadence {every}"
+            );
         }
+    }
+
+    #[test]
+    fn checkpoints_for_handles_edge_cadences() {
+        assert_eq!(CheckpointPolicy::disabled().checkpoints_for(100), 0);
+        assert_eq!(CheckpointPolicy::every(4).checkpoints_for(0), 0);
+        assert_eq!(CheckpointPolicy::every(4).checkpoints_for(1), 0);
+        assert_eq!(CheckpointPolicy::every(1).checkpoints_for(5), 4);
+        assert_eq!(CheckpointPolicy::every(4).checkpoints_for(20), 4);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Degradation terms: how a fault environment stretches a healthy
+//! structural prediction.
+//!
+//! The Table 2 algebra predicts `ExTime` for a *healthy* run. Production
+//! faults (PR 3–4) perturb that three ways, and each maps onto one term
+//! here:
+//!
+//! * **slowdown** — multiplicative stretch of the execution time itself:
+//!   load storms on the bottleneck machine, checkpoint write overhead,
+//!   and recomputed iterations after a restore all scale the work;
+//! * **delay_secs** — additive dead time that shifts completion without
+//!   scaling the work: supervisor backoff between retries and blackout
+//!   ride-through while monitoring is dark;
+//! * **widening** — extra relative spread on the stochastic interval:
+//!   degraded sensors (dropouts, spikes, corruption) make the forecast
+//!   the model is parameterized with less certain.
+//!
+//! The terms are computed by `prodpred-core::faultmodel` as pure
+//! functions of the fault configuration; this module only defines the
+//! algebra of *applying* them, so the structural crate stays free of any
+//! fault-model policy. [`DegradationTerms::none`] is a bit-exact
+//! identity: applying it returns the input value unchanged (multiplying
+//! by 1.0 and adding 0.0 preserves every IEEE-754 bit pattern, including
+//! negative zero and infinities), which is what keeps the healthy
+//! service path bit-identical with and without the fault layer compiled
+//! in.
+
+use prodpred_stochastic::StochasticValue;
+use serde::{Deserialize, Serialize};
+
+/// The three degradation terms applied to a healthy prediction. See the
+/// module docs for what each models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationTerms {
+    /// Multiplicative stretch of the execution time (≥ 1 in practice).
+    pub slowdown: f64,
+    /// Additive dead time in seconds (backoff, blackout ride-through).
+    pub delay_secs: f64,
+    /// Extra multiplicative spread on the stochastic half-width (≥ 1).
+    pub widening: f64,
+}
+
+impl DegradationTerms {
+    /// The identity terms: applying them is a bit-exact no-op.
+    pub fn none() -> Self {
+        Self {
+            slowdown: 1.0,
+            delay_secs: 0.0,
+            widening: 1.0,
+        }
+    }
+
+    /// Whether these terms are the exact identity.
+    pub fn is_none(&self) -> bool {
+        *self == Self::none()
+    }
+}
+
+impl Default for DegradationTerms {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Applies degradation terms to a healthy stochastic prediction: the
+/// mean is stretched by `slowdown` then shifted by `delay_secs`; the
+/// half-width is stretched by `slowdown` (spread scales with the work)
+/// and additionally by `widening` (sensor uncertainty).
+pub fn degrade(healthy: StochasticValue, terms: &DegradationTerms) -> StochasticValue {
+    StochasticValue::new(
+        healthy.mean() * terms.slowdown + terms.delay_secs,
+        healthy.half_width() * terms.slowdown * terms.widening,
+    )
+}
+
+/// Applies degradation terms to a point prediction (the mean-value
+/// model): stretch then shift.
+pub fn degrade_point(point: f64, terms: &DegradationTerms) -> f64 {
+    point * terms.slowdown + terms.delay_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_a_bit_exact_identity() {
+        let terms = DegradationTerms::none();
+        assert!(terms.is_none());
+        for (mean, hw) in [(0.0, 0.0), (12.5, 0.75), (1e-300, 1e-300), (1e300, 0.0)] {
+            let v = StochasticValue::new(mean, hw);
+            let d = degrade(v, &terms);
+            assert_eq!(d.mean().to_bits(), v.mean().to_bits());
+            assert_eq!(d.half_width().to_bits(), v.half_width().to_bits());
+            assert_eq!(degrade_point(mean, &terms).to_bits(), mean.to_bits());
+        }
+    }
+
+    #[test]
+    fn terms_apply_in_stretch_then_shift_order() {
+        let terms = DegradationTerms {
+            slowdown: 1.5,
+            delay_secs: 10.0,
+            widening: 2.0,
+        };
+        assert!(!terms.is_none());
+        let v = StochasticValue::new(100.0, 4.0);
+        let d = degrade(v, &terms);
+        assert!((d.mean() - 160.0).abs() < 1e-12);
+        assert!((d.half_width() - 12.0).abs() < 1e-12);
+        assert!((degrade_point(100.0, &terms) - 160.0).abs() < 1e-12);
+        // Delay shifts the whole interval; it never widens it.
+        assert!((d.hi() - d.lo() - 2.0 * 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_is_deterministic() {
+        let terms = DegradationTerms {
+            slowdown: 1.037,
+            delay_secs: 61.5,
+            widening: 1.21,
+        };
+        let v = StochasticValue::new(33.7, 1.9);
+        let a = degrade(v, &terms);
+        let b = degrade(v, &terms);
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.half_width().to_bits(), b.half_width().to_bits());
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`comp`] — operation-count and benchmark computation models, with the
 //!   production `Comp / load` form,
 //! * [`sor_model`] — the full Red-Black SOR `ExTime` model and the
-//!   Figure-7 skew bound.
+//!   Figure-7 skew bound,
+//! * [`degrade`] — the fault-degradation terms applied on top of a
+//!   healthy prediction (slowdown, delay, spread widening).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,6 +23,7 @@
 pub mod comm;
 pub mod comp;
 pub mod component;
+pub mod degrade;
 pub mod param;
 pub mod sor_model;
 pub mod validate;
@@ -28,6 +31,7 @@ pub mod validate;
 pub use comm::{phase_comm, phase_comm_messages, Neighbours, PtToPtModel};
 pub use comp::{phase_comp, BenchmarkModel, OpCountModel};
 pub use component::Component;
+pub use degrade::{degrade, degrade_point, DegradationTerms};
 pub use param::{Param, ParamSource};
 pub use sor_model::{
     skew_bound, PhaseBreakdown, ProcessorInputs, SorModelInputs, SorStructuralModel,

@@ -33,7 +33,8 @@ fn main() {
         "/predict?platform=2&n=1600&procs=4",
         "/predict?platform=2&n=1600&procs=4", // identical: served by the cache
         "/predict?platform=1&n=600&procs=2&source=modal&iters=40",
-        "/predict?platform=1&n=600&procs=0", // rejected before the model runs
+        "/predict?platform=2&n=1600&procs=4&fault_intensity=0.5", // what-if degraded
+        "/predict?platform=1&n=600&procs=0",                      // rejected before the model runs
     ] {
         let response = handle(&core, target);
         println!("GET {target}\n  -> {} {}", response.status, response.body);
@@ -45,6 +46,7 @@ fn main() {
         n: 1000,
         procs: 4,
         config: Default::default(),
+        fault_intensity: None,
     };
     let miss = core.query(&req).expect("fresh query");
     let hit = core.query(&req).expect("cached query");

@@ -112,6 +112,83 @@ fn replay_report_round_trip() {
 }
 
 #[test]
+fn fault_config_round_trip() {
+    use prodpred_simgrid::faults::FaultConfig;
+    for intensity in [0.0, 0.3, 1.0] {
+        let cfg = FaultConfig::with_intensity(9, intensity);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: FaultConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back, "intensity {intensity} mangled by round-trip");
+    }
+}
+
+#[test]
+fn degradation_stats_round_trip() {
+    use prodpred_core::DegradationStats;
+    let stats = DegradationStats {
+        queries: 480,
+        degraded_queries: 37,
+        max_stale_intervals: 6.5,
+        skipped_runs: 2,
+        missed_polls: 91,
+        corrupt_polls: 14,
+    };
+    let json = serde_json::to_string(&stats).unwrap();
+    let back: DegradationStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(stats, back);
+}
+
+#[test]
+fn recovery_stats_round_trip() {
+    use prodpred_core::RecoveryStats;
+    let stats = RecoveryStats {
+        retries: 219,
+        backoff_secs: 10_743.25,
+        recovered: 158,
+        abandoned: 1,
+        resumed_iterations_saved: 1948,
+        checkpoints_taken: 652,
+        breaker_trips: 3,
+        breaker_short_circuits: 11,
+    };
+    let json = serde_json::to_string(&stats).unwrap();
+    let back: RecoveryStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(stats, back);
+    // The float survives bit-exactly, not just approximately.
+    assert_eq!(stats.backoff_secs.to_bits(), back.backoff_secs.to_bits());
+}
+
+#[test]
+fn degradation_terms_round_trip() {
+    use prodpred_structural::DegradationTerms;
+    let terms = DegradationTerms {
+        slowdown: 1.173_25,
+        delay_secs: 96.0625,
+        widening: 1.089_1,
+    };
+    let json = serde_json::to_string(&terms).unwrap();
+    let back: DegradationTerms = serde_json::from_str(&json).unwrap();
+    assert_eq!(terms, back);
+    let none_json = serde_json::to_string(&DegradationTerms::none()).unwrap();
+    let none_back: DegradationTerms = serde_json::from_str(&none_json).unwrap();
+    assert!(none_back.is_none(), "identity terms must survive the wire");
+}
+
+#[test]
+fn campaign_prediction_round_trip() {
+    use prodpred_core::{predict_campaign, CampaignPrediction, RetryPolicy};
+    use prodpred_sor::CheckpointPolicy;
+    let predicted = predict_campaign(1.0, &RetryPolicy::default(), CheckpointPolicy::every(4), 20);
+    let json = serde_json::to_string(&predicted).unwrap();
+    let back: CampaignPrediction = serde_json::from_str(&json).unwrap();
+    assert_eq!(predicted, back);
+    assert_eq!(
+        predicted.mean_backoff_secs.to_bits(),
+        back.mean_backoff_secs.to_bits()
+    );
+}
+
+#[test]
 fn experiment_series_round_trip() {
     let series = platform2_experiment(3, 800, 3);
     let json = serde_json::to_string(&series).unwrap();

@@ -188,6 +188,62 @@ fn reader_storm_is_bit_identical_to_uncached_at_every_width() {
     }
 }
 
+/// Fault-aware twin of the reader-storm pin: degraded queries, at every
+/// pool width and a spread of intensities, stay bit-identical to the
+/// single-threaded uncached reference — the degradation terms are pure,
+/// so the cache soundness argument carries over unchanged.
+#[test]
+fn faulted_reader_storm_is_bit_identical_to_uncached() {
+    const REQUESTS: u64 = 120;
+    const INTENSITIES: [f64; 3] = [0.0, 0.4, 1.0];
+
+    let faulted = |i: u64| {
+        let mut req = request_for(SEED, i);
+        req.fault_intensity = Some(INTENSITIES[(i % INTENSITIES.len() as u64) as usize]);
+        req
+    };
+
+    let reference_core = ServiceCore::new(small_config());
+    let reference: Vec<_> = (0..REQUESTS)
+        .map(|i| bits(&reference_core.query_uncached(&faulted(i)).unwrap()))
+        .collect();
+
+    for threads in [1usize, 4] {
+        let core = Arc::new(ServiceCore::new(small_config()));
+        let mut answers = vec![None; REQUESTS as usize];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let core = Arc::clone(&core);
+                    let faulted = &faulted;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        let mut i = t as u64;
+                        while i < REQUESTS {
+                            let r = core.query(&faulted(i)).unwrap();
+                            mine.push((i as usize, bits(&r)));
+                            i += threads as u64;
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, b) in h.join().unwrap() {
+                    answers[i] = Some(b);
+                }
+            }
+        });
+        let answers: Vec<_> = answers.into_iter().map(Option::unwrap).collect();
+        assert_eq!(
+            answers, reference,
+            "{threads}-thread faulted storm diverged from the uncached reference"
+        );
+        let s = core.stats();
+        assert!(s.cache.hits > 0, "faulted storm never hit the cache");
+    }
+}
+
 #[test]
 fn readers_survive_a_concurrent_ingest_writer() {
     // Queries racing epoch bumps: every answer must be Ok, carry an
@@ -275,6 +331,26 @@ fn http_surface_end_to_end_without_sockets() {
     );
     assert_eq!(handle(&core, "/predict?platform=1&n=2&procs=2").status, 400);
     assert_eq!(handle(&core, "/missing").status, 404);
+
+    // The fault surface over HTTP: bad intensities become typed 400s
+    // (never a panic in the daemon), valid ones degrade the answer.
+    for bad in ["NaN", "inf", "-0.5", "2"] {
+        let target = format!("/predict?platform=2&n=1600&procs=4&fault_intensity={bad}");
+        assert_eq!(handle(&core, &target).status, 400, "fault_intensity={bad}");
+    }
+    let healthy: PredictResponse =
+        serde_json::from_str(&handle(&core, "/predict?platform=2&n=1600&procs=4").body).unwrap();
+    let degraded: PredictResponse = serde_json::from_str(
+        &handle(
+            &core,
+            "/predict?platform=2&n=1600&procs=4&fault_intensity=0.8",
+        )
+        .body,
+    )
+    .unwrap();
+    assert_eq!(degraded.fault_intensity, Some(0.8));
+    assert!(degraded.mean > healthy.mean);
+    assert!(degraded.hi - degraded.lo > healthy.hi - healthy.lo);
 }
 
 #[test]
