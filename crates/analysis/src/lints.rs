@@ -14,6 +14,7 @@
 //! | PP006 | `pub fn … -> Result` without an `# Errors` doc section |
 //! | PP007 | trace-sized buffer copy in a `simgrid`/`core` hot path |
 //! | PP008 | `std::net` socket usage outside the service crate's shell |
+//! | PP009 | wall-clock reads (`SystemTime::now`, `Instant::now`) in the service crate outside its shell |
 //!
 //! Matching runs over *masked* source (see [`crate::scan`]): strings,
 //! comments and doc examples can never trigger a lint. Findings are
@@ -34,7 +35,7 @@ pub struct Finding {
     pub line: usize,
     /// 1-based column (byte offset into the line).
     pub col: usize,
-    /// Stable lint code (`PP000` … `PP008`).
+    /// Stable lint code (`PP000` … `PP009`).
     pub code: &'static str,
     /// Human-readable description, stable across runs.
     pub message: String,
@@ -51,8 +52,8 @@ impl Finding {
 }
 
 /// All stable lint codes, in order.
-pub const CODES: [&str; 9] = [
-    "PP000", "PP001", "PP002", "PP003", "PP004", "PP005", "PP006", "PP007", "PP008",
+pub const CODES: [&str; 10] = [
+    "PP000", "PP001", "PP002", "PP003", "PP004", "PP005", "PP006", "PP007", "PP008", "PP009",
 ];
 
 /// Nondeterminism sources flagged by PP001.
@@ -88,6 +89,9 @@ const PP007_BUFFERS: [&str; 6] = ["trace", "load", "avail", "values", "prefix", 
 
 /// Socket tokens flagged by PP008 outside the service shell.
 const PP008_NET: [&str; 4] = ["std::net", "TcpListener", "TcpStream", "UdpSocket"];
+
+/// Wall-clock reads flagged by PP009 inside the service crate.
+const PP009_CLOCKS: [&str; 2] = ["SystemTime::now(", "Instant::now("];
 
 /// Raw guard acquisitions flagged by PP005.
 const PP005_LOCKS: [&str; 6] = [
@@ -163,6 +167,13 @@ pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
         // defect even in test code.
         if !pp008_exempt(relpath) {
             pp008(relpath, idx, code_line, &mut findings);
+        }
+        // PP009 also ignores scope: the serving state machine, admission
+        // control and ingest supervisor are pure functions of the
+        // simulated clock, and a wall-clock read anywhere in the service
+        // crate (tests included) silently breaks replay determinism.
+        if relpath.starts_with("crates/service/src/") && !pp009_exempt(relpath) {
+            pp009(relpath, idx, code_line, &mut findings);
         }
     }
     if !scope.test_path && !scope.bin {
@@ -529,6 +540,42 @@ fn pp008(file: &str, idx: usize, code_line: &str, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Paths inside the service crate allowed to read the wall clock: the
+/// shell (its tick loop and socket timeouts are real time by design)
+/// and the binaries (the daemon's smoke harness measures real sockets).
+fn pp009_exempt(relpath: &str) -> bool {
+    relpath == "crates/service/src/shell.rs" || relpath.starts_with("crates/service/src/bin/")
+}
+
+/// PP009: wall-clock reads in the service crate outside its shell.
+///
+/// Resilience decisions — serving-state derivation, retry backoff,
+/// breaker cooldowns, admission budgets — are pure functions of
+/// `(seed, simulated clock)`; that is what makes the chaos campaign and
+/// the availability DP replayable bit-for-bit. PP001 already bans
+/// nondeterminism in library code but waives tests and binaries; here
+/// even a test that consults `Instant::now` for control flow can mask a
+/// determinism regression, so the ban covers every scope.
+fn pp009(file: &str, idx: usize, code_line: &str, findings: &mut Vec<Finding>) {
+    for pat in PP009_CLOCKS {
+        let mut from = 0;
+        while let Some(at) = find_word(code_line, pat, from) {
+            let name = pat.trim_end_matches('(');
+            push(
+                findings,
+                file,
+                idx,
+                at,
+                "PP009",
+                format!(
+                    "`{name}` in the service crate outside shell.rs; resilience logic must run on the simulated clock"
+                ),
+            );
+            from = at + pat.len();
+        }
+    }
+}
+
 /// PP006: public functions returning `Result` must carry an `# Errors`
 /// doc section. Trait-impl methods are exempt (their contract lives on
 /// the trait).
@@ -871,6 +918,47 @@ mod tests {
             "fn f() { let s = TcpStream::connect(\"x\"); let u = UdpSocket::bind(\"y\"); use_both(s, u); }\n",
         );
         assert_eq!(codes(&f), ["PP008", "PP008"]);
+    }
+
+    #[test]
+    fn pp009_fences_wall_clocks_out_of_the_service_crate() {
+        let src = "fn f() { let t = Instant::now(); use_it(t); }\n";
+        // Library code in the service crate: one finding.
+        let f = lint_source("crates/service/src/core.rs", src);
+        assert_eq!(codes(&f), ["PP001", "PP009"]);
+        // `SystemTime::now` is fenced the same way.
+        let f = lint_source(
+            "crates/service/src/resilience.rs",
+            "fn f() { let t = SystemTime::now(); use_it(t); }\n",
+        );
+        assert_eq!(codes(&f), ["PP001", "PP009"]);
+        // Unlike PP001, in-file test modules are NOT exempt: a test that
+        // branches on real time can mask a determinism regression.
+        let tested = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let x = Instant::now(); use_it(x); }\n}\n";
+        let f = lint_source("crates/service/src/http.rs", tested);
+        assert_eq!(codes(&f), ["PP009"]);
+        // The shell (real tick loop) and binaries (smoke harness) are
+        // PP009-exempt — the shell still answers to PP001 and justifies
+        // its timers with allows.
+        assert_eq!(
+            codes(&lint_source("crates/service/src/shell.rs", src)),
+            ["PP001"]
+        );
+        assert!(lint_source("crates/service/src/bin/serviced.rs", src).is_empty());
+        // Other crates are out of PP009's reach (PP001 already covers
+        // their library paths).
+        let f = lint_source("crates/bench/src/bin/service_chaos.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        // Masked occurrences never fire.
+        let f = lint_source(
+            "crates/service/src/core.rs",
+            "fn f() { let s = \"Instant::now()\"; use_it(s); } // Instant::now()\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // A justified allow suppresses the finding.
+        let allowed = "fn f() {\n    // tidy:allow(PP001): latency probe, result not load-bearing\n    // tidy:allow(PP009): latency probe, result not load-bearing\n    let t = Instant::now();\n    use_it(t);\n}\n";
+        let f = lint_source("crates/service/src/core.rs", allowed);
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

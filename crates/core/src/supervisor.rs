@@ -167,6 +167,21 @@ impl CircuitBreaker {
         }
         tripped
     }
+
+    /// Forces the breaker open at simulated time `t` regardless of the
+    /// failure streak — an external supervisor (e.g. a no-progress
+    /// watchdog) declaring the resource unhealthy. Counts as a trip.
+    pub fn trip(&mut self, t: f64) {
+        self.state = BreakerState::Open;
+        self.open_until = t + self.cooldown_secs;
+        self.trips += 1;
+    }
+
+    /// The simulated time at which an open breaker's cooldown ends
+    /// (meaningful only while [`CircuitBreaker::state`] is `Open`).
+    pub fn open_until(&self) -> f64 {
+        self.open_until
+    }
 }
 
 /// Recovery accounting across a supervised workload.
@@ -594,6 +609,21 @@ mod tests {
         b.record_success();
         assert_eq!(b.state(), BreakerState::Closed);
         assert!(!b.record_failure(251.0), "streak starts over");
+    }
+
+    #[test]
+    fn forced_trip_opens_immediately_and_counts() {
+        let mut b = CircuitBreaker::new(5, 60.0);
+        assert!(!b.record_failure(0.0), "one failure is below threshold");
+        b.trip(10.0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.open_until(), 70.0);
+        assert!(!b.allows(69.0));
+        // Cooldown over: half-open probe, success closes as usual.
+        assert!(b.allows(70.0));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
     }
 
     #[test]

@@ -490,6 +490,11 @@ impl NwsService {
         read_lock(&self.cpu[i]).series().last()
     }
 
+    /// The latest raw bandwidth measurement.
+    pub fn bandwidth_last(&self) -> Option<(f64, f64)> {
+        read_lock(&self.bandwidth).series().last()
+    }
+
     /// A copy of machine `i`'s retained CPU history values.
     pub fn cpu_history(&self, i: usize) -> Vec<f64> {
         read_lock(&self.cpu[i]).series().values()

@@ -15,13 +15,17 @@
 //! in-process benchmark report (`BENCH_service.json`), scaled by
 //! `--margin` and a floor that absorbs loopback + shared-runner noise.
 
+use prodpred_core::supervisor::RetryPolicy;
 use prodpred_service::replay::{percentile_us, request_path, ReplayReport};
-use prodpred_service::{serve, ServiceConfig, ServiceCore, ShellConfig};
+use prodpred_service::{
+    serve, ResilienceConfig, ServiceConfig, ServiceCore, ServiceStats, ShellConfig,
+};
+use prodpred_simgrid::faults::FaultConfig;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     host: String,
@@ -145,6 +149,74 @@ fn smoke(core: Arc<ServiceCore>, args: &Args, requests: u64) -> Result<ReplayRep
     Ok(report)
 }
 
+/// Second smoke phase: boot a core whose sensors black out permanently
+/// right after warmup (ingest fails every tick, the snapshot just ages)
+/// and drive it over a real socket until the degraded path shows —
+/// responses marked `degraded: true` and failure counters visible in
+/// `/metrics` — so CI's socket job covers non-Healthy serving states.
+fn degraded_smoke(args: &Args) -> Result<(), String> {
+    let mut fault = FaultConfig::none(args.seed);
+    fault.blackouts.push((600.0, f64::MAX)); // from warmup, forever
+    let core = Arc::new(ServiceCore::new(ServiceConfig {
+        seed: args.seed,
+        fault: Some(fault),
+        resilience: ResilienceConfig {
+            // Keep serving (widened) forever: no retries to ride the
+            // permanent blackout, no breaker/watchdog escalation, and an
+            // unbounded stale band so the state settles Degraded→Stale
+            // instead of 503ing.
+            retry: RetryPolicy::none(),
+            breaker_threshold: u32::MAX,
+            watchdog_ticks: u64::MAX,
+            stale_age_ticks: u64::MAX,
+            ..ResilienceConfig::default()
+        },
+        ..ServiceConfig::default()
+    }));
+    let shell = ShellConfig {
+        addr: format!("{}:0", args.host),
+        workers: args.workers,
+        // Tick fast so the snapshot ages past the healthy band quickly.
+        tick_millis: 25,
+    };
+    let mut handle = serve(core, &shell).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = handle.addr();
+    eprintln!("smoke: degraded-path daemon on {addr}");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let (status, body) = get(addr, "/predict?platform=1&n=600&procs=2")
+            .map_err(|e| format!("degraded probe failed: {e}"))?;
+        if status == 200 && body.contains("\"degraded\":true") {
+            break;
+        }
+        if Instant::now() > deadline {
+            handle.shutdown();
+            return Err(format!(
+                "no degraded response within 20s (last: {status} {body})"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (status, body) = get(addr, "/metrics").map_err(|e| format!("metrics probe failed: {e}"))?;
+    handle.shutdown();
+    if status != 200 {
+        return Err(format!("metrics -> {status}: {body}"));
+    }
+    let stats: ServiceStats =
+        serde_json::from_str(&body).map_err(|e| format!("bad metrics body: {e}"))?;
+    if stats.ingest.failures == 0 {
+        return Err(format!("expected ingest failures in metrics: {body}"));
+    }
+    if stats.degraded_served == 0 {
+        return Err(format!("expected degraded_served > 0 in metrics: {body}"));
+    }
+    eprintln!(
+        "smoke: degraded path verified ({} failed ticks, {} degraded answers)",
+        stats.ingest.failures, stats.degraded_served
+    );
+    Ok(())
+}
+
 /// p99 gate: smoke (socket path, shared runner) vs committed in-process
 /// bench, with a multiplicative margin and an absolute floor.
 fn gate(report: &ReplayReport, path: &str, margin: f64) -> Result<(), String> {
@@ -200,6 +272,10 @@ fn main() -> ExitCode {
                 eprintln!("serviced: gate failed: {why}");
                 return ExitCode::FAILURE;
             }
+        }
+        if let Err(why) = degraded_smoke(&args) {
+            eprintln!("serviced: degraded-path smoke failed: {why}");
+            return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
     }

@@ -13,24 +13,28 @@
 //! zero real I/O; the `std::net` shell in [`crate::shell`] is a veneer.
 
 use crate::cache::{CacheConfig, CacheStats, EpochCache, QueryKey};
+use crate::resilience::{
+    widening_factor, Admission, IngestOutcome, IngestStats, ResilienceConfig, ServingState,
+};
 use crate::swap::EpochSwap;
+use prodpred_core::supervisor::{BreakerState, CircuitBreaker};
 use prodpred_core::{FaultModel, Prediction, PredictorConfig, PredictorError, SorPredictor};
 use prodpred_nws::snapshot::ForecastSnapshot;
 use prodpred_nws::{NwsConfig, NwsService};
-use prodpred_simgrid::faults::FaultConfig;
+use prodpred_simgrid::faults::{FaultConfig, FaultPlan};
 use prodpred_simgrid::Platform;
 use prodpred_sor::decomp::partition_equal;
 use prodpred_stochastic::MaxStrategy;
 use prodpred_structural::{degrade, degrade_point};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Service-wide tunables. Everything downstream — traces, sensor
 /// histories, snapshots, predictions — is a deterministic function of
 /// these.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Seed for both simulated platforms' load traces.
     pub seed: u64,
@@ -44,6 +48,15 @@ pub struct ServiceConfig {
     pub publish_interval: f64,
     /// Prediction-cache sizing.
     pub cache: CacheConfig,
+    /// Sensor-level fault injection for the ingest path. `None` keeps
+    /// ingest infallible (every tick publishes, exactly the pre-fault
+    /// behavior); `Some` routes every NWS poll through a
+    /// [`FaultPlan`], making ticks fallible and the resilience layer
+    /// load-bearing.
+    pub fault: Option<FaultConfig>,
+    /// Retry/breaker/staleness/admission knobs (see
+    /// [`ResilienceConfig`]). The defaults are inert without faults.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServiceConfig {
@@ -54,6 +67,8 @@ impl Default for ServiceConfig {
             warmup: 600.0,
             publish_interval: 5.0,
             cache: CacheConfig::default(),
+            fault: None,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -107,10 +122,19 @@ pub struct PredictResponse {
     /// Echo of the requested fault intensity, when one was supplied;
     /// `null` on the wire for healthy queries.
     pub fault_intensity: Option<f64>,
+    /// The serving state the answer was produced under.
+    pub serving: ServingState,
+    /// `true` when the answer was served in any non-Healthy state: the
+    /// interval has been widened by snapshot age and clients should
+    /// treat it as best-effort.
+    pub degraded: bool,
+    /// Ingest ticks elapsed since the served snapshot published (0 when
+    /// fresh).
+    pub snapshot_age_ticks: u64,
 }
 
 /// Liveness counters for `/metrics` and the replay bench.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ServiceStats {
     /// Snapshots published so far (== the current epoch).
     pub epochs_published: u64,
@@ -118,6 +142,20 @@ pub struct ServiceStats {
     pub queries: u64,
     /// Queries rejected before reaching the model.
     pub rejected: u64,
+    /// Queries refused with [`ServiceError::Unavailable`] (503s; a
+    /// subset of `rejected`).
+    pub unavailable: u64,
+    /// Cache-missing queries shed by admission control (429s; a subset
+    /// of `rejected`).
+    pub shed: u64,
+    /// Queries answered in a non-Healthy state (`degraded: true`).
+    pub degraded_served: u64,
+    /// Current serving state of platform 1.
+    pub serving_platform1: ServingState,
+    /// Current serving state of platform 2.
+    pub serving_platform2: ServingState,
+    /// Supervised-ingest accounting, merged across platforms.
+    pub ingest: IngestStats,
     /// Combined cache counters across both platforms.
     pub cache: CacheStats,
 }
@@ -134,6 +172,24 @@ pub enum ServiceError {
         /// The platform still warming up.
         platform: u8,
     },
+    /// The platform's snapshot is too old to answer from (serving state
+    /// [`ServingState::Unavailable`]): a 503 with a Retry-After hint.
+    Unavailable {
+        /// The platform whose ingest has wedged.
+        platform: u8,
+        /// Ingest ticks since the last publish.
+        age_ticks: u64,
+        /// Suggested client wait before retrying, in (simulated-clock)
+        /// seconds — the breaker's remaining cooldown, or one publish
+        /// interval.
+        retry_after_secs: u64,
+    },
+    /// Admission control shed the query under overload: a 429 with a
+    /// Retry-After hint (the miss budget refills at the next tick).
+    Overloaded {
+        /// Suggested client wait before retrying, in seconds.
+        retry_after_secs: u64,
+    },
     /// The structural model itself refused the inputs.
     Predictor(PredictorError),
 }
@@ -146,6 +202,19 @@ impl fmt::Display for ServiceError {
             Self::NotReady { platform } => {
                 write!(f, "platform {platform} has not published a snapshot yet")
             }
+            Self::Unavailable {
+                platform,
+                age_ticks,
+                retry_after_secs,
+            } => write!(
+                f,
+                "platform {platform} unavailable: snapshot is {age_ticks} ticks old \
+                 (retry in {retry_after_secs} s)"
+            ),
+            Self::Overloaded { retry_after_secs } => write!(
+                f,
+                "overloaded: miss budget exhausted (retry in {retry_after_secs} s)"
+            ),
             Self::Predictor(e) => write!(f, "prediction failed: {e}"),
         }
     }
@@ -166,44 +235,237 @@ impl From<PredictorError> for ServiceError {
     }
 }
 
+/// A published snapshot stamped with the ingest tick that produced it,
+/// so the query path can judge staleness in ticks without touching the
+/// ingest lock.
+struct PublishedSnapshot {
+    /// The ingest tick (1-based, warmup included) that published this.
+    tick: u64,
+    snapshot: ForecastSnapshot,
+}
+
+/// Mutable ingest state, held only for the duration of a tick (which
+/// also serializes writers; the query path never touches it).
+struct IngestState {
+    /// Simulated "now" in seconds.
+    clock: f64,
+    /// Per-platform ingest circuit breaker over the simulated clock.
+    breaker: CircuitBreaker,
+    /// The tick of the most recent publish (watchdog reference point).
+    last_publish_tick: u64,
+    /// Supervised-ingest accounting for this platform.
+    stats: IngestStats,
+}
+
 /// One hosted testbed: its simulated platform, live NWS, epoch-published
-/// snapshots, and prediction cache.
+/// snapshots, prediction cache, and supervised-ingest state.
 struct PlatformState {
     platform: Platform,
     nws: NwsService,
-    published: EpochSwap<ForecastSnapshot>,
+    published: EpochSwap<PublishedSnapshot>,
     cache: EpochCache<PredictResponse>,
-    /// Simulated "now" in seconds. Held for the whole ingest tick, which
-    /// also serializes writers; the query path never touches it.
-    clock: Mutex<f64>,
+    ingest: Mutex<IngestState>,
+    /// Ingest ticks attempted so far (warmup included) — the query
+    /// path's clock for snapshot age.
+    ticks: AtomicU64,
+    /// Lock-free mirror of the breaker state for the query path:
+    /// 0 = Closed, 1 = Open, 2 = HalfOpen.
+    breaker_mirror: AtomicU8,
+    /// Lock-free Retry-After hint in whole seconds: the breaker's
+    /// remaining cooldown when open, else one publish interval.
+    retry_hint: AtomicU64,
 }
 
 impl PlatformState {
     fn new(id: u8, config: &ServiceConfig) -> Self {
-        let platform = match id {
+        let mut platform = match id {
             1 => Platform::platform1(config.seed, config.horizon),
             _ => Platform::platform2(config.seed, config.horizon),
         };
-        let nws = NwsService::attach(&platform, NwsConfig::default());
+        let nws = match &config.fault {
+            None => NwsService::attach(&platform, NwsConfig::default()),
+            Some(fault) => {
+                let plan = FaultPlan::new(fault.clone());
+                plan.apply_storms(&mut platform);
+                NwsService::attach_with_faults(&platform, NwsConfig::default(), plan)
+            }
+        };
+        let res = &config.resilience;
         Self {
             platform,
             nws,
             published: EpochSwap::new(),
             cache: EpochCache::new(config.cache),
-            clock: Mutex::new(0.0),
+            ingest: Mutex::new(IngestState {
+                clock: 0.0,
+                breaker: CircuitBreaker::new(
+                    res.breaker_threshold.max(1),
+                    res.breaker_cooldown_secs,
+                ),
+                last_publish_tick: 0,
+                stats: IngestStats::default(),
+            }),
+            ticks: AtomicU64::new(0),
+            breaker_mirror: AtomicU8::new(0),
+            retry_hint: AtomicU64::new(config.publish_interval.ceil().max(1.0) as u64),
         }
     }
 
-    /// Advances sensors by `dt` (clamped to `horizon`) and publishes the
-    /// next snapshot. Returns the new epoch.
-    fn tick(&self, dt: f64, horizon: f64) -> u64 {
-        let mut clock = self.clock.lock().unwrap_or_else(PoisonError::into_inner);
-        *clock = (*clock + dt).min(horizon);
-        self.nws.advance_to(&self.platform, *clock);
+    /// One supervised ingest tick: advance the sensors by `dt` (clamped
+    /// to the horizon), publish a snapshot if any sensor delivered fresh
+    /// data, retry with deterministic backoff otherwise, and keep the
+    /// breaker/watchdog honest. Without a configured fault the legacy
+    /// infallible path runs — bit-identical to the pre-resilience
+    /// service.
+    fn try_tick(&self, dt: f64, config: &ServiceConfig) -> IngestOutcome {
+        let mut ing = self.ingest.lock().unwrap_or_else(PoisonError::into_inner);
+        let tick_no = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        ing.stats.attempts += 1;
+        let outcome = if config.fault.is_none() {
+            ing.clock = (ing.clock + dt).min(config.horizon);
+            self.nws.advance_to(&self.platform, ing.clock);
+            let epoch = self.publish(&mut ing, tick_no);
+            ing.stats.publishes += 1;
+            IngestOutcome::Published {
+                epoch,
+                partial: false,
+                retries: 0,
+            }
+        } else {
+            self.supervised_tick(&mut ing, tick_no, dt, config)
+        };
+        // Refresh the query path's lock-free mirrors.
+        let state = ing.breaker.state();
+        self.breaker_mirror.store(
+            match state {
+                BreakerState::Closed => 0,
+                BreakerState::Open => 1,
+                BreakerState::HalfOpen => 2,
+            },
+            Ordering::Relaxed,
+        );
+        let hint = if state == BreakerState::Open {
+            (ing.breaker.open_until() - ing.clock).max(0.0).ceil() as u64
+        } else {
+            0
+        };
+        self.retry_hint.store(
+            hint.max(config.publish_interval.ceil().max(1.0) as u64),
+            Ordering::Relaxed,
+        );
+        outcome
+    }
+
+    /// Freezes and publishes the next snapshot; bumps the cache epoch.
+    fn publish(&self, ing: &mut IngestState, tick_no: u64) -> u64 {
         let snapshot = self.nws.snapshot(self.published.epoch() + 1);
-        let epoch = self.published.publish(snapshot);
+        let epoch = self.published.publish(PublishedSnapshot {
+            tick: tick_no,
+            snapshot,
+        });
         self.cache.bump_to(epoch);
+        ing.last_publish_tick = tick_no;
         epoch
+    }
+
+    /// The fault-exposed tick: breaker gate, then a freshness-checked
+    /// poll with bounded, clock-advancing retries.
+    fn supervised_tick(
+        &self,
+        ing: &mut IngestState,
+        tick_no: u64,
+        dt: f64,
+        config: &ServiceConfig,
+    ) -> IngestOutcome {
+        let res = &config.resilience;
+        if !ing.breaker.allows(ing.clock) {
+            // Open and cooling down: skip the poll entirely, but let the
+            // simulated deadline pass so the cooldown can elapse.
+            ing.clock = (ing.clock + dt).min(config.horizon);
+            ing.stats.breaker_short_circuits += 1;
+            return IngestOutcome::ShortCircuited;
+        }
+        let total_sensors = self.platform.machines.len() + 1;
+        let mut attempt: u32 = 0;
+        let mut advance = dt;
+        loop {
+            let prev = ing.clock;
+            ing.clock = (prev + advance).min(config.horizon);
+            self.nws.advance_to(&self.platform, ing.clock);
+            let fresh = self.fresh_sensors(prev);
+            if fresh > 0 {
+                let epoch = self.publish(ing, tick_no);
+                ing.breaker.record_success();
+                ing.stats.publishes += 1;
+                let partial = fresh < total_sensors;
+                if partial {
+                    ing.stats.partial_publishes += 1;
+                }
+                if attempt > 0 {
+                    ing.stats.recovered += 1;
+                }
+                return IngestOutcome::Published {
+                    epoch,
+                    partial,
+                    retries: attempt,
+                };
+            }
+            if attempt >= res.retry.max_retries {
+                break;
+            }
+            // Backoff advances the *simulated* clock: the retry polls
+            // further into the future, which is how a blackout is ridden
+            // through inside one tick.
+            advance = res.retry.backoff_secs(attempt);
+            ing.stats.retries += 1;
+            ing.stats.backoff_secs += advance;
+            attempt += 1;
+        }
+        ing.stats.failures += 1;
+        if ing.breaker.record_failure(ing.clock) {
+            ing.stats.breaker_trips += 1;
+        } else if ing.breaker.state() == BreakerState::Closed
+            && res.watchdog_ticks != u64::MAX
+            && tick_no - ing.last_publish_tick >= res.watchdog_ticks
+        {
+            // Wedged epoch: failures keep landing below the streak
+            // threshold (or the streak resets on partial recoveries) yet
+            // nothing has published for `watchdog_ticks` — force the
+            // breaker open.
+            ing.breaker.trip(ing.clock);
+            ing.stats.breaker_trips += 1;
+            ing.stats.watchdog_trips += 1;
+        }
+        IngestOutcome::Failed {
+            attempts: attempt + 1,
+        }
+    }
+
+    /// How many sensors hold a measurement recorded strictly after
+    /// `prev` (i.e. delivered by the advance that just ran).
+    fn fresh_sensors(&self, prev: f64) -> usize {
+        let mut fresh = 0;
+        for i in 0..self.nws.n_machines() {
+            if matches!(self.nws.cpu_last(i), Some((t, _)) if t > prev) {
+                fresh += 1;
+            }
+        }
+        if matches!(self.nws.bandwidth_last(), Some((t, _)) if t > prev) {
+            fresh += 1;
+        }
+        fresh
+    }
+
+    /// Snapshot age in ticks plus whether the breaker is non-closed —
+    /// the two inputs of [`ServingState::derive`] — for the snapshot
+    /// published at `published_tick`. Lock-free.
+    fn age_and_breaker(&self, published_tick: u64) -> (u64, bool) {
+        let age = self
+            .ticks
+            .load(Ordering::Relaxed)
+            .saturating_sub(published_tick);
+        let open = self.breaker_mirror.load(Ordering::Relaxed) != 0;
+        (age, open)
     }
 }
 
@@ -212,27 +474,34 @@ impl PlatformState {
 pub struct ServiceCore {
     config: ServiceConfig,
     platforms: [PlatformState; 2],
+    admission: Admission,
     queries: AtomicU64,
     rejected: AtomicU64,
+    unavailable: AtomicU64,
+    degraded_served: AtomicU64,
 }
 
 impl ServiceCore {
     /// Builds the service and warms it up: sensors advanced to
-    /// `config.warmup`, epoch 1 published for both platforms, cache
-    /// empty. Deterministic in `config`.
+    /// `config.warmup`, epoch 1 published for both platforms (fault
+    /// schedules permitting), cache empty. Deterministic in `config`.
     pub fn new(config: ServiceConfig) -> Self {
         let platforms = [
             PlatformState::new(1, &config),
             PlatformState::new(2, &config),
         ];
+        let admission = Admission::new(config.resilience.admission);
         let core = Self {
             config,
             platforms,
+            admission,
             queries: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            unavailable: AtomicU64::new(0),
+            degraded_served: AtomicU64::new(0),
         };
         for p in &core.platforms {
-            p.tick(core.config.warmup, core.config.horizon);
+            p.try_tick(core.config.warmup, &core.config);
         }
         core
     }
@@ -245,13 +514,39 @@ impl ServiceCore {
     /// One ingest step: advances both platforms' sensors by
     /// `publish_interval` simulated seconds, publishes fresh snapshots,
     /// and invalidates both caches. Concurrent callers serialize; the
-    /// query path is never blocked. Returns the new shared epoch.
+    /// query path is never blocked. Returns the latest shared epoch
+    /// (unchanged for a platform whose tick failed — the previous
+    /// snapshot stays published and ages instead).
     pub fn ingest_tick(&self) -> u64 {
-        let mut epoch = 0;
-        for p in &self.platforms {
-            epoch = p.tick(self.config.publish_interval, self.config.horizon);
-        }
-        epoch
+        self.ingest_tick_report();
+        self.epoch()
+    }
+
+    /// Like [`ServiceCore::ingest_tick`], reporting what each platform's
+    /// tick did (index 0 = platform 1). The admission miss budget
+    /// refills on every tick, publishing or not — the deadline passes
+    /// regardless.
+    pub fn ingest_tick_report(&self) -> [IngestOutcome; 2] {
+        self.admission.refill();
+        let a = self.platforms[0].try_tick(self.config.publish_interval, &self.config);
+        let b = self.platforms[1].try_tick(self.config.publish_interval, &self.config);
+        [a, b]
+    }
+
+    /// The serving state platform `id` would answer under right now.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownPlatform`] for platforms other than 1/2.
+    pub fn serving(&self, id: u8) -> Result<ServingState, ServiceError> {
+        let state = self.platform_state(id)?;
+        Ok(match state.published.load() {
+            None => ServingState::Unavailable,
+            Some((_, published)) => {
+                let (age, open) = state.age_and_breaker(published.tick);
+                ServingState::derive(age, open, &self.config.resilience)
+            }
+        })
     }
 
     fn platform_state(&self, id: u8) -> Result<&PlatformState, ServiceError> {
@@ -318,14 +613,21 @@ impl ServiceCore {
     ///
     /// [`ServiceError::BadRequest`] on out-of-range parameters,
     /// [`ServiceError::UnknownPlatform`] for platforms other than 1/2,
-    /// [`ServiceError::NotReady`] before the first publish, and
+    /// [`ServiceError::NotReady`] before the first publish,
+    /// [`ServiceError::Unavailable`] when the snapshot has aged out of
+    /// the serving bands (503 + Retry-After),
+    /// [`ServiceError::Overloaded`] when admission control sheds a
+    /// cache miss (429 + Retry-After), and
     /// [`ServiceError::Predictor`] when the model rejects the inputs
     /// (e.g. a dry sensor under fault injection).
     pub fn query(&self, req: &PredictRequest) -> Result<PredictResponse, ServiceError> {
         let outcome = self.query_inner(req);
-        match outcome {
-            Ok(_) => {
+        match &outcome {
+            Ok(r) => {
                 self.queries.fetch_add(1, Ordering::Relaxed);
+                if r.degraded {
+                    self.degraded_served.fetch_add(1, Ordering::Relaxed);
+                }
             }
             Err(_) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -337,9 +639,19 @@ impl ServiceCore {
     fn query_inner(&self, req: &PredictRequest) -> Result<PredictResponse, ServiceError> {
         let state = self.platform_state(req.platform)?;
         Self::validate(req)?;
-        let (epoch, snapshot) = state.published.load().ok_or(ServiceError::NotReady {
+        let (epoch, published) = state.published.load().ok_or(ServiceError::NotReady {
             platform: req.platform,
         })?;
+        let (age, breaker_open) = state.age_and_breaker(published.tick);
+        let serving = ServingState::derive(age, breaker_open, &self.config.resilience);
+        if serving == ServingState::Unavailable {
+            self.unavailable.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Unavailable {
+                platform: req.platform,
+                age_ticks: age,
+                retry_after_secs: state.retry_hint.load(Ordering::Relaxed),
+            });
+        }
         let key = QueryKey::new(
             req.platform,
             req.n,
@@ -347,14 +659,41 @@ impl ServiceCore {
             &req.config,
             req.fault_intensity,
         );
+        // Cache hits are admitted unconditionally: they cost no model
+        // work, so shedding them would only lose availability.
         if let Some(cached) = state.cache.get(epoch, &key) {
             let mut response = (*cached).clone();
             response.cache_hit = true;
-            return Ok(response);
+            return Ok(self.finalize(response, serving, age));
         }
-        let response = Self::answer(&state.platform, &snapshot, req, epoch)?;
+        let _permit = self
+            .admission
+            .try_admit_miss()
+            .ok_or_else(|| ServiceError::Overloaded {
+                retry_after_secs: self.config.publish_interval.ceil().max(1.0) as u64,
+            })?;
+        let response = Self::answer(&state.platform, &published.snapshot, req, epoch)?;
         let stored = state.cache.insert(epoch, key, response);
-        Ok((*stored).clone())
+        Ok(self.finalize((*stored).clone(), serving, age))
+    }
+
+    /// Stamps a base (healthy-bits) response with the serving state it
+    /// is leaving under: degradation flags, snapshot age, and the
+    /// age-driven `sqrt(1 + extra)` interval widening. Inside the
+    /// healthy age band the numeric fields pass through untouched, so a
+    /// healthy answer is bit-identical to the pre-resilience service.
+    fn finalize(&self, mut r: PredictResponse, serving: ServingState, age: u64) -> PredictResponse {
+        r.serving = serving;
+        r.degraded = serving != ServingState::Healthy;
+        r.snapshot_age_ticks = age;
+        let factor = widening_factor(age, self.config.resilience.healthy_age_ticks);
+        // tidy:allow(PP004): bit-exact by contract — widening_factor returns exactly 1.0 in the healthy band, keeping healthy answers bit-identical
+        if factor != 1.0 {
+            let half = 0.5 * (r.hi - r.lo) * factor;
+            r.lo = r.mean - half;
+            r.hi = r.mean + half;
+        }
+        r
     }
 
     fn predict(
@@ -402,22 +741,40 @@ impl ServiceCore {
             hi: stochastic.hi(),
             point,
             fault_intensity: req.fault_intensity,
+            // Placeholders: `finalize` stamps the real serving state and
+            // age-driven widening at answer time, so the cached base
+            // entry stays state-free.
+            serving: ServingState::Healthy,
+            degraded: false,
+            snapshot_age_ticks: 0,
         })
     }
 
-    /// Answers the same query with the cache bypassed — the reference
-    /// path tests pin the cached path against, bit for bit.
+    /// Answers the same query with the cache (and admission control)
+    /// bypassed — the reference path tests pin the cached path against,
+    /// bit for bit, including under degraded serving states.
     ///
     /// # Errors
     ///
-    /// Same as [`ServiceCore::query`].
+    /// Same as [`ServiceCore::query`], minus
+    /// [`ServiceError::Overloaded`].
     pub fn query_uncached(&self, req: &PredictRequest) -> Result<PredictResponse, ServiceError> {
         let state = self.platform_state(req.platform)?;
         Self::validate(req)?;
-        let (epoch, snapshot) = state.published.load().ok_or(ServiceError::NotReady {
+        let (epoch, published) = state.published.load().ok_or(ServiceError::NotReady {
             platform: req.platform,
         })?;
-        Self::answer(&state.platform, &snapshot, req, epoch)
+        let (age, breaker_open) = state.age_and_breaker(published.tick);
+        let serving = ServingState::derive(age, breaker_open, &self.config.resilience);
+        if serving == ServingState::Unavailable {
+            return Err(ServiceError::Unavailable {
+                platform: req.platform,
+                age_ticks: age,
+                retry_after_secs: state.retry_hint.load(Ordering::Relaxed),
+            });
+        }
+        let response = Self::answer(&state.platform, &published.snapshot, req, epoch)?;
+        Ok(self.finalize(response, serving, age))
     }
 
     /// The latest published epoch across both platforms. They publish in
@@ -435,6 +792,7 @@ impl ServiceCore {
     /// Point-in-time service counters.
     pub fn stats(&self) -> ServiceStats {
         let mut cache = CacheStats::default();
+        let mut ingest = IngestStats::default();
         for p in &self.platforms {
             let s = p.cache.stats();
             cache.hits += s.hits;
@@ -442,11 +800,19 @@ impl ServiceCore {
             cache.invalidated += s.invalidated;
             cache.evicted += s.evicted;
             cache.entries += s.entries;
+            let ing = p.ingest.lock().unwrap_or_else(PoisonError::into_inner);
+            ingest.merge(&ing.stats);
         }
         ServiceStats {
             epochs_published: self.epoch(),
             queries: self.queries.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            unavailable: self.unavailable.load(Ordering::Relaxed),
+            shed: self.admission.shed(),
+            degraded_served: self.degraded_served.load(Ordering::Relaxed),
+            serving_platform1: self.serving(1).unwrap_or(ServingState::Unavailable),
+            serving_platform2: self.serving(2).unwrap_or(ServingState::Unavailable),
+            ingest,
             cache,
         }
     }
@@ -703,5 +1069,195 @@ mod tests {
             let resp = core.query(&r).unwrap();
             assert!(resp.mean > 0.0, "{source:?} produced no prediction");
         }
+    }
+
+    #[test]
+    fn healthy_answers_carry_healthy_serving_state() {
+        let core = small_core();
+        let r = core.query(&req(1, 600)).unwrap();
+        assert_eq!(r.serving, ServingState::Healthy);
+        assert!(!r.degraded);
+        assert_eq!(r.snapshot_age_ticks, 0);
+        assert_eq!(core.serving(1).unwrap(), ServingState::Healthy);
+        assert!(matches!(
+            core.serving(9),
+            Err(ServiceError::UnknownPlatform(9))
+        ));
+    }
+
+    /// A 120 s sensor blackout opening right as the first post-warmup
+    /// tick polls: `(warmup + publish_interval, …)`.
+    fn blackout_config(resilience: ResilienceConfig) -> ServiceConfig {
+        let mut fault = FaultConfig::none(7);
+        fault.blackouts.push((305.0, 425.0));
+        ServiceConfig {
+            seed: 7,
+            horizon: 4000.0,
+            warmup: 300.0,
+            publish_interval: 5.0,
+            fault: Some(fault),
+            resilience,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn supervised_ingest_rides_through_a_blackout() {
+        let core = ServiceCore::new(blackout_config(ResilienceConfig::default()));
+        assert_eq!(core.epoch(), 1, "warmup published");
+        // The default retry budget backs the clock across the whole
+        // 120 s window inside the first tick: every tick publishes.
+        for tick in 0..10 {
+            let report = core.ingest_tick_report();
+            assert!(
+                report.iter().all(IngestOutcome::published),
+                "tick {tick}: {report:?}"
+            );
+        }
+        assert_eq!(core.epoch(), 11);
+        let stats = core.stats().ingest;
+        assert!(stats.retries > 0, "{stats:?}");
+        assert_eq!(stats.recovered, 2, "one recovery per platform");
+        assert_eq!(stats.failures, 0);
+        assert_eq!(core.serving(1).unwrap(), ServingState::Healthy);
+        let r = core.query(&req(1, 600)).unwrap();
+        assert!(!r.degraded);
+    }
+
+    /// Failing-but-serving setup: no retries, breaker and watchdog held
+    /// off, so ticks inside the blackout fail and the snapshot just ages.
+    fn aging_resilience() -> ResilienceConfig {
+        ResilienceConfig {
+            retry: prodpred_core::supervisor::RetryPolicy::none(),
+            breaker_threshold: u32::MAX,
+            watchdog_ticks: u64::MAX,
+            ..ResilienceConfig::default()
+        }
+    }
+
+    #[test]
+    fn aging_snapshot_degrades_widens_and_stays_bit_consistent() {
+        let core = ServiceCore::new(blackout_config(aging_resilience()));
+        let healthy = core.query(&req(1, 800)).unwrap();
+        for _ in 0..3 {
+            let report = core.ingest_tick_report();
+            assert!(report.iter().all(|o| !o.published()), "{report:?}");
+        }
+        assert_eq!(core.serving(1).unwrap(), ServingState::Degraded);
+        // The pre-blackout cache entry is served, degraded and widened.
+        let degraded = core.query(&req(1, 800)).unwrap();
+        assert!(degraded.cache_hit, "entry survives failed ticks");
+        assert!(degraded.degraded);
+        assert_eq!(degraded.serving, ServingState::Degraded);
+        assert_eq!(degraded.snapshot_age_ticks, 3);
+        assert_eq!(degraded.epoch, healthy.epoch, "no publish happened");
+        assert_eq!(degraded.mean.to_bits(), healthy.mean.to_bits());
+        let widen = 3.0f64.sqrt(); // sqrt(1 + (3 - healthy_age 1))
+        let expect_half = 0.5 * (healthy.hi - healthy.lo) * widen;
+        assert_eq!(
+            degraded.lo.to_bits(),
+            (degraded.mean - expect_half).to_bits()
+        );
+        assert_eq!(
+            degraded.hi.to_bits(),
+            (degraded.mean + expect_half).to_bits()
+        );
+        // The uncached reference path agrees bit for bit while degraded.
+        let uncached = core.query_uncached(&req(1, 800)).unwrap();
+        assert_eq!(uncached.lo.to_bits(), degraded.lo.to_bits());
+        assert_eq!(uncached.hi.to_bits(), degraded.hi.to_bits());
+        assert_eq!(uncached.mean.to_bits(), degraded.mean.to_bits());
+        assert!(uncached.degraded);
+        // Only the counted query path bumps the counter (the uncached
+        // reference path leaves the serving counters untouched).
+        assert_eq!(core.stats().degraded_served, 1);
+    }
+
+    #[test]
+    fn unsupervised_core_goes_unavailable_inside_the_blackout() {
+        let core = ServiceCore::new(blackout_config(ResilienceConfig::unsupervised()));
+        core.ingest_tick(); // age 1: still within the fresh band
+        assert!(core.query(&req(1, 600)).is_ok());
+        core.ingest_tick(); // age 2: past the fresh-only policy
+        assert_eq!(core.serving(1).unwrap(), ServingState::Unavailable);
+        let err = core.query(&req(1, 600)).unwrap_err();
+        match err {
+            ServiceError::Unavailable {
+                platform,
+                age_ticks,
+                retry_after_secs,
+            } => {
+                assert_eq!(platform, 1);
+                assert_eq!(age_ticks, 2);
+                assert!(retry_after_secs >= 1);
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        let stats = core.stats();
+        assert_eq!(stats.unavailable, 1);
+        assert_eq!(stats.serving_platform1, ServingState::Unavailable);
+        assert_eq!(stats.serving_platform2, ServingState::Unavailable);
+        assert!(matches!(
+            core.query_uncached(&req(1, 600)),
+            Err(ServiceError::Unavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn watchdog_trips_the_breaker_on_a_wedged_epoch() {
+        let res = ResilienceConfig {
+            retry: prodpred_core::supervisor::RetryPolicy::none(),
+            breaker_threshold: u32::MAX, // the streak alone never trips
+            watchdog_ticks: 3,
+            ..ResilienceConfig::default()
+        };
+        let core = ServiceCore::new(blackout_config(res));
+        for _ in 0..3 {
+            core.ingest_tick();
+        }
+        let stats = core.stats().ingest;
+        assert_eq!(stats.watchdog_trips, 2, "one per platform: {stats:?}");
+        assert_eq!(stats.breaker_trips, 2);
+        // With the breaker open, the next ticks short-circuit (no poll).
+        let report = core.ingest_tick_report();
+        assert_eq!(report, [IngestOutcome::ShortCircuited; 2]);
+        assert!(core.stats().ingest.breaker_short_circuits >= 2);
+        // An open breaker escalates the serving state one level.
+        assert_eq!(core.serving(1).unwrap(), ServingState::Stale);
+    }
+
+    #[test]
+    fn admission_sheds_misses_but_never_hits() {
+        let config = ServiceConfig {
+            seed: 7,
+            horizon: 2000.0,
+            warmup: 300.0,
+            resilience: ResilienceConfig {
+                admission: crate::resilience::AdmissionConfig {
+                    max_inflight_misses: u64::MAX,
+                    miss_tokens_per_tick: 1,
+                },
+                ..ResilienceConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let core = ServiceCore::new(config);
+        assert!(core.query(&req(1, 600)).is_ok(), "first miss admitted");
+        let err = core.query(&req(1, 800)).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::Overloaded { retry_after_secs } if retry_after_secs >= 1),
+            "{err:?}"
+        );
+        // The hit path is never shed, even with the budget exhausted.
+        let hit = core.query(&req(1, 600)).unwrap();
+        assert!(hit.cache_hit);
+        // Uncached reference path bypasses admission entirely.
+        assert!(core.query_uncached(&req(1, 800)).is_ok());
+        let stats = core.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.rejected, 1);
+        // The next tick refills the budget.
+        core.ingest_tick();
+        assert!(core.query(&req(1, 800)).is_ok());
     }
 }

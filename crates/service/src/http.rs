@@ -14,10 +14,13 @@ use prodpred_stochastic::MaxStrategy;
 /// A rendered-to-be HTTP response: status line plus JSON body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpResponse {
-    /// HTTP status code (200, 400, 404, 503).
+    /// HTTP status code (200, 400, 404, 429, 503).
     pub status: u16,
     /// Reason phrase matching `status`.
     pub reason: &'static str,
+    /// Retry-After header value in seconds, when the error is
+    /// transient (503 Unavailable, 429 Overloaded).
+    pub retry_after: Option<u64>,
     /// JSON body.
     pub body: String,
 }
@@ -27,6 +30,7 @@ impl HttpResponse {
         Self {
             status: 200,
             reason: "OK",
+            retry_after: None,
             body,
         }
     }
@@ -35,17 +39,35 @@ impl HttpResponse {
         Self {
             status,
             reason,
+            retry_after: None,
             body: format!("{{\"error\":{}}}", json_string(message)),
+        }
+    }
+
+    fn error_with_retry(
+        status: u16,
+        reason: &'static str,
+        message: &str,
+        retry_after_secs: u64,
+    ) -> Self {
+        Self {
+            retry_after: Some(retry_after_secs),
+            ..Self::error(status, reason, message)
         }
     }
 
     /// Renders the full HTTP/1.1 wire form (headers + body).
     pub fn render(&self) -> String {
+        let retry_after = match self.retry_after {
+            None => String::new(),
+            Some(secs) => format!("Retry-After: {secs}\r\n"),
+        };
         format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
             self.status,
             self.reason,
             self.body.len(),
+            retry_after,
             self.body
         )
     }
@@ -185,6 +207,25 @@ fn error_response(e: &ServiceError) -> HttpResponse {
         ServiceError::NotReady { .. } => {
             HttpResponse::error(503, "Service Unavailable", &e.to_string())
         }
+        // The degraded-mode state machine refused the query: the
+        // snapshot is too old to answer from. Transient by definition —
+        // advertise when the breaker cooldown (or next publish) is due.
+        ServiceError::Unavailable {
+            retry_after_secs, ..
+        } => HttpResponse::error_with_retry(
+            503,
+            "Service Unavailable",
+            &e.to_string(),
+            *retry_after_secs,
+        ),
+        // Admission control shed a cache miss under overload; the miss
+        // budget refills at the next ingest tick.
+        ServiceError::Overloaded { retry_after_secs } => HttpResponse::error_with_retry(
+            429,
+            "Too Many Requests",
+            &e.to_string(),
+            *retry_after_secs,
+        ),
         // A dry sensor is transient (more polls may fill it); structural
         // rejections are the client's fault.
         ServiceError::Predictor(PredictorError::NoData { .. }) => {
@@ -394,6 +435,132 @@ mod tests {
         assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(wire.contains("Content-Length: 7\r\n"));
         assert!(wire.ends_with("\r\n\r\n{\"a\":1}"));
+    }
+
+    #[test]
+    fn render_carries_retry_after_when_set() {
+        let r = HttpResponse::error_with_retry(503, "Service Unavailable", "stale", 42);
+        let wire = r.render();
+        assert!(wire.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(wire.contains("\r\nRetry-After: 42\r\n"), "{wire}");
+        // And the header is absent when no hint applies.
+        assert!(!HttpResponse::ok("{}".into())
+            .render()
+            .contains("Retry-After"));
+    }
+
+    /// A core whose ingest fails every post-warmup tick (permanent
+    /// blackout) under a fresh-only serving policy — two ticks in, every
+    /// query must map to 503 + Retry-After.
+    fn blacked_out_core(resilience: crate::resilience::ResilienceConfig) -> ServiceCore {
+        let mut fault = prodpred_simgrid::faults::FaultConfig::none(7);
+        fault.blackouts.push((300.0, f64::MAX));
+        ServiceCore::new(ServiceConfig {
+            seed: 7,
+            horizon: 1e7,
+            warmup: 300.0,
+            fault: Some(fault),
+            resilience,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn unavailable_maps_to_503_with_retry_after() {
+        let core = blacked_out_core(crate::resilience::ResilienceConfig::unsupervised());
+        core.ingest_tick();
+        core.ingest_tick();
+        let r = handle(&core, "/predict?platform=1&n=600&procs=2");
+        assert_eq!(r.status, 503, "{}", r.body);
+        assert!(r.retry_after.is_some_and(|s| s >= 1), "{r:?}");
+        assert!(r.body.contains("unavailable"), "{}", r.body);
+    }
+
+    #[test]
+    fn degraded_predict_is_marked_on_the_wire() {
+        // Failing ingest, but thresholds wide enough to keep serving.
+        let core = blacked_out_core(crate::resilience::ResilienceConfig {
+            retry: prodpred_core::supervisor::RetryPolicy::none(),
+            breaker_threshold: u32::MAX,
+            watchdog_ticks: u64::MAX,
+            ..crate::resilience::ResilienceConfig::default()
+        });
+        core.ingest_tick();
+        core.ingest_tick();
+        let r = handle(&core, "/predict?platform=1&n=600&procs=2");
+        assert_eq!(r.status, 200, "{}", r.body);
+        let parsed: crate::core::PredictResponse = serde_json::from_str(&r.body).unwrap();
+        assert!(parsed.degraded);
+        assert_eq!(parsed.serving, crate::resilience::ServingState::Degraded);
+        assert_eq!(parsed.snapshot_age_ticks, 2);
+    }
+
+    #[test]
+    fn overloaded_maps_to_429_with_retry_after() {
+        let core = ServiceCore::new(ServiceConfig {
+            seed: 7,
+            horizon: 2000.0,
+            warmup: 300.0,
+            resilience: crate::resilience::ResilienceConfig {
+                admission: crate::resilience::AdmissionConfig {
+                    max_inflight_misses: u64::MAX,
+                    miss_tokens_per_tick: 1,
+                },
+                ..crate::resilience::ResilienceConfig::default()
+            },
+            ..ServiceConfig::default()
+        });
+        assert_eq!(
+            handle(&core, "/predict?platform=1&n=600&procs=2").status,
+            200
+        );
+        let shed = handle(&core, "/predict?platform=1&n=800&procs=2");
+        assert_eq!(shed.status, 429, "{}", shed.body);
+        assert!(shed.retry_after.is_some_and(|s| s >= 1));
+        // The hit is still admitted with the budget exhausted.
+        assert_eq!(
+            handle(&core, "/predict?platform=1&n=600&procs=2").status,
+            200
+        );
+    }
+
+    #[test]
+    fn metrics_expose_resilience_counters_end_to_end() {
+        let core = blacked_out_core(crate::resilience::ResilienceConfig {
+            retry: prodpred_core::supervisor::RetryPolicy::none(),
+            breaker_threshold: u32::MAX,
+            watchdog_ticks: u64::MAX,
+            ..crate::resilience::ResilienceConfig::default()
+        });
+        core.ingest_tick();
+        core.ingest_tick();
+        assert_eq!(
+            handle(&core, "/predict?platform=1&n=600&procs=2").status,
+            200
+        );
+        let r = handle(&core, "/metrics");
+        assert_eq!(r.status, 200);
+        let stats: crate::core::ServiceStats = serde_json::from_str(&r.body).unwrap();
+        assert_eq!(stats.ingest.failures, 4, "2 ticks x 2 platforms");
+        assert_eq!(stats.degraded_served, 1);
+        assert_eq!(
+            stats.serving_platform1,
+            crate::resilience::ServingState::Degraded
+        );
+        assert_eq!(
+            stats.serving_platform2,
+            crate::resilience::ServingState::Degraded
+        );
+        // The raw JSON names the counters for scrape-side consumers.
+        for key in [
+            "\"shed\"",
+            "\"degraded_served\"",
+            "\"ingest\"",
+            "\"serving_platform1\"",
+            "\"unavailable\"",
+        ] {
+            assert!(r.body.contains(key), "missing {key} in {}", r.body);
+        }
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   rendering;
 //! * [`replay`] — the seeded request stream shared by the latency bench,
 //!   the CI smoke test, and the tier-1 tests;
+//! * [`resilience`] — the degraded-mode serving state machine
+//!   (Healthy → Degraded → Stale → Unavailable), deterministic admission
+//!   control, supervised-ingest accounting, and the availability
+//!   predictor the chaos bench gates against;
 //! * [`shell`] — the thin `std::net` veneer (the only socket code in the
 //!   workspace, fenced by tidy lint PP008).
 
@@ -29,6 +33,7 @@ pub mod cache;
 pub mod core;
 pub mod http;
 pub mod replay;
+pub mod resilience;
 pub mod shell;
 pub mod swap;
 
@@ -39,5 +44,9 @@ pub use core::{
 };
 pub use http::{handle, HttpResponse};
 pub use replay::{percentile_us, request_for, request_path, ReplayReport};
+pub use resilience::{
+    predict_availability, AdmissionConfig, AvailabilityPrediction, ChaosArm, ChaosReport,
+    IngestOutcome, IngestStats, ResilienceConfig, ServingState,
+};
 pub use shell::{serve, ShellConfig, ShellHandle};
 pub use swap::EpochSwap;

@@ -112,6 +112,106 @@ fn replay_report_round_trip() {
 }
 
 #[test]
+fn serving_state_round_trip() {
+    use prodpred_service::ServingState;
+    for state in [
+        ServingState::Healthy,
+        ServingState::Degraded,
+        ServingState::Stale,
+        ServingState::Unavailable,
+    ] {
+        let json = serde_json::to_string(&state).unwrap();
+        let back: ServingState = serde_json::from_str(&json).unwrap();
+        assert_eq!(state, back);
+    }
+    // Severity ordering survives independent round-trips.
+    let lo: ServingState = serde_json::from_str("\"Healthy\"").unwrap();
+    let hi: ServingState = serde_json::from_str("\"Unavailable\"").unwrap();
+    assert!(lo < hi);
+}
+
+#[test]
+fn degraded_predict_response_round_trip() {
+    use prodpred_core::supervisor::RetryPolicy;
+    use prodpred_service::{
+        PredictResponse, ResilienceConfig, ServiceConfig, ServiceCore, ServingState,
+    };
+    use prodpred_simgrid::faults::FaultConfig;
+    // Sensors black out right after warmup; with retries/escalation off
+    // the snapshot just ages, so the answer leaves marked degraded with
+    // a widened interval — all of which must survive the wire.
+    let mut fault = FaultConfig::none(11);
+    fault.blackouts.push((300.0, f64::MAX));
+    let core = ServiceCore::new(ServiceConfig {
+        seed: 11,
+        horizon: 1.0e7,
+        warmup: 300.0,
+        fault: Some(fault),
+        resilience: ResilienceConfig {
+            retry: RetryPolicy::none(),
+            breaker_threshold: u32::MAX,
+            watchdog_ticks: u64::MAX,
+            stale_age_ticks: u64::MAX,
+            ..ResilienceConfig::default()
+        },
+        ..ServiceConfig::default()
+    });
+    core.ingest_tick();
+    core.ingest_tick();
+    let response = core.query(&prodpred_service::request_for(11, 0)).unwrap();
+    assert!(response.degraded, "blackout run must degrade the answer");
+    assert_eq!(response.serving, ServingState::Degraded);
+    assert_eq!(response.snapshot_age_ticks, 2);
+    let json = serde_json::to_string(&response).unwrap();
+    let back: PredictResponse = serde_json::from_str(&json).unwrap();
+    assert_eq!(response, back);
+    assert_eq!(response.lo.to_bits(), back.lo.to_bits());
+    assert_eq!(response.hi.to_bits(), back.hi.to_bits());
+}
+
+#[test]
+fn chaos_report_round_trip() {
+    use prodpred_service::{ChaosArm, ChaosReport};
+    let arm = |shift: u64| ChaosArm {
+        requests: 20_000,
+        ok: 18_340 - shift,
+        degraded: 350 + shift,
+        shed: 1_560,
+        unavailable: 100 + shift,
+        availability: 0.995,
+        degraded_fraction: 0.019,
+        shed_rate: 0.078,
+        p99_us: 9,
+        epochs_published: 390,
+        ingest_failures: 8 + shift,
+        ingest_retries: 42,
+        breaker_trips: 2,
+        watchdog_trips: 2,
+    };
+    let report = ChaosReport {
+        seed: 42,
+        ticks: 400,
+        queries_per_tick: 50,
+        soundness_checked_configs: 192,
+        supervised: arm(0),
+        unsupervised: arm(6_000),
+        predicted_availability: 0.995,
+        availability_error: 0.0,
+    };
+    let json = serde_json::to_string(&report).unwrap();
+    let back: ChaosReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+    assert_eq!(
+        report.predicted_availability.to_bits(),
+        back.predicted_availability.to_bits()
+    );
+    // The committed artifact (pretty-printed) parses with the same type.
+    let pretty = serde_json::to_string_pretty(&report).unwrap();
+    let from_pretty: ChaosReport = serde_json::from_str(&pretty).unwrap();
+    assert_eq!(report, from_pretty);
+}
+
+#[test]
 fn fault_config_round_trip() {
     use prodpred_simgrid::faults::FaultConfig;
     for intensity in [0.0, 0.3, 1.0] {

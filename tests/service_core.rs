@@ -77,7 +77,7 @@ fn bounded_eviction_is_deterministic_across_runs() {
         ..small_config()
     };
     let run = || {
-        let core = ServiceCore::new(tiny);
+        let core = ServiceCore::new(tiny.clone());
         let mut responses = Vec::new();
         for i in 0..400 {
             responses.push(bits(&core.query(&request_for(SEED, i)).unwrap()));
@@ -389,4 +389,57 @@ fn snapshot_answers_match_live_service_at_capture_time() {
         );
         assert_eq!(live.point.to_bits(), frozen.point.to_bits());
     }
+}
+
+/// Integration cross-check of the chaos methodology: the availability
+/// DP and a real supervised core, run over the same fault schedule,
+/// must agree tick for tick on ingest outcomes. The schedule includes a
+/// long outage so the retry budget, watchdog, breaker cooldown, and
+/// half-open probe all participate.
+#[test]
+fn availability_prediction_matches_a_supervised_core_tick_for_tick() {
+    use prodpred_service::{predict_availability, ResilienceConfig, ServingState};
+    use prodpred_simgrid::faults::FaultConfig;
+
+    let warmup = 600.0;
+    let ticks = 60u64;
+    let mut fault = FaultConfig::none(SEED);
+    fault.blackouts.push((650.0, 3000.0));
+    let resilience = ResilienceConfig::default();
+
+    let predicted = predict_availability(&fault, &resilience, 5.0, 5.0, warmup, 20_000.0, ticks);
+
+    let core = ServiceCore::new(ServiceConfig {
+        seed: SEED,
+        horizon: 20_000.0,
+        warmup,
+        fault: Some(fault),
+        resilience,
+        ..ServiceConfig::default()
+    });
+    let mut unavailable_ticks = 0u64;
+    for _ in 0..ticks {
+        core.ingest_tick();
+        if core.serving(1).unwrap() == ServingState::Unavailable {
+            unavailable_ticks += 1;
+        }
+    }
+    let stats = core.stats();
+
+    // Ingest stats merge both platforms; the DP models one. The +1 on
+    // publishes is the warmup tick, which the DP accounts separately.
+    assert_eq!(stats.ingest.publishes, 2 * (predicted.published_ticks + 1));
+    assert_eq!(stats.ingest.failures, 2 * predicted.failed_ticks);
+    assert_eq!(
+        stats.ingest.breaker_short_circuits,
+        2 * predicted.short_circuited_ticks
+    );
+    assert_eq!(unavailable_ticks, predicted.unavailable_ticks);
+    // The outage is long enough that every stage fired at least once.
+    assert!(predicted.failed_ticks > 0, "{predicted:?}");
+    assert!(predicted.short_circuited_ticks > 0, "{predicted:?}");
+    assert!(stats.ingest.watchdog_trips > 0, "{stats:?}");
+    // And the measured per-tick availability equals the DP's.
+    let measured = 1.0 - unavailable_ticks as f64 / ticks as f64;
+    assert_eq!(measured.to_bits(), predicted.availability.to_bits());
 }
