@@ -1,5 +1,7 @@
 //! `modelcheck` — exhaustive exploration of the SOR ghost-exchange
-//! protocol (see `prodpred_analysis::model`).
+//! protocol (see `prodpred_analysis::model`), the checkpoint/resume
+//! recovery protocol (`prodpred_analysis::ckpt`), and the lock-free
+//! serving path (`prodpred_analysis::svc`).
 //!
 //! ```text
 //! modelcheck                         full suite at 2 ranks x 2 half-iterations
@@ -7,6 +9,9 @@
 //! modelcheck --kill R:H              one seeded kill variant only
 //! modelcheck --timeouts              healthy run with timeout transitions only
 //! modelcheck --ckpt                  checkpoint/resume recovery suite only
+//! modelcheck --svc                   serving-path (EpochSwap/EpochCache/Admission) suite
+//! modelcheck --svc --readers 3       bigger serving-path configuration
+//! modelcheck --expect-states N       fail unless the suite explored exactly N states
 //! ```
 //!
 //! The default suite runs, for the chosen configuration:
@@ -22,11 +27,22 @@
 //!    checkpointing, and budget exhaustion — proving rollback
 //!    convergence and that a consumed death never re-fires.
 //!
+//! The `--svc` suite explores the serving-path model at the chosen
+//! `--readers`/`--shards`/`--epochs` bounds (correct protocol, correct
+//! protocol under admission pressure, and a ring-lapping horizon), then
+//! runs the negative controls: model variants that drop the shard-lock
+//! epoch compare, the Release fence, the fetch_max, or the inflight
+//! rollback must each produce a violation, printed with its minimal
+//! (BFS) counterexample trace.
+//!
 //! Exit code 0 means every property held over the full state space; the
-//! explored-state counts are printed per configuration.
+//! explored-state counts are printed per configuration. `--expect-states`
+//! turns silent model drift into a CI failure: the state count of a
+//! deterministic exploration changes only when the model changes.
 
 use prodpred_analysis::ckpt::{check_ckpt, CkptConfig, CkptReport, MAX_KILLS};
 use prodpred_analysis::model::{check, ModelConfig, Report};
+use prodpred_analysis::svc::{self, SvcConfig, SvcReport, Variant};
 use prodpred_simgrid::faults::WorkerDeath;
 use std::process::ExitCode;
 
@@ -36,6 +52,11 @@ struct Options {
     kill: Option<WorkerDeath>,
     timeouts_only: bool,
     ckpt_only: bool,
+    svc_only: bool,
+    readers: usize,
+    shards: usize,
+    epochs: usize,
+    expect_states: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -45,6 +66,11 @@ fn parse_args() -> Result<Options, String> {
         kill: None,
         timeouts_only: false,
         ckpt_only: false,
+        svc_only: false,
+        readers: 2,
+        shards: 2,
+        epochs: 2,
+        expect_states: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,9 +97,36 @@ fn parse_args() -> Result<Options, String> {
             }
             "--timeouts" => opts.timeouts_only = true,
             "--ckpt" => opts.ckpt_only = true,
+            "--svc" => opts.svc_only = true,
+            "--readers" => {
+                opts.readers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--readers needs an integer")?;
+            }
+            "--shards" => {
+                opts.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--shards needs an integer")?;
+            }
+            "--epochs" => {
+                opts.epochs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--epochs needs an integer")?;
+            }
+            "--expect-states" => {
+                opts.expect_states = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--expect-states needs an integer")?,
+                );
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: modelcheck [--ranks N] [--halves M] [--kill R:H] [--timeouts] [--ckpt]"
+                    "usage: modelcheck [--ranks N] [--halves M] [--kill R:H] [--timeouts] [--ckpt] \
+                     [--svc] [--readers N] [--shards N] [--epochs N] [--expect-states N]"
                         .to_string(),
                 );
             }
@@ -94,12 +147,12 @@ fn describe(report: &Report) -> String {
         "{} ranks x {} half-iterations, {fault}, {mode}: {} states, {} transitions, {} terminals ({} all-done, {} observed-death), depth {}",
         c.ranks,
         c.halves,
-        report.states,
-        report.transitions,
-        report.terminals,
+        report.stats.states,
+        report.stats.transitions,
+        report.stats.terminals,
         report.all_done_terminals,
         report.lost_observed_terminals,
-        report.max_depth
+        report.stats.max_depth
     )
 }
 
@@ -110,7 +163,7 @@ fn run_one(config: ModelConfig, failures: &mut u32) -> Report {
     } else {
         *failures += 1;
         println!("FAIL  {}", describe(&report));
-        if let Some(v) = &report.violation {
+        if let Some(v) = &report.stats.violation {
             println!("      violation: {}", v.kind);
             for (i, step) in v.trace.iter().enumerate() {
                 println!("      {i:>3}. {step}");
@@ -139,14 +192,14 @@ fn describe_ckpt(report: &CkptReport) -> String {
         c.iterations,
         c.every,
         c.max_retries,
-        report.states,
-        report.transitions,
-        report.terminals,
+        report.stats.states,
+        report.stats.transitions,
+        report.stats.terminals,
         report.completed_terminals,
         report.abandoned_terminals,
         report.expected,
         report.expected_fired,
-        report.max_depth
+        report.stats.max_depth
     )
 }
 
@@ -157,7 +210,7 @@ fn run_one_ckpt(config: CkptConfig, failures: &mut u32) -> CkptReport {
     } else {
         *failures += 1;
         println!("FAIL  {}", describe_ckpt(&report));
-        if let Some(v) = &report.violation {
+        if let Some(v) = &report.stats.violation {
             println!("      violation: {}", v.kind);
             for (i, step) in v.trace.iter().enumerate() {
                 println!("      {i:>3}. {step}");
@@ -185,7 +238,7 @@ fn ckpt_suite(ranks: usize, iterations: usize, failures: &mut u32) -> u64 {
     };
     let mut total_states = 0u64;
     // Healthy segmented run.
-    total_states += run_one_ckpt(base, failures).states;
+    total_states += run_one_ckpt(base, failures).stats.states;
     // Every single-kill position: each must recover and converge.
     for rank in 0..ranks {
         for half in 0..2 * iterations {
@@ -194,7 +247,7 @@ fn ckpt_suite(ranks: usize, iterations: usize, failures: &mut u32) -> u64 {
                 rank,
                 at_half_iteration: half,
             });
-            total_states += run_one_ckpt(config, failures).states;
+            total_states += run_one_ckpt(config, failures).stats.states;
         }
     }
     // A kill consumed behind the checkpoint: fire late, schedule the
@@ -208,7 +261,7 @@ fn ckpt_suite(ranks: usize, iterations: usize, failures: &mut u32) -> u64 {
         rank: ranks - 1,
         at_half_iteration: 0,
     });
-    total_states += run_one_ckpt(consumed, failures).states;
+    total_states += run_one_ckpt(consumed, failures).stats.states;
     // Checkpointing disabled: recovery recomputes from iteration 0.
     let mut disabled = base;
     disabled.every = 0;
@@ -216,7 +269,7 @@ fn ckpt_suite(ranks: usize, iterations: usize, failures: &mut u32) -> u64 {
         rank: 0,
         at_half_iteration: 2 * iterations - 1,
     });
-    total_states += run_one_ckpt(disabled, failures).states;
+    total_states += run_one_ckpt(disabled, failures).stats.states;
     // Budget exhaustion: more firing kills than retries.
     let mut exhausted = base;
     exhausted.max_retries = 1;
@@ -228,8 +281,134 @@ fn ckpt_suite(ranks: usize, iterations: usize, failures: &mut u32) -> u64 {
         rank: ranks - 1,
         at_half_iteration: 2,
     });
-    total_states += run_one_ckpt(exhausted, failures).states;
+    total_states += run_one_ckpt(exhausted, failures).stats.states;
     total_states
+}
+
+fn describe_svc(report: &SvcReport) -> String {
+    let c = report.config;
+    let admission = if c.tokens == svc::UNBOUNDED && c.max_inflight == svc::UNBOUNDED {
+        "unbounded admission".to_string()
+    } else {
+        format!("{} token(s), inflight cap {}", c.tokens, c.max_inflight)
+    };
+    format!(
+        "svc {} readers x {} shards x {} epochs, {admission}: {} states, {} transitions, {} terminals, depth {}",
+        c.readers,
+        c.shards,
+        c.epochs,
+        report.stats.states,
+        report.stats.transitions,
+        report.stats.terminals,
+        report.stats.max_depth
+    )
+}
+
+fn run_one_svc(config: SvcConfig, failures: &mut u32) -> u64 {
+    let report = svc::check(config);
+    if report.holds() {
+        println!("ok    {}", describe_svc(&report));
+    } else {
+        *failures += 1;
+        println!("FAIL  {}", describe_svc(&report));
+        if let Some(v) = &report.stats.violation {
+            println!("      violation: {}", v.kind);
+            for (i, step) in v.trace.iter().enumerate() {
+                println!("      {i:>3}. {step}");
+            }
+        }
+    }
+    report.stats.states
+}
+
+/// A negative control: the seeded model bug must be *found* — the run
+/// succeeds only when the exploration reports a violation of one of the
+/// expected kinds, and the minimal (BFS) counterexample is printed so
+/// the trace stays human-checkable.
+fn run_negative(config: SvcConfig, expected: &[&str], failures: &mut u32) -> u64 {
+    let report = svc::check(config);
+    let states = report.stats.states;
+    match svc::minimal_counterexample(config) {
+        Some(v) if !report.holds() && expected.iter().any(|p| v.kind.starts_with(p)) => {
+            println!(
+                "ok    negative control {:?}: refuted by `{}` in {} step(s) ({} states)",
+                config.variant,
+                v.kind,
+                v.trace.len(),
+                states
+            );
+            for (i, step) in v.trace.iter().enumerate() {
+                println!("      {i:>3}. {step}");
+            }
+        }
+        Some(v) => {
+            *failures += 1;
+            println!(
+                "FAIL  negative control {:?}: expected one of {expected:?}, found `{}`",
+                config.variant, v.kind
+            );
+        }
+        None => {
+            *failures += 1;
+            println!(
+                "FAIL  negative control {:?}: expected one of {expected:?}, no violation found",
+                config.variant
+            );
+        }
+    }
+    states
+}
+
+/// The serving-path suite: the correct protocol at the requested bounds
+/// (plain, under admission pressure, and at a ring-lapping horizon),
+/// then every negative control at fixed small bounds so the minimal
+/// traces stay short enough to read.
+fn svc_suite(readers: usize, shards: usize, epochs: usize, failures: &mut u32) -> u64 {
+    let mut total = 0u64;
+    total += run_one_svc(SvcConfig::new(readers, shards, epochs), failures);
+    total += run_one_svc(
+        SvcConfig::new(readers, shards, epochs).with_admission(1, 1),
+        failures,
+    );
+    // 3 epochs on the 2-slot ring: epoch 3 reclaims epoch 1's slot.
+    total += run_one_svc(SvcConfig::new(readers, 1, svc::MAX_EPOCHS), failures);
+    // Negative controls. NoShardEpochCheck can surface either as the
+    // TOCTOU hit itself or as the stale entry it leaves behind.
+    total += run_negative(
+        SvcConfig::new(2, 2, 2).with_variant(Variant::NoShardEpochCheck),
+        &["cross-epoch-hit", "stale-entry"],
+        failures,
+    );
+    total += run_negative(
+        SvcConfig::new(2, 2, 2).with_variant(Variant::NoReleaseFence),
+        &["torn-read"],
+        failures,
+    );
+    total += run_negative(
+        SvcConfig::new(1, 1, 2).with_variant(Variant::NoFetchMax),
+        &["epoch-regression"],
+        failures,
+    );
+    total += run_negative(
+        SvcConfig::new(2, 1, 1)
+            .with_admission(svc::UNBOUNDED, 1)
+            .with_variant(Variant::NoInflightRollback),
+        &["permit-leak"],
+        failures,
+    );
+    total
+}
+
+/// Applies the `--expect-states` drift gate to a finished suite.
+fn gate_states(expect: Option<u64>, total: u64, failures: &mut u32) {
+    if let Some(expected) = expect {
+        if total != expected {
+            *failures += 1;
+            println!(
+                "FAIL  state-count drift: explored {total} states, expected exactly {expected} — the model changed"
+            );
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -249,8 +428,24 @@ fn main() -> ExitCode {
     let mut failures = 0u32;
     let mut total_states = 0u64;
 
+    if opts.svc_only {
+        total_states += svc_suite(opts.readers, opts.shards, opts.epochs, &mut failures);
+        gate_states(opts.expect_states, total_states, &mut failures);
+        println!(
+            "modelcheck: {total_states} states explored across the svc suite; {failures} failure(s)"
+        );
+        return if failures == 0 {
+            println!(
+                "modelcheck: serving-path snapshot, cache-epoch, and admission properties hold"
+            );
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if opts.ckpt_only {
         total_states += ckpt_suite(opts.ranks, opts.halves, &mut failures);
+        gate_states(opts.expect_states, total_states, &mut failures);
         println!(
             "modelcheck: {total_states} states explored across the ckpt suite; {failures} failure(s)"
         );
@@ -272,7 +467,7 @@ fn main() -> ExitCode {
             },
             &mut failures,
         );
-        total_states += report.states;
+        total_states += report.stats.states;
     } else if opts.timeouts_only {
         let report = run_one(
             ModelConfig {
@@ -281,10 +476,10 @@ fn main() -> ExitCode {
             },
             &mut failures,
         );
-        total_states += report.states;
+        total_states += report.stats.states;
     } else {
         // The full suite.
-        total_states += run_one(base, &mut failures).states;
+        total_states += run_one(base, &mut failures).stats.states;
         total_states += run_one(
             ModelConfig {
                 timeouts: true,
@@ -292,6 +487,7 @@ fn main() -> ExitCode {
             },
             &mut failures,
         )
+        .stats
         .states;
         for timeouts in [false, true] {
             for rank in 0..opts.ranks {
@@ -307,18 +503,18 @@ fn main() -> ExitCode {
                         },
                         &mut failures,
                     );
-                    total_states += report.states;
+                    total_states += report.stats.states;
                     // Only patient runs guarantee the kill fires in every
                     // schedule; with timeouts the run may collapse first.
                     if !timeouts
-                        && report.terminals != report.lost_observed_terminals
+                        && report.stats.terminals != report.lost_observed_terminals
                         && report.holds()
                     {
                         failures += 1;
                         println!(
                             "FAIL  kill {rank}:{half}: {} of {} terminal schedules missed the typed WorkerDied path",
-                            report.terminals - report.lost_observed_terminals,
-                            report.terminals
+                            report.stats.terminals - report.lost_observed_terminals,
+                            report.stats.terminals
                         );
                     }
                 }
@@ -329,6 +525,7 @@ fn main() -> ExitCode {
         total_states += ckpt_suite(opts.ranks, opts.halves, &mut failures);
     }
 
+    gate_states(opts.expect_states, total_states, &mut failures);
     println!("modelcheck: {total_states} states explored across the suite; {failures} failure(s)");
     if failures == 0 {
         println!(

@@ -14,7 +14,7 @@
 //! serialization is canonical.
 
 use prodpred_analysis::baseline::{json_string, Baseline, RatchetIssue};
-use prodpred_analysis::lints::{lint_source, Finding};
+use prodpred_analysis::lints::{lint_source, Finding, CODES};
 use prodpred_analysis::walk::{default_root, workspace_files};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -188,7 +188,18 @@ fn print_json(findings: &[Finding], issues: &[RatchetIssue]) {
     if !issues.is_empty() {
         out.push_str("\n  ");
     }
-    out.push_str("],\n");
+    out.push_str("],\n  \"counts\": {");
+    // Every stable code appears (zero included), in CODES order, so CI
+    // consumers get a fixed-shape object to diff across runs.
+    for (i, code) in CODES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let n = findings.iter().filter(|f| f.code == *code).count();
+        out.push_str(&format!("\n    {}: {n}", json_string(code)));
+    }
+    out.push_str("\n  },\n");
+    out.push_str(&format!("  \"total\": {},\n", findings.len()));
     out.push_str(&format!("  \"clean\": {}\n}}", issues.is_empty()));
     println!("{out}");
 }

@@ -39,9 +39,8 @@
 //!   unfaulted run — or, with the retry budget exhausted, all
 //!   `Abandoned`. No interleaving changes the outcome.
 
-use crate::model::Violation;
+use crate::mc::{self, ExploreStats, TransitionSystem};
 use prodpred_simgrid::faults::WorkerDeath;
-use std::collections::HashSet;
 
 /// Upper bound on ranks the fixed-size state encoding supports.
 pub const MAX_RANKS: usize = 4;
@@ -133,14 +132,9 @@ enum Step {
 pub struct CkptReport {
     /// Configuration explored.
     pub config: CkptConfig,
-    /// Distinct states visited.
-    pub states: u64,
-    /// Transitions executed.
-    pub transitions: u64,
-    /// Distinct terminal (quiescent) states.
-    pub terminals: u64,
-    /// Deepest schedule explored.
-    pub max_depth: usize,
+    /// Shared exploration accounting, including any
+    /// [`Violation`](crate::mc::Violation).
+    pub stats: ExploreStats,
     /// Terminals with every worker `Done` at full delivery.
     pub completed_terminals: u64,
     /// Terminals with the run abandoned.
@@ -149,15 +143,12 @@ pub struct CkptReport {
     pub expected: Outcome,
     /// Kills the straight-line expectation says must fire.
     pub expected_fired: u8,
-    /// First property violation found, if any. `None` = proof (within
-    /// this bound) that the property set holds.
-    pub violation: Option<Violation>,
 }
 
 impl CkptReport {
     /// True when the exploration finished without any violation.
     pub fn holds(&self) -> bool {
-        self.violation.is_none()
+        self.stats.holds()
     }
 }
 
@@ -182,6 +173,11 @@ impl Model {
             .flatten()
             .filter(|d| d.rank < self.config.ranks)
     }
+}
+
+impl TransitionSystem for Model {
+    type State = State;
+    type Action = Step;
 
     fn initial(&self) -> State {
         State {
@@ -395,80 +391,27 @@ pub fn check_ckpt(config: CkptConfig) -> CkptReport {
     );
     let model = Model { config };
     let (expected, expected_fired) = straight_line(&config);
-    let initial = model.initial();
-
-    let mut visited: HashSet<State> = HashSet::new();
-    visited.insert(initial.clone());
-    let first_steps = model.enabled(&initial);
-    let mut stack: Vec<(State, Vec<Step>, usize)> = vec![(initial, first_steps, 0)];
-
-    let mut report = CkptReport {
+    let mut completed_terminals = 0u64;
+    let mut abandoned_terminals = 0u64;
+    let stats = mc::explore(&model, &mc::Budget::default(), |state: &State| {
+        if let Some(kind) = check_terminal(&model, state, expected, expected_fired) {
+            return Err(kind);
+        }
+        if state.status[0] == St::Abandoned {
+            abandoned_terminals += 1;
+        } else {
+            completed_terminals += 1;
+        }
+        Ok(())
+    });
+    CkptReport {
         config,
-        states: 1,
-        transitions: 0,
-        terminals: 0,
-        max_depth: 0,
-        completed_terminals: 0,
-        abandoned_terminals: 0,
+        stats,
+        completed_terminals,
+        abandoned_terminals,
         expected,
         expected_fired,
-        violation: None,
-    };
-
-    let trace_of = |stack: &[(State, Vec<Step>, usize)], model: &Model| -> Vec<String> {
-        stack
-            .iter()
-            .filter(|(_, steps, i)| *i > 0 && !steps.is_empty())
-            .map(|(s, steps, i)| model.describe(s, steps[i - 1]))
-            .collect()
-    };
-
-    while let Some((state, steps, next_idx)) = stack.last().cloned() {
-        report.max_depth = report.max_depth.max(stack.len() - 1);
-        if steps.is_empty() {
-            if let Some(kind) = check_terminal(&model, &state, expected, expected_fired) {
-                report.violation = Some(Violation {
-                    kind,
-                    trace: trace_of(&stack, &model),
-                });
-                return report;
-            }
-            report.terminals += 1;
-            if state.status[0] == St::Abandoned {
-                report.abandoned_terminals += 1;
-            } else {
-                report.completed_terminals += 1;
-            }
-            stack.pop();
-            continue;
-        }
-        if next_idx >= steps.len() {
-            stack.pop();
-            continue;
-        }
-        if let Some(top) = stack.last_mut() {
-            top.2 += 1;
-        }
-        let step = steps[next_idx];
-        report.transitions += 1;
-        match model.apply(&state, step) {
-            Ok(successor) => {
-                if visited.insert(successor.clone()) {
-                    report.states += 1;
-                    let succ_steps = model.enabled(&successor);
-                    stack.push((successor, succ_steps, 0));
-                }
-            }
-            Err(kind) => {
-                report.violation = Some(Violation {
-                    kind,
-                    trace: trace_of(&stack, &model),
-                });
-                return report;
-            }
-        }
     }
-    report
 }
 
 /// Terminal-state checks: no deadlock, and every terminal matches the
@@ -544,10 +487,10 @@ mod tests {
     #[test]
     fn healthy_run_completes_in_every_interleaving() {
         let report = check_ckpt(cfg(3, 4, 2));
-        assert!(report.holds(), "{:?}", report.violation);
+        assert!(report.holds(), "{:?}", report.stats.violation);
         assert_eq!(report.expected, Outcome::Completed);
-        assert_eq!(report.terminals, report.completed_terminals);
-        assert!(report.states > 10);
+        assert_eq!(report.stats.terminals, report.completed_terminals);
+        assert!(report.stats.states > 10);
     }
 
     #[test]
@@ -558,14 +501,18 @@ mod tests {
                 let mut config = base;
                 config.kills[0] = kill(rank, half);
                 let report = check_ckpt(config);
-                assert!(report.holds(), "kill {rank}@{half}: {:?}", report.violation);
+                assert!(
+                    report.holds(),
+                    "kill {rank}@{half}: {:?}",
+                    report.stats.violation
+                );
                 assert_eq!(
                     report.expected,
                     Outcome::Completed,
                     "kill {rank}@{half} must be recoverable within the budget"
                 );
                 assert_eq!(report.expected_fired, 1);
-                assert_eq!(report.terminals, report.completed_terminals);
+                assert_eq!(report.stats.terminals, report.completed_terminals);
             }
         }
     }
@@ -580,13 +527,13 @@ mod tests {
         config.kills[0] = kill(1, 6);
         config.kills[1] = kill(2, 2);
         let report = check_ckpt(config);
-        assert!(report.holds(), "{:?}", report.violation);
+        assert!(report.holds(), "{:?}", report.stats.violation);
         assert_eq!(report.expected, Outcome::Completed);
         assert_eq!(
             report.expected_fired, 1,
             "the behind-resume kill must not count as a fire"
         );
-        assert_eq!(report.terminals, report.completed_terminals);
+        assert_eq!(report.stats.terminals, report.completed_terminals);
     }
 
     #[test]
@@ -598,10 +545,10 @@ mod tests {
         config.kills[0] = kill(0, 2);
         config.kills[1] = kill(1, 2);
         let report = check_ckpt(config);
-        assert!(report.holds(), "{:?}", report.violation);
+        assert!(report.holds(), "{:?}", report.stats.violation);
         assert_eq!(report.expected, Outcome::Abandoned);
         assert_eq!(report.expected_fired, 2);
-        assert_eq!(report.terminals, report.abandoned_terminals);
+        assert_eq!(report.stats.terminals, report.abandoned_terminals);
     }
 
     #[test]
@@ -609,9 +556,9 @@ mod tests {
         let mut config = cfg(2, 3, 0);
         config.kills[0] = kill(1, 5);
         let report = check_ckpt(config);
-        assert!(report.holds(), "{:?}", report.violation);
+        assert!(report.holds(), "{:?}", report.stats.violation);
         assert_eq!(report.expected, Outcome::Completed);
-        assert_eq!(report.terminals, report.completed_terminals);
+        assert_eq!(report.stats.terminals, report.completed_terminals);
     }
 
     #[test]
@@ -619,9 +566,9 @@ mod tests {
         let mut config = cfg(2, 2, 1);
         config.kills[0] = kill(0, 4); // == 2 * iterations: out of range
         let report = check_ckpt(config);
-        assert!(report.holds(), "{:?}", report.violation);
+        assert!(report.holds(), "{:?}", report.stats.violation);
         assert_eq!(report.expected_fired, 0);
-        assert_eq!(report.terminals, report.completed_terminals);
+        assert_eq!(report.stats.terminals, report.completed_terminals);
     }
 
     #[test]
@@ -630,8 +577,8 @@ mod tests {
         config.kills[0] = kill(0, 3);
         let a = check_ckpt(config);
         let b = check_ckpt(config);
-        assert_eq!(a.states, b.states);
-        assert_eq!(a.transitions, b.transitions);
-        assert_eq!(a.terminals, b.terminals);
+        assert_eq!(a.stats.states, b.stats.states);
+        assert_eq!(a.stats.transitions, b.stats.transitions);
+        assert_eq!(a.stats.terminals, b.stats.terminals);
     }
 }

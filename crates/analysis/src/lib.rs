@@ -23,11 +23,26 @@
 //!   interleaving of a killed-then-resumed run converges to the
 //!   unfaulted delivery state (or a typed abandonment). Part of the
 //!   default `modelcheck` suite.
+//! * [`mc`] — the shared bounded explicit-state exploration kernel the
+//!   checkers above are built on: generic transition systems, canonical
+//!   state dedup with symmetry reduction, DFS with depth/state budgets,
+//!   counterexample trace reconstruction, minimal (BFS) counterexamples
+//!   for the negative-control suites, and schedule harvesting for
+//!   conformance replay.
+//! * [`svc`] — the serving-path proof: an abstract model of the
+//!   `prodpred-service` atomics (the `EpochSwap` slot ring and
+//!   Release/Acquire epoch word, reader snapshot loads, `EpochCache`
+//!   shard probes/inserts, `bump_to`'s fetch_max-then-clear, and
+//!   admission token grant/release), explored across every interleaving
+//!   at small bounds, plus the conformance harness that replays
+//!   explored schedules against the real implementation. Run it via
+//!   `cargo run -p prodpred-analysis --bin modelcheck -- --svc`.
 //!
 //! The two halves meet in the middle: the lints keep nondeterminism and
-//! unchecked panics out of the sources, and the model checker proves
-//! the one protocol whose correctness argument cannot be read off a
-//! single thread's source. See DESIGN.md §9.
+//! unchecked panics out of the sources (PP010 fences atomics into the
+//! audited modules the [`svc`] model abstracts), and the model checkers
+//! prove the protocols whose correctness arguments cannot be read off a
+//! single thread's source. See DESIGN.md §9 and §14.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,6 +51,8 @@
 pub mod baseline;
 pub mod ckpt;
 pub mod lints;
+pub mod mc;
 pub mod model;
 pub mod scan;
+pub mod svc;
 pub mod walk;

@@ -15,6 +15,7 @@
 //! | PP007 | trace-sized buffer copy in a `simgrid`/`core` hot path |
 //! | PP008 | `std::net` socket usage outside the service crate's shell |
 //! | PP009 | wall-clock reads (`SystemTime::now`, `Instant::now`) in the service crate outside its shell |
+//! | PP010 | atomics (`Atomic*`, memory orderings) outside the audited concurrency modules |
 //!
 //! Matching runs over *masked* source (see [`crate::scan`]): strings,
 //! comments and doc examples can never trigger a lint. Findings are
@@ -35,7 +36,7 @@ pub struct Finding {
     pub line: usize,
     /// 1-based column (byte offset into the line).
     pub col: usize,
-    /// Stable lint code (`PP000` … `PP009`).
+    /// Stable lint code (`PP000` … `PP010`).
     pub code: &'static str,
     /// Human-readable description, stable across runs.
     pub message: String,
@@ -52,8 +53,9 @@ impl Finding {
 }
 
 /// All stable lint codes, in order.
-pub const CODES: [&str; 10] = [
+pub const CODES: [&str; 11] = [
     "PP000", "PP001", "PP002", "PP003", "PP004", "PP005", "PP006", "PP007", "PP008", "PP009",
+    "PP010",
 ];
 
 /// Nondeterminism sources flagged by PP001.
@@ -92,6 +94,34 @@ const PP008_NET: [&str; 4] = ["std::net", "TcpListener", "TcpStream", "UdpSocket
 
 /// Wall-clock reads flagged by PP009 inside the service crate.
 const PP009_CLOCKS: [&str; 2] = ["SystemTime::now(", "Instant::now("];
+
+/// Memory-ordering tokens flagged by PP010. Only the five
+/// `std::sync::atomic::Ordering` variants — a bare `Ordering::` pattern
+/// would also catch the unrelated `std::cmp::Ordering`.
+const PP010_ORDERINGS: [&str; 5] = [
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// Atomic cell types (and the module path itself) flagged by PP010.
+const PP010_ATOMICS: [&str; 13] = [
+    "std::sync::atomic",
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
 
 /// Raw guard acquisitions flagged by PP005.
 const PP005_LOCKS: [&str; 6] = [
@@ -174,6 +204,12 @@ pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
         // crate (tests included) silently breaks replay determinism.
         if relpath.starts_with("crates/service/src/") && !pp009_exempt(relpath) {
             pp009(relpath, idx, code_line, &mut findings);
+        }
+        // PP010 likewise covers every scope: the svc model checker's
+        // memory-ordering proofs only reach the designated modules, so
+        // an atomic anywhere else is unaudited by construction.
+        if !pp010_exempt(relpath) {
+            pp010(relpath, idx, code_line, &mut findings);
         }
     }
     if !scope.test_path && !scope.bin {
@@ -576,6 +612,47 @@ fn pp009(file: &str, idx: usize, code_line: &str, findings: &mut Vec<Finding>) {
     }
 }
 
+/// The modules allowed to use atomics: the serving path's audited
+/// concurrency modules — whose orderings the `prodpred-analysis::svc`
+/// model checker explores exhaustively — and the worker pool's
+/// coordination primitives.
+fn pp010_exempt(relpath: &str) -> bool {
+    relpath == "crates/service/src/swap.rs"
+        || relpath == "crates/service/src/cache.rs"
+        || relpath == "crates/service/src/resilience.rs"
+        || relpath.starts_with("crates/pool/")
+}
+
+/// PP010: atomics fenced into the audited concurrency modules.
+///
+/// The serving-path proof (`prodpred-analysis::svc`) enumerates every
+/// interleaving of the atomics in `swap.rs`/`cache.rs`/`resilience.rs`;
+/// the pool's primitives predate it and are covered by their own stress
+/// suite. An `Atomic*` cell or memory ordering anywhere else has no
+/// model backing its orderings — move the state behind one of the
+/// audited modules' abstractions, or justify the escape with
+/// `tidy:allow(PP010): reason`. Covers every scope (tests and binaries
+/// included): an unaudited atomic in a test harness can hide the same
+/// ordering bugs.
+fn pp010(file: &str, idx: usize, code_line: &str, findings: &mut Vec<Finding>) {
+    for pat in PP010_ORDERINGS.iter().chain(PP010_ATOMICS.iter()) {
+        let mut from = 0;
+        while let Some(at) = find_word(code_line, pat, from) {
+            push(
+                findings,
+                file,
+                idx,
+                at,
+                "PP010",
+                format!(
+                    "`{pat}` outside the audited atomics modules (service swap/cache/resilience, crates/pool); route the state through them or justify with tidy:allow(PP010)"
+                ),
+            );
+            from = at + pat.len();
+        }
+    }
+}
+
 /// PP006: public functions returning `Result` must carry an `# Errors`
 /// doc section. Trait-impl methods are exempt (their contract lives on
 /// the trait).
@@ -958,6 +1035,45 @@ mod tests {
         // A justified allow suppresses the finding.
         let allowed = "fn f() {\n    // tidy:allow(PP001): latency probe, result not load-bearing\n    // tidy:allow(PP009): latency probe, result not load-bearing\n    let t = Instant::now();\n    use_it(t);\n}\n";
         let f = lint_source("crates/service/src/core.rs", allowed);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn pp010_fences_atomics_into_audited_modules() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\nfn f(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }\n";
+        // Ordinary lib code: the module path and the type on line 1, the
+        // type and the ordering on line 2.
+        let f = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(codes(&f), ["PP010", "PP010", "PP010", "PP010"]);
+        // Tests and binaries are NOT exempt: unaudited atomics hide the
+        // same ordering bugs there.
+        let f = lint_source("crates/sor/tests/a.rs", src);
+        assert_eq!(codes(&f), ["PP010", "PP010", "PP010", "PP010"]);
+        let f = lint_source("crates/bench/src/bin/replay.rs", src);
+        assert_eq!(codes(&f), ["PP010", "PP010", "PP010", "PP010"]);
+        // The audited modules and the pool's primitives are exempt.
+        assert!(lint_source("crates/service/src/swap.rs", src).is_empty());
+        assert!(lint_source("crates/service/src/cache.rs", src).is_empty());
+        assert!(lint_source("crates/service/src/resilience.rs", src).is_empty());
+        assert!(lint_source("crates/pool/src/lib.rs", src).is_empty());
+        assert!(lint_source("crates/pool/tests/stress.rs", src).is_empty());
+        // Elsewhere in the service crate the fence holds.
+        let f = lint_source("crates/service/src/core.rs", src);
+        assert_eq!(codes(&f), ["PP010", "PP010", "PP010", "PP010"]);
+        // `std::cmp::Ordering` is a different type entirely and must not
+        // trip the ordering patterns.
+        let cmp = "fn f(a: &u32, b: &u32) -> bool { a.cmp(b) == std::cmp::Ordering::Equal }\n";
+        let f = lint_source("crates/simgrid/src/event.rs", cmp);
+        assert!(f.is_empty(), "{f:?}");
+        // Masked occurrences (strings, comments) never fire.
+        let f = lint_source(
+            "crates/core/src/a.rs",
+            "fn f() { let s = \"AtomicU64, Ordering::SeqCst\"; use_it(s); } // std::sync::atomic\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // A justified allow keeps an intentional escape visible.
+        let allowed = "// tidy:allow(PP010): shutdown latch, no data published through it\nfn f(stop: &AtomicBool) -> bool {\n    // tidy:allow(PP010): shutdown latch, no data published through it\n    stop.load(Ordering::Acquire)\n}\n";
+        let f = lint_source("crates/service/src/shell.rs", allowed);
         assert!(f.is_empty(), "{f:?}");
     }
 

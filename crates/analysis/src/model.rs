@@ -42,9 +42,9 @@
 //! single buffer, so occupancy determines identity); payload contents
 //! are abstracted to the half-iteration sequence number.
 
+use crate::mc::{self, ExploreStats, TransitionSystem};
 use prodpred_simgrid::faults::WorkerDeath;
 use prodpred_sor::protocol::{half_iteration_script, ExchangeOp, Peer};
-use std::collections::HashSet;
 
 /// Upper bound on ranks the fixed-size state encoding supports.
 pub const MAX_RANKS: usize = 4;
@@ -163,42 +163,24 @@ struct State {
     links: [[Loc; 2]; MAX_RANKS - 1],
 }
 
-/// Why the checker rejected the protocol, with a schedule trace.
-#[derive(Debug, Clone)]
-pub struct Violation {
-    /// What property broke.
-    pub kind: String,
-    /// Human-readable schedule: the sequence of worker steps from the
-    /// initial state to the violating state.
-    pub trace: Vec<String>,
-}
-
 /// The result of one exhaustive exploration.
 #[derive(Debug, Clone)]
 pub struct Report {
     /// Configuration explored.
     pub config: ModelConfig,
-    /// Distinct states visited.
-    pub states: u64,
-    /// Transitions executed.
-    pub transitions: u64,
-    /// Distinct terminal (quiescent) states.
-    pub terminals: u64,
-    /// Deepest schedule explored.
-    pub max_depth: usize,
+    /// Shared exploration accounting, including any
+    /// [`Violation`](crate::mc::Violation).
+    pub stats: ExploreStats,
     /// Terminal states in which every worker completed healthily.
     pub all_done_terminals: u64,
     /// Terminal states in which some survivor observed `Disconnected`.
     pub lost_observed_terminals: u64,
-    /// First property violation found, if any. `None` = proof (within
-    /// this bound) that the property set holds.
-    pub violation: Option<Violation>,
 }
 
 impl Report {
     /// True when the exploration finished without any violation.
     pub fn holds(&self) -> bool {
-        self.violation.is_none()
+        self.stats.holds()
     }
 }
 
@@ -228,15 +210,6 @@ impl Model {
         Self { config, scripts }
     }
 
-    fn initial(&self) -> State {
-        State {
-            status: [Status::Running; MAX_RANKS],
-            half: [0; MAX_RANKS],
-            op: [0; MAX_RANKS],
-            links: [[Loc::Stash; 2]; MAX_RANKS - 1],
-        }
-    }
-
     /// The owner ranks of a directed link: (sender, receiver).
     fn endpoints(pair: usize, dir: usize) -> (usize, usize) {
         if dir == 0 {
@@ -255,6 +228,20 @@ impl Model {
     /// A worker no longer holding its endpoints: exited for any reason.
     fn hung_up(status: Status) -> bool {
         !matches!(status, Status::Running)
+    }
+}
+
+impl TransitionSystem for Model {
+    type State = State;
+    type Action = Step;
+
+    fn initial(&self) -> State {
+        State {
+            status: [Status::Running; MAX_RANKS],
+            half: [0; MAX_RANKS],
+            op: [0; MAX_RANKS],
+            links: [[Loc::Stash; 2]; MAX_RANKS - 1],
+        }
     }
 
     /// All transitions enabled in `state`, in deterministic rank order.
@@ -411,108 +398,46 @@ pub fn check(config: ModelConfig) -> Report {
         "halves must be 1..={MAX_HALVES}"
     );
     let model = Model::new(config);
-    let initial = model.initial();
-
-    let mut visited: HashSet<State> = HashSet::new();
-    visited.insert(initial.clone());
-    // DFS stack: (state, enabled steps, next step index).
-    let mut stack: Vec<(State, Vec<Step>, usize)> = Vec::new();
-    let first_steps = model.enabled(&initial);
-    stack.push((initial, first_steps, 0));
-
-    let mut report = Report {
+    let mut all_done_terminals = 0u64;
+    let mut lost_observed_terminals = 0u64;
+    let stats = mc::explore(&model, &mc::Budget::default(), |state: &State| {
+        // Quiescent: either all workers exited (terminal) or a live
+        // worker waits forever (deadlock).
+        let live = (0..config.ranks).any(|r| state.status[r] == Status::Running);
+        if live {
+            return Err(format!(
+                "deadlock: workers {:?} blocked with no enabled transition",
+                &state.status[..config.ranks]
+            ));
+        }
+        let statuses = &state.status[..config.ranks];
+        if statuses.iter().all(|s| *s == Status::Done) {
+            all_done_terminals += 1;
+            // Healthy completion must leave no undelivered row.
+            let leftover = state.links[..config.ranks - 1]
+                .iter()
+                .flatten()
+                .any(|l| matches!(l, Loc::Data(_)));
+            if leftover {
+                return Err(
+                    "lost message: all workers done but a row is still in flight".to_string(),
+                );
+            }
+        }
+        if statuses.contains(&Status::Lost) {
+            lost_observed_terminals += 1;
+        }
+        match check_terminal(&model, state) {
+            Some(v) => Err(v),
+            None => Ok(()),
+        }
+    });
+    Report {
         config,
-        states: 1,
-        transitions: 0,
-        terminals: 0,
-        max_depth: 0,
-        all_done_terminals: 0,
-        lost_observed_terminals: 0,
-        violation: None,
-    };
-
-    let trace_of = |stack: &[(State, Vec<Step>, usize)], model: &Model| -> Vec<String> {
-        stack
-            .iter()
-            .filter(|(_, steps, i)| *i > 0 && !steps.is_empty())
-            .map(|(s, steps, i)| model.describe(s, steps[i - 1]))
-            .collect()
-    };
-
-    while let Some((state, steps, next_idx)) = stack.last().cloned() {
-        report.max_depth = report.max_depth.max(stack.len() - 1);
-        if steps.is_empty() {
-            // Quiescent: either all workers exited (terminal) or a live
-            // worker waits forever (deadlock).
-            let live = (0..config.ranks).any(|r| state.status[r] == Status::Running);
-            if live {
-                report.violation = Some(Violation {
-                    kind: format!(
-                        "deadlock: workers {:?} blocked with no enabled transition",
-                        &state.status[..config.ranks]
-                    ),
-                    trace: trace_of(&stack, &model),
-                });
-                return report;
-            }
-            report.terminals += 1;
-            let statuses = &state.status[..config.ranks];
-            if statuses.iter().all(|s| *s == Status::Done) {
-                report.all_done_terminals += 1;
-                // Healthy completion must leave no undelivered row.
-                let leftover = state.links[..config.ranks - 1]
-                    .iter()
-                    .flatten()
-                    .any(|l| matches!(l, Loc::Data(_)));
-                if leftover {
-                    report.violation = Some(Violation {
-                        kind: "lost message: all workers done but a row is still in flight"
-                            .to_string(),
-                        trace: trace_of(&stack, &model),
-                    });
-                    return report;
-                }
-            }
-            if statuses.contains(&Status::Lost) {
-                report.lost_observed_terminals += 1;
-            }
-            if let Some(v) = check_terminal(&model, &state) {
-                report.violation = Some(Violation {
-                    kind: v,
-                    trace: trace_of(&stack, &model),
-                });
-                return report;
-            }
-            stack.pop();
-            continue;
-        }
-        if next_idx >= steps.len() {
-            stack.pop();
-            continue;
-        }
-        if let Some(top) = stack.last_mut() {
-            top.2 += 1;
-        }
-        let step = steps[next_idx];
-        report.transitions += 1;
-        match model.apply(&state, step) {
-            Ok(successor) => {
-                if visited.insert(successor.clone()) {
-                    report.states += 1;
-                    let succ_steps = model.enabled(&successor);
-                    stack.push((successor, succ_steps, 0));
-                }
-            }
-            Err(kind) => {
-                report.violation = Some(Violation {
-                    kind,
-                    trace: trace_of(&stack, &model),
-                });
-                return report;
-            }
-        }
+        stats,
+        all_done_terminals,
+        lost_observed_terminals,
     }
-    report
 }
 
 /// Terminal-state property checks beyond deadlock and delivery.
@@ -605,16 +530,16 @@ mod tests {
     #[test]
     fn two_ranks_two_halves_patient_is_deadlock_free() {
         let report = check(cfg(2, 2));
-        assert!(report.holds(), "{:?}", report.violation);
-        assert!(report.states > 10);
-        assert!(report.terminals >= 1);
-        assert_eq!(report.terminals, report.all_done_terminals);
+        assert!(report.holds(), "{:?}", report.stats.violation);
+        assert!(report.stats.states > 10);
+        assert!(report.stats.terminals >= 1);
+        assert_eq!(report.stats.terminals, report.all_done_terminals);
     }
 
     #[test]
     fn three_ranks_patient_is_deadlock_free() {
         let report = check(cfg(3, 2));
-        assert!(report.holds(), "{:?}", report.violation);
+        assert!(report.holds(), "{:?}", report.stats.violation);
     }
 
     #[test]
@@ -628,9 +553,13 @@ mod tests {
                     }),
                     ..cfg(2, 2)
                 });
-                assert!(report.holds(), "kill {rank}@{half}: {:?}", report.violation);
+                assert!(
+                    report.holds(),
+                    "kill {rank}@{half}: {:?}",
+                    report.stats.violation
+                );
                 assert_eq!(
-                    report.terminals, report.lost_observed_terminals,
+                    report.stats.terminals, report.lost_observed_terminals,
                     "kill {rank}@{half}: some schedule missed the WorkerDied path"
                 );
             }
@@ -646,8 +575,8 @@ mod tests {
             }),
             ..cfg(2, 2)
         });
-        assert!(report.holds(), "{:?}", report.violation);
-        assert_eq!(report.terminals, report.all_done_terminals);
+        assert!(report.holds(), "{:?}", report.stats.violation);
+        assert_eq!(report.stats.terminals, report.all_done_terminals);
     }
 
     #[test]
@@ -656,19 +585,19 @@ mod tests {
             timeouts: true,
             ..cfg(2, 2)
         });
-        assert!(report.holds(), "{:?}", report.violation);
+        assert!(report.holds(), "{:?}", report.stats.violation);
         // With timeouts enabled there are both healthy and degraded
         // terminals; every one is typed (checked inside).
         assert!(report.all_done_terminals >= 1);
-        assert!(report.terminals > report.all_done_terminals);
+        assert!(report.stats.terminals > report.all_done_terminals);
     }
 
     #[test]
     fn exploration_is_deterministic() {
         let a = check(cfg(3, 2));
         let b = check(cfg(3, 2));
-        assert_eq!(a.states, b.states);
-        assert_eq!(a.transitions, b.transitions);
-        assert_eq!(a.terminals, b.terminals);
+        assert_eq!(a.stats.states, b.stats.states);
+        assert_eq!(a.stats.transitions, b.stats.transitions);
+        assert_eq!(a.stats.terminals, b.stats.terminals);
     }
 }

@@ -1,0 +1,1027 @@
+//! Bounded, exhaustive model checking of the lock-free serving path.
+//!
+//! PR 7–9 put the prediction path behind shared-memory concurrency:
+//! `EpochSwap` publishes snapshots into a slot ring behind a
+//! Release/Acquire epoch word, `EpochCache` guards its shards with
+//! per-shard epochs cleared by `bump_to`'s fetch_max-then-sweep, and
+//! `Admission` hands out RAII miss permits from a token counter. Their
+//! correctness was pinned by race regression tests — schedules *sampled*
+//! by spawning threads. This module *enumerates* the schedules instead:
+//! an abstract model of exactly those atomics, explored across every
+//! interleaving at small bounds on the shared [`mc`](crate::mc) kernel.
+//!
+//! ## The model
+//!
+//! One writer thread publishes epochs `1..=epochs` into a 2-slot ring
+//! (the real ring has 8 slots; only the index arithmetic differs, so a
+//! smaller ring reaches the lapped-slot path at checkable bounds). Each
+//! publish is three micro-steps — write the slot's epoch tag, write its
+//! value, store the epoch word — because that is what the Release fence
+//! orders: both slot writes happen-before the word store. The epoch word
+//! store also refills admission tokens, mirroring the ingest tick.
+//! `bump_to(e)` runs as its own task per published epoch (the real
+//! `bump_to` is callable concurrently): one fetch_max micro-step on the
+//! cache epoch word, then one sweep micro-step per shard under that
+//! shard's lock. N identical reader threads each run one query per
+//! shard: load the epoch word, validate the ring slot, probe the
+//! shard (hit ends the query), and on a miss take an admission token,
+//! enter the inflight gauge (rolling back over the cap), insert under
+//! the shard lock, and release the permit.
+//!
+//! Values are abstracted to the epoch that produced them, so every
+//! cached or loaded value carries its provenance and the checker can
+//! compare it against the epoch the reader is serving.
+//!
+//! ## Checked invariants
+//!
+//! * **no torn or reclaimed reads** — a reader that validates a slot for
+//!   epoch `e` always observes the value written under `e`;
+//! * **no cross-epoch hits** — a cache hit never returns a value
+//!   inserted under a different epoch (the PR-7 TOCTOU, now a theorem at
+//!   model scale);
+//! * **epoch monotonicity** — the cache epoch word never regresses, even
+//!   under racing bumps;
+//! * **permit balance** — every admission permit granted is released
+//!   exactly once: no leak, no double-spend, inflight drains to zero;
+//! * **convergence** — at quiescence every shard sits at the final
+//!   epoch with no stale entry surviving.
+//!
+//! ## Negative controls
+//!
+//! [`Variant`] seeds the historical (or plausible) bugs back into the
+//! model: dropping the shard-lock epoch compare on insert
+//! ([`Variant::NoShardEpochCheck`], the TOCTOU), publishing the epoch
+//! word before the slot value lands ([`Variant::NoReleaseFence`]),
+//! replacing fetch_max with a plain store ([`Variant::NoFetchMax`]), and
+//! skipping the over-cap inflight rollback
+//! ([`Variant::NoInflightRollback`]). Each must produce a violation, and
+//! [`minimal_counterexample`] reconstructs the shortest schedule that
+//! exhibits it.
+//!
+//! ## Conformance
+//!
+//! The model would prove nothing if it drifted from the implementation,
+//! so [`replay`] walks any explored schedule step-for-step against a
+//! [`ServingHarness`] — the trait-level instrumentation hook the real
+//! `EpochSwap`/`EpochCache`/`Admission` implement via their probe seams
+//! — asserting at every step that the implementation observes exactly
+//! what the model predicts (epoch loads, slot validation, hit/miss,
+//! admission outcomes).
+
+use crate::mc::{self, ExploreStats, TransitionSystem, Violation};
+
+/// Upper bound on reader threads the fixed-size state encoding supports.
+pub const MAX_READERS: usize = 3;
+/// Upper bound on cache shards (one query key per shard).
+pub const MAX_SHARDS: usize = 3;
+/// Upper bound on published epochs.
+pub const MAX_EPOCHS: usize = 3;
+/// Ring slots in the model (the real `EpochSwap` uses 8; see module docs).
+pub const RING: usize = 2;
+/// Sentinel for an unbounded token pool or inflight cap.
+pub const UNBOUNDED: u8 = u8::MAX;
+
+/// Which semantics the model runs: the faithful protocol or one seeded
+/// bug per negative control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The protocol as implemented.
+    Correct,
+    /// Insert skips the under-shard-lock epoch compare (the PR-7
+    /// TOCTOU): a stale insert can land after a bump's sweep.
+    NoShardEpochCheck,
+    /// The epoch word store is reordered before the slot value write —
+    /// what dropping the Release/Acquire pair permits.
+    NoReleaseFence,
+    /// `bump_to` stores the epoch word instead of fetch_max-ing it, so
+    /// racing bumps can regress it.
+    NoFetchMax,
+    /// The over-cap admission path forgets the inflight rollback,
+    /// leaking a permit.
+    NoInflightRollback,
+}
+
+/// One checker configuration: thread counts, horizon, admission limits,
+/// and the model variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SvcConfig {
+    /// Reader threads (1..=3). Readers are identical, so the kernel's
+    /// symmetry reduction sorts them into a canonical order.
+    pub readers: usize,
+    /// Cache shards, one query key each (1..=3).
+    pub shards: usize,
+    /// Epochs the writer publishes (1..=3; 3 laps the 2-slot ring).
+    pub epochs: usize,
+    /// Miss tokens refilled at each publish; [`UNBOUNDED`] disables the
+    /// token gate.
+    pub tokens: u8,
+    /// Inflight-miss cap; [`UNBOUNDED`] disables the gauge cap.
+    pub max_inflight: u8,
+    /// Faithful protocol or a seeded negative control.
+    pub variant: Variant,
+}
+
+impl SvcConfig {
+    /// A correct-variant configuration with unbounded admission.
+    pub fn new(readers: usize, shards: usize, epochs: usize) -> Self {
+        Self {
+            readers,
+            shards,
+            epochs,
+            tokens: UNBOUNDED,
+            max_inflight: UNBOUNDED,
+            variant: Variant::Correct,
+        }
+    }
+
+    /// Bounds the admission token pool and inflight cap.
+    pub fn with_admission(mut self, tokens: u8, max_inflight: u8) -> Self {
+        self.tokens = tokens;
+        self.max_inflight = max_inflight;
+        self
+    }
+
+    /// Selects a model variant (negative controls).
+    pub fn with_variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+}
+
+/// One ring slot: the epoch tag and the value, written separately so
+/// the fence (or its absence) is visible to readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Slot {
+    tag: u8,
+    val: u8,
+}
+
+/// One cache shard: its epoch and the single keyed entry, holding the
+/// epoch tag of the cached value (0 = empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Shard {
+    epoch: u8,
+    entry: u8,
+}
+
+/// A reader thread's program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Rpc {
+    /// Acquire-load the epoch word (blocked until the first publish).
+    Load,
+    /// Validate the ring slot against the loaded epoch.
+    ReadSlot,
+    /// Probe the query's shard under the shard lock.
+    Probe,
+    /// Take a miss token (CAS loop).
+    AdmitToken,
+    /// Enter the inflight gauge and check the cap.
+    AdmitInflight,
+    /// Roll the over-cap fetch_add back.
+    Rollback,
+    /// Insert under the shard lock.
+    Insert,
+    /// Drop the permit: leave the inflight gauge.
+    Release,
+    /// Every query finished.
+    Done,
+}
+
+/// One reader thread's local state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Reader {
+    pc: Rpc,
+    /// Query index == target shard (one key per shard).
+    qi: u8,
+    /// The epoch loaded for the current query (0 between queries).
+    e: u8,
+}
+
+/// Global model state: fully explicit, hashable, fixed-size.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SvcState {
+    /// Writer micro-steps completed (3 per epoch).
+    wpc: u8,
+    /// The `EpochSwap` epoch word.
+    word: u8,
+    slots: [Slot; RING],
+    /// The `EpochCache` epoch word (`bump_to`'s fetch_max target).
+    cword: u8,
+    /// Per published epoch: bump-task progress. 0 = word step pending,
+    /// `1 + k` = sweeping shard `k`, `shards + 1` = done.
+    bump: [u8; MAX_EPOCHS],
+    shards: [Shard; MAX_SHARDS],
+    readers: [Reader; MAX_READERS],
+    /// Admission miss tokens ([`UNBOUNDED`] = gate disabled).
+    tokens: u8,
+    /// Admission inflight gauge.
+    inflight: u8,
+    /// Permits granted (inflight entries that kept their slot).
+    granted: u8,
+    /// Permits released.
+    released: u8,
+}
+
+/// One scheduling choice: which thread executes its next micro-step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// The writer's next publish micro-step.
+    Writer,
+    /// The bump task of this epoch performs its next micro-step.
+    Bumper(u8),
+    /// This reader performs its next micro-step.
+    Reader(u8),
+}
+
+/// What the writer does at one micro-step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriterOp {
+    Tag,
+    Val,
+    Publish,
+}
+
+/// The serving-path transition system. Construct via [`Svc::new`], then
+/// explore with the [`mc`] kernel or the [`check`]/[`replay`] drivers.
+pub struct Svc {
+    config: SvcConfig,
+}
+
+impl Svc {
+    /// Builds the model for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bound is outside its documented range — a
+    /// configuration error, not a model failure.
+    pub fn new(config: SvcConfig) -> Self {
+        assert!(
+            (1..=MAX_READERS).contains(&config.readers),
+            "readers must be 1..={MAX_READERS}"
+        );
+        assert!(
+            (1..=MAX_SHARDS).contains(&config.shards),
+            "shards must be 1..={MAX_SHARDS}"
+        );
+        assert!(
+            (1..=MAX_EPOCHS).contains(&config.epochs),
+            "epochs must be 1..={MAX_EPOCHS}"
+        );
+        Svc { config }
+    }
+
+    /// The writer's op at micro-step `sub` of an epoch. The correct
+    /// order writes the whole slot before the word store (the Release
+    /// fence); [`Variant::NoReleaseFence`] lets the word store overtake
+    /// the value write.
+    fn writer_op(&self, sub: u8) -> WriterOp {
+        let order = if self.config.variant == Variant::NoReleaseFence {
+            [WriterOp::Tag, WriterOp::Publish, WriterOp::Val]
+        } else {
+            [WriterOp::Tag, WriterOp::Val, WriterOp::Publish]
+        };
+        order[sub as usize]
+    }
+
+    /// True once the writer has executed the word store for `epoch`.
+    fn published(&self, state: &SvcState, epoch: u8) -> bool {
+        let base = 3 * (epoch - 1);
+        let pub_sub = if self.config.variant == Variant::NoReleaseFence {
+            1
+        } else {
+            2
+        };
+        state.wpc > base + pub_sub
+    }
+
+    /// Ends the reader's current query and lines up the next.
+    fn finish_query(&self, rd: &mut Reader) {
+        rd.qi += 1;
+        rd.e = 0;
+        rd.pc = if rd.qi as usize >= self.config.shards {
+            Rpc::Done
+        } else {
+            Rpc::Load
+        };
+    }
+
+    /// Terminal-state checks: quiescence must mean clean completion with
+    /// balanced permits and converged shards.
+    fn check_terminal(&self, state: &SvcState) -> Result<(), String> {
+        let c = &self.config;
+        let writer_done = state.wpc as usize == 3 * c.epochs;
+        let bumps_done = (0..c.epochs).all(|i| state.bump[i] as usize == c.shards + 1);
+        let readers_done = state.readers[..c.readers].iter().all(|r| r.pc == Rpc::Done);
+        if !(writer_done && bumps_done && readers_done) {
+            return Err(format!(
+                "deadlock: quiescent with unfinished threads (writer done: {writer_done}, bumps done: {bumps_done}, readers done: {readers_done})"
+            ));
+        }
+        if state.inflight != 0 {
+            return Err(format!(
+                "permit-leak: {} admission permit(s) never released at quiescence",
+                state.inflight
+            ));
+        }
+        if state.granted != state.released {
+            return Err(format!(
+                "permit-imbalance: {} permits granted but {} released",
+                state.granted, state.released
+            ));
+        }
+        if state.cword as usize != c.epochs {
+            return Err(format!(
+                "bump-divergence: cache epoch word ended at {}, expected {}",
+                state.cword, c.epochs
+            ));
+        }
+        for k in 0..c.shards {
+            let sh = state.shards[k];
+            if sh.epoch as usize != c.epochs {
+                return Err(format!(
+                    "sweep-divergence: shard {k} ended at epoch {}, expected {}",
+                    sh.epoch, c.epochs
+                ));
+            }
+            if sh.entry != 0 && sh.entry != sh.epoch {
+                return Err(format!(
+                    "stale-entry: shard {k} still holds a value from epoch {} at epoch {}",
+                    sh.entry, sh.epoch
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl TransitionSystem for Svc {
+    type State = SvcState;
+    type Action = Action;
+
+    fn initial(&self) -> SvcState {
+        let mut readers = [Reader {
+            pc: Rpc::Done,
+            qi: 0,
+            e: 0,
+        }; MAX_READERS];
+        for rd in readers.iter_mut().take(self.config.readers) {
+            rd.pc = Rpc::Load;
+        }
+        // Bump tasks past the horizon are born done so quiescence does
+        // not wait on them.
+        let mut bump = [0u8; MAX_EPOCHS];
+        for (i, b) in bump.iter_mut().enumerate() {
+            if i >= self.config.epochs {
+                *b = self.config.shards as u8 + 1;
+            }
+        }
+        SvcState {
+            wpc: 0,
+            word: 0,
+            slots: [Slot { tag: 0, val: 0 }; RING],
+            cword: 0,
+            bump,
+            shards: [Shard { epoch: 0, entry: 0 }; MAX_SHARDS],
+            readers,
+            tokens: self.config.tokens,
+            inflight: 0,
+            granted: 0,
+            released: 0,
+        }
+    }
+
+    /// All enabled scheduling choices: writer first, then bump tasks by
+    /// epoch, then readers by index — deterministic order.
+    fn enabled(&self, state: &SvcState) -> Vec<Action> {
+        let c = &self.config;
+        let mut steps = Vec::new();
+        if (state.wpc as usize) < 3 * c.epochs {
+            steps.push(Action::Writer);
+        }
+        for e in 1..=c.epochs as u8 {
+            if self.published(state, e) && (state.bump[e as usize - 1] as usize) <= c.shards {
+                steps.push(Action::Bumper(e));
+            }
+        }
+        for (r, rd) in state.readers[..c.readers].iter().enumerate() {
+            match rd.pc {
+                Rpc::Done => {}
+                // A reader spins (parks) until the first publish; the
+                // load is only a step once the word is nonzero.
+                Rpc::Load if state.word == 0 => {}
+                _ => steps.push(Action::Reader(r as u8)),
+            }
+        }
+        steps
+    }
+
+    fn apply(&self, state: &SvcState, action: Action) -> Result<SvcState, String> {
+        let c = self.config;
+        let mut next = state.clone();
+        match action {
+            Action::Writer => {
+                let epoch = next.wpc / 3 + 1;
+                match self.writer_op(next.wpc % 3) {
+                    WriterOp::Tag => next.slots[epoch as usize % RING].tag = epoch,
+                    WriterOp::Val => next.slots[epoch as usize % RING].val = epoch,
+                    WriterOp::Publish => {
+                        next.word = epoch;
+                        // The ingest tick refills miss tokens before it
+                        // publishes.
+                        next.tokens = c.tokens;
+                    }
+                }
+                next.wpc += 1;
+            }
+            Action::Bumper(e) => {
+                let i = e as usize - 1;
+                if next.bump[i] == 0 {
+                    let prev = next.cword;
+                    let new = if c.variant == Variant::NoFetchMax {
+                        e
+                    } else {
+                        prev.max(e)
+                    };
+                    if new < prev {
+                        return Err(format!(
+                            "epoch-regression: cache epoch word regressed from {prev} to {new} under racing bumps"
+                        ));
+                    }
+                    next.cword = new;
+                    // fetch_max returning prev >= e means a newer bump
+                    // already swept; this one returns without sweeping.
+                    next.bump[i] = if c.variant != Variant::NoFetchMax && prev >= e {
+                        c.shards as u8 + 1
+                    } else {
+                        1
+                    };
+                } else {
+                    let k = next.bump[i] as usize - 1;
+                    let sh = &mut next.shards[k];
+                    if sh.epoch < e {
+                        sh.entry = 0;
+                        sh.epoch = e;
+                    }
+                    next.bump[i] += 1;
+                }
+            }
+            Action::Reader(r) => {
+                let rd = &mut next.readers[r as usize];
+                match rd.pc {
+                    Rpc::Load => {
+                        rd.e = next.word;
+                        rd.pc = Rpc::ReadSlot;
+                    }
+                    Rpc::ReadSlot => {
+                        let slot = next.slots[rd.e as usize % RING];
+                        if slot.tag != rd.e {
+                            // Lapped or not yet tagged: retry the load,
+                            // exactly like the real validation loop.
+                            rd.e = 0;
+                            rd.pc = Rpc::Load;
+                        } else {
+                            if slot.val != rd.e {
+                                return Err(format!(
+                                    "torn-read: reader {r} validated the slot for epoch {} but read a value written under epoch {}",
+                                    rd.e, slot.val
+                                ));
+                            }
+                            rd.pc = Rpc::Probe;
+                        }
+                    }
+                    Rpc::Probe => {
+                        let sh = next.shards[rd.qi as usize];
+                        if sh.epoch == rd.e && sh.entry != 0 {
+                            if sh.entry != rd.e {
+                                return Err(format!(
+                                    "cross-epoch-hit: reader {r} hit a cached value written under epoch {} while serving epoch {}",
+                                    sh.entry, rd.e
+                                ));
+                            }
+                            self.finish_query(rd);
+                        } else {
+                            rd.pc = Rpc::AdmitToken;
+                        }
+                    }
+                    Rpc::AdmitToken => {
+                        if next.tokens == 0 {
+                            // Shed: the query degrades to uncached-path
+                            // behavior; no permit, no insert.
+                            self.finish_query(rd);
+                        } else {
+                            if next.tokens != UNBOUNDED {
+                                next.tokens -= 1;
+                            }
+                            rd.pc = Rpc::AdmitInflight;
+                        }
+                    }
+                    Rpc::AdmitInflight => {
+                        next.inflight += 1;
+                        next.granted += 1;
+                        if c.max_inflight != UNBOUNDED && next.inflight > c.max_inflight {
+                            if c.variant == Variant::NoInflightRollback {
+                                // Seeded bug: shed without undoing the
+                                // fetch_add.
+                                self.finish_query(rd);
+                            } else {
+                                rd.pc = Rpc::Rollback;
+                            }
+                        } else {
+                            rd.pc = Rpc::Insert;
+                        }
+                    }
+                    Rpc::Rollback => {
+                        next.inflight -= 1;
+                        next.granted -= 1;
+                        self.finish_query(rd);
+                    }
+                    Rpc::Insert => {
+                        let sh = &mut next.shards[rd.qi as usize];
+                        if c.variant == Variant::NoShardEpochCheck || sh.epoch == rd.e {
+                            sh.entry = rd.e;
+                        }
+                        rd.pc = Rpc::Release;
+                    }
+                    Rpc::Release => {
+                        if next.inflight == 0 {
+                            return Err(format!(
+                                "double-release: reader {r} released a permit with none outstanding"
+                            ));
+                        }
+                        next.inflight -= 1;
+                        next.released += 1;
+                        self.finish_query(rd);
+                    }
+                    Rpc::Done => unreachable!("Done readers are never enabled"),
+                }
+            }
+        }
+        Ok(next)
+    }
+
+    fn describe(&self, state: &SvcState, action: Action) -> String {
+        match action {
+            Action::Writer => {
+                let epoch = state.wpc / 3 + 1;
+                match self.writer_op(state.wpc % 3) {
+                    WriterOp::Tag => format!(
+                        "writer: tags slot {} for epoch {epoch}",
+                        epoch as usize % RING
+                    ),
+                    WriterOp::Val => format!(
+                        "writer: writes the epoch-{epoch} value into slot {}",
+                        epoch as usize % RING
+                    ),
+                    WriterOp::Publish => {
+                        format!(
+                            "writer: publishes epoch word := {epoch} (Release) and refills tokens"
+                        )
+                    }
+                }
+            }
+            Action::Bumper(e) => {
+                let prog = state.bump[e as usize - 1];
+                if prog == 0 {
+                    if self.config.variant == Variant::NoFetchMax {
+                        format!("bump({e}): stores the cache epoch word (no fetch_max)")
+                    } else {
+                        format!("bump({e}): fetch_max on the cache epoch word")
+                    }
+                } else {
+                    format!("bump({e}): sweeps shard {} under its lock", prog - 1)
+                }
+            }
+            Action::Reader(r) => {
+                let rd = state.readers[r as usize];
+                match rd.pc {
+                    Rpc::Load => format!("reader {r}: loads epoch word -> {}", state.word),
+                    Rpc::ReadSlot => {
+                        let slot = state.slots[rd.e as usize % RING];
+                        if slot.tag != rd.e {
+                            format!(
+                                "reader {r}: slot tagged {} != loaded epoch {}, retries",
+                                slot.tag, rd.e
+                            )
+                        } else {
+                            format!("reader {r}: validates the slot for epoch {}", rd.e)
+                        }
+                    }
+                    Rpc::Probe => format!("reader {r}: probes shard {} at epoch {}", rd.qi, rd.e),
+                    Rpc::AdmitToken => {
+                        if state.tokens == 0 {
+                            format!("reader {r}: no miss token, sheds the query")
+                        } else {
+                            format!("reader {r}: takes a miss token")
+                        }
+                    }
+                    Rpc::AdmitInflight => format!("reader {r}: enters the inflight gauge"),
+                    Rpc::Rollback => format!("reader {r}: rolls back the over-cap admission"),
+                    Rpc::Insert => format!(
+                        "reader {r}: inserts into shard {} under epoch {}",
+                        rd.qi, rd.e
+                    ),
+                    Rpc::Release => format!("reader {r}: releases its miss permit"),
+                    Rpc::Done => String::from("reader done"),
+                }
+            }
+        }
+    }
+
+    /// Symmetry reduction: readers run identical scripts against shared
+    /// state that never names a reader, so sorting the reader vector
+    /// yields a canonical representative of the symmetry class.
+    fn canonical(&self, state: &SvcState) -> SvcState {
+        let mut canon = state.clone();
+        canon.readers[..self.config.readers].sort_unstable();
+        canon
+    }
+}
+
+/// The result of one exhaustive serving-path exploration.
+#[derive(Debug, Clone)]
+pub struct SvcReport {
+    /// Configuration explored.
+    pub config: SvcConfig,
+    /// Shared exploration accounting, including any [`Violation`].
+    pub stats: ExploreStats,
+}
+
+impl SvcReport {
+    /// True when the exploration finished without any violation.
+    pub fn holds(&self) -> bool {
+        self.stats.holds()
+    }
+}
+
+/// Exhaustively explores every interleaving of `config` and checks all
+/// serving-path invariants. Deterministic: identical configs produce
+/// identical reports.
+pub fn check(config: SvcConfig) -> SvcReport {
+    let sys = Svc::new(config);
+    let stats = mc::explore(&sys, &mc::Budget::default(), |s| sys.check_terminal(s));
+    SvcReport { config, stats }
+}
+
+/// Finds the shortest schedule violating any invariant under `config`,
+/// or `None` when the configuration holds. Used by the negative-control
+/// suites, where a human reads the trace.
+pub fn minimal_counterexample(config: SvcConfig) -> Option<Violation> {
+    let sys = Svc::new(config);
+    mc::shortest_violation(&sys, &mc::Budget::default(), |s| sys.check_terminal(s))
+}
+
+/// Harvests up to `limit` explored initial-to-terminal schedules for
+/// conformance replay.
+pub fn schedules(config: SvcConfig, limit: usize) -> Vec<Vec<Action>> {
+    mc::collect_schedules(&Svc::new(config), limit)
+}
+
+/// The trait-level instrumentation hook the conformance layer drives.
+///
+/// Each method is one model micro-step; the real
+/// `EpochSwap`/`EpochCache`/`Admission` implement it via their probe
+/// seams (`begin_publish`/`commit`, `try_load_at`, `bump_word`,
+/// `sweep_shard`, `take_token`/`enter_inflight`/`exit_inflight`), and
+/// [`replay`] asserts after every step that the implementation observed
+/// exactly what the model predicts.
+pub trait ServingHarness {
+    /// Stage the slot write for `epoch` (the tag half).
+    fn write_slot_tag(&mut self, epoch: u64);
+    /// Complete the slot write for `epoch` (the value half).
+    fn write_slot_val(&mut self, epoch: u64);
+    /// Release-store the epoch word and refill miss tokens.
+    fn publish_epoch(&mut self, epoch: u64);
+    /// Acquire-load the epoch word.
+    fn load_epoch(&mut self) -> u64;
+    /// Validate the ring slot for `epoch`; `Some(value)` on success,
+    /// `None` when the slot was lapped (retry).
+    fn read_slot(&mut self, epoch: u64) -> Option<u64>;
+    /// Probe `shard` at `epoch`; `Some(value)` on a hit.
+    fn probe(&mut self, shard: usize, epoch: u64) -> Option<u64>;
+    /// Take a miss token; false = shed.
+    fn take_token(&mut self) -> bool;
+    /// Enter the inflight gauge; false = over the cap.
+    fn enter_inflight(&mut self) -> bool;
+    /// Roll back an over-cap [`Self::enter_inflight`].
+    fn rollback_inflight(&mut self);
+    /// Insert the epoch-tagged value into `shard` under its lock.
+    fn insert(&mut self, shard: usize, epoch: u64);
+    /// Release the miss permit.
+    fn release_permit(&mut self);
+    /// `bump_to`'s fetch_max on the cache epoch word; returns whether
+    /// this bump must sweep (the word advanced).
+    fn bump_word(&mut self, epoch: u64) -> bool;
+    /// Sweep one shard under its lock.
+    fn sweep_shard(&mut self, shard: usize, epoch: u64);
+}
+
+/// Replays `schedule` step-for-step against `harness`, walking the
+/// model alongside and asserting at every step that the implementation
+/// agrees with the model's prediction: epoch loads, slot validation,
+/// hit/miss outcomes, hit values, admission outcomes, and sweep
+/// decisions. Use [`Variant::Correct`] configs — the point is to pin
+/// the *implementation* to the *proved* model.
+///
+/// # Errors
+///
+/// Returns the first disagreement (or model-level violation) rendered
+/// as a human-readable message.
+pub fn replay<H: ServingHarness>(
+    config: SvcConfig,
+    schedule: &[Action],
+    harness: &mut H,
+) -> Result<(), String> {
+    let sys = Svc::new(config);
+    let mut state = sys.initial();
+    for (i, &action) in schedule.iter().enumerate() {
+        let step = sys.describe(&state, action);
+        match action {
+            Action::Writer => {
+                let epoch = u64::from(state.wpc / 3 + 1);
+                match sys.writer_op(state.wpc % 3) {
+                    WriterOp::Tag => harness.write_slot_tag(epoch),
+                    WriterOp::Val => harness.write_slot_val(epoch),
+                    WriterOp::Publish => harness.publish_epoch(epoch),
+                }
+            }
+            Action::Bumper(e) => {
+                let i = e as usize - 1;
+                if state.bump[i] == 0 {
+                    let model_sweeps = state.cword < e;
+                    let impl_sweeps = harness.bump_word(u64::from(e));
+                    if impl_sweeps != model_sweeps {
+                        return Err(format!(
+                            "conformance step {i} [{step}]: bump_word({e}) swept={impl_sweeps}, model predicts {model_sweeps}"
+                        ));
+                    }
+                } else {
+                    harness.sweep_shard(state.bump[i] as usize - 1, u64::from(e));
+                }
+            }
+            Action::Reader(r) => {
+                let rd = state.readers[r as usize];
+                match rd.pc {
+                    Rpc::Load => {
+                        let got = harness.load_epoch();
+                        if got != u64::from(state.word) {
+                            return Err(format!(
+                                "conformance step {i} [{step}]: loaded epoch {got}, model predicts {}",
+                                state.word
+                            ));
+                        }
+                    }
+                    Rpc::ReadSlot => {
+                        let slot = state.slots[rd.e as usize % RING];
+                        let model_valid = slot.tag == rd.e;
+                        let got = harness.read_slot(u64::from(rd.e));
+                        match (got, model_valid) {
+                            (Some(v), true) if v != u64::from(slot.val) => {
+                                return Err(format!(
+                                    "conformance step {i} [{step}]: slot value {v}, model predicts {}",
+                                    slot.val
+                                ));
+                            }
+                            (Some(_), true) | (None, false) => {}
+                            (got, _) => {
+                                return Err(format!(
+                                    "conformance step {i} [{step}]: slot validation {:?}, model predicts valid={model_valid}",
+                                    got.map(|_| "valid")
+                                ));
+                            }
+                        }
+                    }
+                    Rpc::Probe => {
+                        let sh = state.shards[rd.qi as usize];
+                        let model_hit = sh.epoch == rd.e && sh.entry != 0;
+                        let got = harness.probe(rd.qi as usize, u64::from(rd.e));
+                        if got.is_some() != model_hit {
+                            return Err(format!(
+                                "conformance step {i} [{step}]: hit={}, model predicts {model_hit}",
+                                got.is_some()
+                            ));
+                        }
+                        if let Some(v) = got {
+                            if v != u64::from(sh.entry) {
+                                return Err(format!(
+                                    "conformance step {i} [{step}]: hit value from epoch {v}, model predicts {}",
+                                    sh.entry
+                                ));
+                            }
+                        }
+                    }
+                    Rpc::AdmitToken => {
+                        let model_grants = state.tokens != 0;
+                        let got = harness.take_token();
+                        if got != model_grants {
+                            return Err(format!(
+                                "conformance step {i} [{step}]: take_token={got}, model predicts {model_grants}"
+                            ));
+                        }
+                    }
+                    Rpc::AdmitInflight => {
+                        let model_within = config.max_inflight == UNBOUNDED
+                            || state.inflight < config.max_inflight;
+                        let got = harness.enter_inflight();
+                        if got != model_within {
+                            return Err(format!(
+                                "conformance step {i} [{step}]: enter_inflight={got}, model predicts {model_within}"
+                            ));
+                        }
+                    }
+                    Rpc::Rollback => harness.rollback_inflight(),
+                    Rpc::Insert => harness.insert(rd.qi as usize, u64::from(rd.e)),
+                    Rpc::Release => harness.release_permit(),
+                    Rpc::Done => {
+                        return Err(format!(
+                            "conformance step {i}: schedule drives a finished reader {r}"
+                        ))
+                    }
+                }
+            }
+        }
+        state = sys
+            .apply(&state, action)
+            .map_err(|v| format!("conformance step {i} [{step}]: model violation: {v}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bounds_hold() {
+        let report = check(SvcConfig::new(2, 2, 2));
+        assert!(report.holds(), "{:?}", report.stats.violation);
+        assert!(report.stats.states > 1_000);
+        assert!(report.stats.terminals >= 1);
+        assert!(!report.stats.truncated);
+    }
+
+    #[test]
+    fn lapping_the_ring_holds() {
+        // 3 epochs on a 2-slot ring: epoch 3 reclaims epoch 1's slot,
+        // exercising the retry path of slot validation.
+        let report = check(SvcConfig::new(2, 1, 3));
+        assert!(report.holds(), "{:?}", report.stats.violation);
+    }
+
+    #[test]
+    fn admission_pressure_holds() {
+        let report = check(SvcConfig::new(2, 2, 2).with_admission(1, 1));
+        assert!(report.holds(), "{:?}", report.stats.violation);
+    }
+
+    #[test]
+    fn toctou_variant_is_refuted_with_a_trace() {
+        let config = SvcConfig::new(2, 2, 2).with_variant(Variant::NoShardEpochCheck);
+        let report = check(config);
+        assert!(!report.holds(), "the seeded TOCTOU must be found");
+        let v = minimal_counterexample(config).expect("BFS must find it too");
+        assert!(v.kind.starts_with("cross-epoch-hit") || v.kind.starts_with("stale-entry"));
+        assert!(!v.trace.is_empty());
+    }
+
+    #[test]
+    fn dropped_release_fence_is_refuted_with_a_trace() {
+        let config = SvcConfig::new(2, 2, 2).with_variant(Variant::NoReleaseFence);
+        let report = check(config);
+        assert!(!report.holds(), "the dropped fence must be found");
+        let v = minimal_counterexample(config).expect("BFS must find it too");
+        assert!(v.kind.starts_with("torn-read"), "{}", v.kind);
+        assert!(!v.trace.is_empty());
+    }
+
+    #[test]
+    fn plain_store_bump_is_refuted() {
+        let config = SvcConfig::new(1, 1, 2).with_variant(Variant::NoFetchMax);
+        let v = minimal_counterexample(config).expect("racing bumps must regress");
+        assert!(v.kind.starts_with("epoch-regression"), "{}", v.kind);
+    }
+
+    #[test]
+    fn missing_rollback_is_refuted() {
+        let config = SvcConfig::new(2, 1, 1)
+            .with_admission(UNBOUNDED, 1)
+            .with_variant(Variant::NoInflightRollback);
+        let v = minimal_counterexample(config).expect("the leak must surface");
+        assert!(v.kind.starts_with("permit-leak"), "{}", v.kind);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let a = check(SvcConfig::new(2, 2, 2));
+        let b = check(SvcConfig::new(2, 2, 2));
+        assert_eq!(a.stats.states, b.stats.states);
+        assert_eq!(a.stats.transitions, b.stats.transitions);
+        assert_eq!(a.stats.terminals, b.stats.terminals);
+    }
+
+    /// A faithful shadow implementation of the harness: replays the
+    /// model semantics with plain fields, pinning the replay driver's
+    /// predictions (the real-types harness lives in the workspace test
+    /// suite, which depends on `prodpred-service`).
+    struct Shadow {
+        config: SvcConfig,
+        word: u64,
+        slots: [(u64, u64); RING],
+        cword: u64,
+        shards: Vec<(u64, u64)>,
+        tokens: u64,
+        inflight: u64,
+    }
+
+    impl Shadow {
+        fn new(config: SvcConfig) -> Self {
+            Shadow {
+                config,
+                word: 0,
+                slots: [(0, 0); RING],
+                cword: 0,
+                shards: vec![(0, 0); config.shards],
+                tokens: u64::from(config.tokens),
+                inflight: 0,
+            }
+        }
+    }
+
+    impl ServingHarness for Shadow {
+        fn write_slot_tag(&mut self, epoch: u64) {
+            self.slots[epoch as usize % RING].0 = epoch;
+        }
+        fn write_slot_val(&mut self, epoch: u64) {
+            self.slots[epoch as usize % RING].1 = epoch;
+        }
+        fn publish_epoch(&mut self, epoch: u64) {
+            self.word = epoch;
+            self.tokens = u64::from(self.config.tokens);
+        }
+        fn load_epoch(&mut self) -> u64 {
+            self.word
+        }
+        fn read_slot(&mut self, epoch: u64) -> Option<u64> {
+            let (tag, val) = self.slots[epoch as usize % RING];
+            (tag == epoch).then_some(val)
+        }
+        fn probe(&mut self, shard: usize, epoch: u64) -> Option<u64> {
+            let (sh_epoch, entry) = self.shards[shard];
+            (sh_epoch == epoch && entry != 0).then_some(entry)
+        }
+        fn take_token(&mut self) -> bool {
+            if self.tokens == 0 {
+                return false;
+            }
+            if self.tokens != u64::from(UNBOUNDED) {
+                self.tokens -= 1;
+            }
+            true
+        }
+        fn enter_inflight(&mut self) -> bool {
+            self.inflight += 1;
+            u64::from(self.config.max_inflight) == u64::from(UNBOUNDED)
+                || self.inflight <= u64::from(self.config.max_inflight)
+        }
+        fn rollback_inflight(&mut self) {
+            self.inflight -= 1;
+        }
+        fn insert(&mut self, shard: usize, epoch: u64) {
+            if self.shards[shard].0 == epoch {
+                self.shards[shard].1 = epoch;
+            }
+        }
+        fn release_permit(&mut self) {
+            self.inflight -= 1;
+        }
+        fn bump_word(&mut self, epoch: u64) -> bool {
+            let prev = self.cword;
+            self.cword = self.cword.max(epoch);
+            prev < epoch
+        }
+        fn sweep_shard(&mut self, shard: usize, epoch: u64) {
+            if self.shards[shard].0 < epoch {
+                self.shards[shard] = (epoch, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn explored_schedules_replay_against_the_shadow() {
+        let config = SvcConfig::new(2, 2, 2);
+        let all = schedules(config, 200);
+        assert!(!all.is_empty());
+        for schedule in &all {
+            let mut shadow = Shadow::new(config);
+            replay(config, schedule, &mut shadow).expect("shadow must conform");
+        }
+    }
+
+    #[test]
+    fn replay_with_admission_pressure_conforms() {
+        let config = SvcConfig::new(2, 1, 2).with_admission(1, 1);
+        for schedule in schedules(config, 200) {
+            let mut shadow = Shadow::new(config);
+            replay(config, &schedule, &mut shadow).expect("shadow must conform");
+        }
+    }
+}

@@ -69,9 +69,14 @@ fn pp006_errors_docs() {
 }
 
 #[test]
+fn pp010_unfenced_atomics() {
+    check("pp010");
+}
+
+#[test]
 fn every_fixture_has_at_least_one_finding() {
     for name in [
-        "pp000", "pp001", "pp002", "pp003", "pp004", "pp005", "pp006",
+        "pp000", "pp001", "pp002", "pp003", "pp004", "pp005", "pp006", "pp010",
     ] {
         assert!(
             !render_fixture(name).is_empty(),
@@ -83,7 +88,7 @@ fn every_fixture_has_at_least_one_finding() {
 #[test]
 fn diagnostics_are_deterministic() {
     for name in [
-        "pp000", "pp001", "pp002", "pp003", "pp004", "pp005", "pp006",
+        "pp000", "pp001", "pp002", "pp003", "pp004", "pp005", "pp006", "pp010",
     ] {
         assert_eq!(
             render_fixture(name),

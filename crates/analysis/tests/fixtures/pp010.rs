@@ -1,0 +1,21 @@
+//! PP010 fixture: atomics fenced into the audited concurrency modules.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A stray lock-free counter outside the audited modules.
+pub struct Counter {
+    hits: AtomicU64,
+}
+
+impl Counter {
+    /// Bumps the counter.
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads the counter through a justified escape.
+    pub fn hits(&self) -> u64 {
+        // tidy:allow(PP010): fixture of a justified escape hatch
+        self.hits.load(Ordering::Acquire)
+    }
+}

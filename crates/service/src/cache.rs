@@ -184,7 +184,19 @@ impl<V> EpochCache<V> {
     }
 
     fn shard(&self, key: &QueryKey) -> &Mutex<Shard<V>> {
-        &self.shards[(key.fingerprint() % self.shards.len() as u64) as usize]
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// The shard `key` routes to — deterministic (FNV-1a), exposed so
+    /// the model-checking conformance harness can pick one key per
+    /// shard.
+    pub fn shard_index(&self, key: &QueryKey) -> usize {
+        (key.fingerprint() % self.shards.len() as u64) as usize
+    }
+
+    /// How many shards this cache was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Advances the cache to `epoch`, dropping **every** entry: a new
@@ -193,18 +205,37 @@ impl<V> EpochCache<V> {
     /// concurrent callers (`fetch_max` keeps the stored epoch monotone,
     /// and the per-shard epoch only ever advances under its lock).
     pub fn bump_to(&self, epoch: u64) {
-        if self.epoch.fetch_max(epoch, Ordering::AcqRel) >= epoch {
+        if !self.bump_word(epoch) {
             return;
         }
-        for shard in &self.shards {
-            let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
-            if guard.epoch < epoch {
-                self.invalidated
-                    .fetch_add(guard.map.len() as u64, Ordering::Relaxed);
-                guard.map.clear();
-                guard.order.clear();
-                guard.epoch = epoch;
-            }
+        for i in 0..self.shards.len() {
+            self.sweep_shard(i, epoch);
+        }
+    }
+
+    /// The fetch_max half of [`Self::bump_to`]: advances the cache-wide
+    /// epoch word and reports whether this caller won the advance (and
+    /// so must sweep the shards). A `false` return means an equal or
+    /// newer bump already owns the sweep. This is the conformance seam
+    /// the `prodpred-analysis::svc` model replays.
+    pub fn bump_word(&self, epoch: u64) -> bool {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel) < epoch
+    }
+
+    /// The per-shard half of [`Self::bump_to`]: under shard `i`'s lock,
+    /// drops its entries and advances its epoch if it is still behind
+    /// `epoch`. Idempotent; out-of-order sweeps from racing bumps are
+    /// ignored by the same comparison.
+    pub fn sweep_shard(&self, i: usize, epoch: u64) {
+        let mut guard = self.shards[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if guard.epoch < epoch {
+            self.invalidated
+                .fetch_add(guard.map.len() as u64, Ordering::Relaxed);
+            guard.map.clear();
+            guard.order.clear();
+            guard.epoch = epoch;
         }
     }
 

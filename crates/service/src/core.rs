@@ -14,7 +14,8 @@
 
 use crate::cache::{CacheConfig, CacheStats, EpochCache, QueryKey};
 use crate::resilience::{
-    widening_factor, Admission, IngestOutcome, IngestStats, ResilienceConfig, ServingState,
+    widening_factor, Admission, IngestOutcome, IngestStats, ResilienceConfig, ServingCounters,
+    ServingState, TickMirror,
 };
 use crate::swap::EpochSwap;
 use prodpred_core::supervisor::{BreakerState, CircuitBreaker};
@@ -28,7 +29,6 @@ use prodpred_stochastic::MaxStrategy;
 use prodpred_structural::{degrade, degrade_point};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Service-wide tunables. Everything downstream — traces, sensor
@@ -265,15 +265,10 @@ struct PlatformState {
     published: EpochSwap<PublishedSnapshot>,
     cache: EpochCache<PredictResponse>,
     ingest: Mutex<IngestState>,
-    /// Ingest ticks attempted so far (warmup included) — the query
-    /// path's clock for snapshot age.
-    ticks: AtomicU64,
-    /// Lock-free mirror of the breaker state for the query path:
-    /// 0 = Closed, 1 = Open, 2 = HalfOpen.
-    breaker_mirror: AtomicU8,
-    /// Lock-free Retry-After hint in whole seconds: the breaker's
-    /// remaining cooldown when open, else one publish interval.
-    retry_hint: AtomicU64,
+    /// Lock-free mirrors of the tick clock, breaker state, and
+    /// Retry-After hint — the query path's view of ingest, refreshed at
+    /// every tick without the ingest lock.
+    mirror: TickMirror,
 }
 
 impl PlatformState {
@@ -305,9 +300,7 @@ impl PlatformState {
                 last_publish_tick: 0,
                 stats: IngestStats::default(),
             }),
-            ticks: AtomicU64::new(0),
-            breaker_mirror: AtomicU8::new(0),
-            retry_hint: AtomicU64::new(config.publish_interval.ceil().max(1.0) as u64),
+            mirror: TickMirror::new(config.publish_interval.ceil().max(1.0) as u64),
         }
     }
 
@@ -319,7 +312,7 @@ impl PlatformState {
     /// service.
     fn try_tick(&self, dt: f64, config: &ServiceConfig) -> IngestOutcome {
         let mut ing = self.ingest.lock().unwrap_or_else(PoisonError::into_inner);
-        let tick_no = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        let tick_no = self.mirror.next_tick();
         ing.stats.attempts += 1;
         let outcome = if config.fault.is_none() {
             ing.clock = (ing.clock + dt).min(config.horizon);
@@ -336,23 +329,14 @@ impl PlatformState {
         };
         // Refresh the query path's lock-free mirrors.
         let state = ing.breaker.state();
-        self.breaker_mirror.store(
-            match state {
-                BreakerState::Closed => 0,
-                BreakerState::Open => 1,
-                BreakerState::HalfOpen => 2,
-            },
-            Ordering::Relaxed,
-        );
+        self.mirror.set_breaker(state);
         let hint = if state == BreakerState::Open {
             (ing.breaker.open_until() - ing.clock).max(0.0).ceil() as u64
         } else {
             0
         };
-        self.retry_hint.store(
-            hint.max(config.publish_interval.ceil().max(1.0) as u64),
-            Ordering::Relaxed,
-        );
+        self.mirror
+            .set_retry_hint(hint.max(config.publish_interval.ceil().max(1.0) as u64));
         outcome
     }
 
@@ -460,12 +444,8 @@ impl PlatformState {
     /// the two inputs of [`ServingState::derive`] — for the snapshot
     /// published at `published_tick`. Lock-free.
     fn age_and_breaker(&self, published_tick: u64) -> (u64, bool) {
-        let age = self
-            .ticks
-            .load(Ordering::Relaxed)
-            .saturating_sub(published_tick);
-        let open = self.breaker_mirror.load(Ordering::Relaxed) != 0;
-        (age, open)
+        let age = self.mirror.ticks().saturating_sub(published_tick);
+        (age, self.mirror.breaker_open())
     }
 }
 
@@ -475,10 +455,7 @@ pub struct ServiceCore {
     config: ServiceConfig,
     platforms: [PlatformState; 2],
     admission: Admission,
-    queries: AtomicU64,
-    rejected: AtomicU64,
-    unavailable: AtomicU64,
-    degraded_served: AtomicU64,
+    counters: ServingCounters,
 }
 
 impl ServiceCore {
@@ -495,10 +472,7 @@ impl ServiceCore {
             config,
             platforms,
             admission,
-            queries: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            unavailable: AtomicU64::new(0),
-            degraded_served: AtomicU64::new(0),
+            counters: ServingCounters::new(),
         };
         for p in &core.platforms {
             p.try_tick(core.config.warmup, &core.config);
@@ -623,15 +597,8 @@ impl ServiceCore {
     pub fn query(&self, req: &PredictRequest) -> Result<PredictResponse, ServiceError> {
         let outcome = self.query_inner(req);
         match &outcome {
-            Ok(r) => {
-                self.queries.fetch_add(1, Ordering::Relaxed);
-                if r.degraded {
-                    self.degraded_served.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            Err(_) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-            }
+            Ok(r) => self.counters.record_served(r.degraded),
+            Err(_) => self.counters.record_rejected(),
         }
         outcome
     }
@@ -645,11 +612,11 @@ impl ServiceCore {
         let (age, breaker_open) = state.age_and_breaker(published.tick);
         let serving = ServingState::derive(age, breaker_open, &self.config.resilience);
         if serving == ServingState::Unavailable {
-            self.unavailable.fetch_add(1, Ordering::Relaxed);
+            self.counters.record_unavailable();
             return Err(ServiceError::Unavailable {
                 platform: req.platform,
                 age_ticks: age,
-                retry_after_secs: state.retry_hint.load(Ordering::Relaxed),
+                retry_after_secs: state.mirror.retry_hint(),
             });
         }
         let key = QueryKey::new(
@@ -770,7 +737,7 @@ impl ServiceCore {
             return Err(ServiceError::Unavailable {
                 platform: req.platform,
                 age_ticks: age,
-                retry_after_secs: state.retry_hint.load(Ordering::Relaxed),
+                retry_after_secs: state.mirror.retry_hint(),
             });
         }
         let response = Self::answer(&state.platform, &published.snapshot, req, epoch)?;
@@ -805,11 +772,11 @@ impl ServiceCore {
         }
         ServiceStats {
             epochs_published: self.epoch(),
-            queries: self.queries.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            unavailable: self.unavailable.load(Ordering::Relaxed),
+            queries: self.counters.queries(),
+            rejected: self.counters.rejected(),
+            unavailable: self.counters.unavailable(),
             shed: self.admission.shed(),
-            degraded_served: self.degraded_served.load(Ordering::Relaxed),
+            degraded_served: self.counters.degraded_served(),
             serving_platform1: self.serving(1).unwrap_or(ServingState::Unavailable),
             serving_platform2: self.serving(2).unwrap_or(ServingState::Unavailable),
             ingest,

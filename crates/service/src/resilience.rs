@@ -17,10 +17,10 @@
 //! discipline the NWS applies per-sensor — while Unavailable maps to a
 //! typed 503 with a Retry-After hint.
 
-use prodpred_core::supervisor::{CircuitBreaker, RetryPolicy};
+use prodpred_core::supervisor::{BreakerState, CircuitBreaker, RetryPolicy};
 use prodpred_simgrid::faults::FaultConfig;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Per-platform serving state, derived purely from the age of the
 /// published snapshot (in ingest ticks) and the ingest circuit
@@ -163,15 +163,33 @@ impl Admission {
     /// caller answers a typed 429); `Some` holds the in-flight slot
     /// until dropped.
     pub fn try_admit_miss(&self) -> Option<MissPermit<'_>> {
+        if !self.take_token() {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if !self.enter_inflight() {
+            self.exit_inflight();
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(MissPermit { admission: self })
+    }
+
+    /// The token half of [`Self::try_admit_miss`]: takes one miss token
+    /// from the per-tick bucket (CAS loop), `false` when the bucket is
+    /// dry. Exposed as a conformance seam for the
+    /// `prodpred-analysis::svc` model; callers outside the replay
+    /// harness should use [`Self::try_admit_miss`], which also keeps the
+    /// shed counter.
+    pub fn take_token(&self) -> bool {
         let mut tokens = self.tokens.load(Ordering::Relaxed);
         loop {
             if tokens == 0 {
-                self.shed.fetch_add(1, Ordering::Relaxed);
-                return None;
+                return false;
             }
             // u64::MAX means "unbounded": don't burn the bucket down.
             if tokens == u64::MAX {
-                break;
+                return true;
             }
             match self.tokens.compare_exchange_weak(
                 tokens,
@@ -179,17 +197,27 @@ impl Admission {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => break,
+                Ok(_) => return true,
                 Err(now) => tokens = now,
             }
         }
+    }
+
+    /// The gauge half of [`Self::try_admit_miss`]: enters the in-flight
+    /// gauge and reports whether the entry stayed within the cap. An
+    /// over-cap entry **must** be undone with [`Self::exit_inflight`] —
+    /// the fetch_add has already happened (that rollback ordering is
+    /// exactly what the `svc` model's `NoInflightRollback` negative
+    /// control checks).
+    pub fn enter_inflight(&self) -> bool {
         let inflight = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
-        if inflight > self.config.max_inflight_misses {
-            self.inflight.fetch_sub(1, Ordering::Relaxed);
-            self.shed.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        Some(MissPermit { admission: self })
+        inflight <= self.config.max_inflight_misses
+    }
+
+    /// Leaves the in-flight gauge: a permit release or an over-cap
+    /// rollback.
+    pub fn exit_inflight(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Queries shed so far (429s).
@@ -206,7 +234,131 @@ pub struct MissPermit<'a> {
 
 impl Drop for MissPermit<'_> {
     fn drop(&mut self) {
-        self.admission.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.admission.exit_inflight();
+    }
+}
+
+/// Lock-free mirrors of the supervised-ingest state for the query path:
+/// the tick clock, the breaker state, and the Retry-After hint. The
+/// ingest path refreshes them after every tick (under its own lock);
+/// queries read them without ever touching that lock. Every access is
+/// `Relaxed` — each word is an independent gauge and the query path only
+/// needs a recent-enough value, never an ordering between them.
+#[derive(Debug)]
+pub struct TickMirror {
+    /// Ingest ticks attempted so far (warmup included).
+    ticks: AtomicU64,
+    /// Breaker state: 0 = Closed, 1 = Open, 2 = HalfOpen.
+    breaker: AtomicU8,
+    /// Retry-After hint in whole seconds.
+    retry_hint: AtomicU64,
+}
+
+impl TickMirror {
+    /// A fresh mirror: zero ticks, breaker closed, `initial_hint`
+    /// seconds of Retry-After.
+    pub fn new(initial_hint: u64) -> Self {
+        Self {
+            ticks: AtomicU64::new(0),
+            breaker: AtomicU8::new(0),
+            retry_hint: AtomicU64::new(initial_hint),
+        }
+    }
+
+    /// Advances the tick clock and returns the new tick number (1-based).
+    pub fn next_tick(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Ticks attempted so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the breaker state for lock-free readers.
+    pub fn set_breaker(&self, state: BreakerState) {
+        self.breaker.store(
+            match state {
+                BreakerState::Closed => 0,
+                BreakerState::Open => 1,
+                BreakerState::HalfOpen => 2,
+            },
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Whether the mirrored breaker is in any non-closed state.
+    pub fn breaker_open(&self) -> bool {
+        self.breaker.load(Ordering::Relaxed) != 0
+    }
+
+    /// Publishes the Retry-After hint (whole seconds).
+    pub fn set_retry_hint(&self, secs: u64) {
+        self.retry_hint.store(secs, Ordering::Relaxed);
+    }
+
+    /// The current Retry-After hint (whole seconds).
+    pub fn retry_hint(&self) -> u64 {
+        self.retry_hint.load(Ordering::Relaxed)
+    }
+}
+
+/// Query-path outcome counters for [`ServiceStats`]-style snapshots.
+/// All `Relaxed`: each counter is an independent tally and readers take
+/// a point-in-time snapshot, not a consistent cut.
+///
+/// [`ServiceStats`]: crate::core::ServiceStats
+#[derive(Debug, Default)]
+pub struct ServingCounters {
+    queries: AtomicU64,
+    rejected: AtomicU64,
+    unavailable: AtomicU64,
+    degraded_served: AtomicU64,
+}
+
+impl ServingCounters {
+    /// All counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One query answered 200; `degraded` when it was served in a
+    /// non-Healthy state.
+    pub fn record_served(&self, degraded: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.degraded_served.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One query rejected (any typed error).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One query refused 503 (Unavailable).
+    pub fn record_unavailable(&self) {
+        self.unavailable.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queries answered 200 so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Queries rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Queries refused 503 so far.
+    pub fn unavailable(&self) -> u64 {
+        self.unavailable.load(Ordering::Relaxed)
+    }
+
+    /// Degraded 200s so far.
+    pub fn degraded_served(&self) -> u64 {
+        self.degraded_served.load(Ordering::Relaxed)
     }
 }
 

@@ -15,6 +15,7 @@ use crate::core::ServiceCore;
 use crate::http;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+// tidy:allow(PP010): shutdown latch only — a monotone boolean, no data is published through it
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -47,6 +48,7 @@ impl Default for ShellConfig {
 /// A running daemon: its bound address plus a shutdown switch.
 pub struct ShellHandle {
     addr: SocketAddr,
+    // tidy:allow(PP010): shutdown latch only — a monotone boolean, no data is published through it
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -60,6 +62,7 @@ impl ShellHandle {
     /// Stops the accept loop, the ingest thread, and the workers, then
     /// joins them. Idempotent.
     pub fn shutdown(&mut self) {
+        // tidy:allow(PP010): shutdown latch only — a monotone boolean, no data is published through it
         self.shutdown.store(true, Ordering::Release);
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -118,6 +121,7 @@ pub fn serve(core: Arc<ServiceCore>, config: &ShellConfig) -> std::io::Result<Sh
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    // tidy:allow(PP010): shutdown latch only — a monotone boolean, no data is published through it
     let shutdown = Arc::new(AtomicBool::new(false));
     let workers = if config.workers == 0 {
         prodpred_pool::num_threads()
@@ -150,6 +154,7 @@ pub fn serve(core: Arc<ServiceCore>, config: &ShellConfig) -> std::io::Result<Sh
         let shutdown = Arc::clone(&shutdown);
         let tick = Duration::from_millis(config.tick_millis.max(1));
         threads.push(std::thread::spawn(move || {
+            // tidy:allow(PP010): shutdown latch only — a monotone boolean, no data is published through it
             while !shutdown.load(Ordering::Acquire) {
                 std::thread::sleep(tick);
                 core.ingest_tick();
@@ -160,6 +165,7 @@ pub fn serve(core: Arc<ServiceCore>, config: &ShellConfig) -> std::io::Result<Sh
     {
         let shutdown = Arc::clone(&shutdown);
         threads.push(std::thread::spawn(move || {
+            // tidy:allow(PP010): shutdown latch only — a monotone boolean, no data is published through it
             while !shutdown.load(Ordering::Acquire) {
                 match listener.accept() {
                     Ok((stream, _)) => {

@@ -30,7 +30,7 @@
 //! the crate `forbid(unsafe_code)`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 /// Ring capacity: how many epochs of grace a stalled reader gets before
 /// its load retries. Publication cadence is seconds; reads are
@@ -95,7 +95,20 @@ impl<T> EpochSwap<T> {
     /// Publishers are serialized against each other; readers are never
     /// blocked (they read a different slot).
     pub fn publish(&self, value: T) -> u64 {
-        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        self.begin_publish(value).commit()
+    }
+
+    /// Writes `value` into the next epoch's slot but does **not** make
+    /// the epoch visible yet: readers keep loading the previous epoch
+    /// until [`PendingPublish::commit`] performs the Release store.
+    ///
+    /// This is the publication protocol's natural seam — the returned
+    /// guard holds the writer lock, so the slot-write/word-store pair
+    /// stays a single serialized publication — and it is what the
+    /// model-checking conformance harness drives to replay explored
+    /// schedules step-for-step (see `prodpred-analysis::svc`).
+    pub fn begin_publish(&self, value: T) -> PendingPublish<'_, T> {
+        let writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         let epoch = *writer + 1;
         {
             let mut slot = self.slots[(epoch as usize) % SLOTS]
@@ -104,10 +117,30 @@ impl<T> EpochSwap<T> {
             slot.epoch = epoch;
             slot.value = Some(Arc::new(value));
         }
-        // The slot is fully written before the epoch becomes visible.
-        self.epoch.store(epoch, Ordering::Release);
-        *writer = epoch;
-        epoch
+        PendingPublish {
+            swap: self,
+            writer,
+            epoch,
+        }
+    }
+
+    /// One validation attempt against a specific `epoch`: the slot read
+    /// half of [`Self::load`], without the retry loop. `None` means the
+    /// slot no longer carries `epoch` (the writer lapped it, or nothing
+    /// was published) and the caller must re-load the epoch word.
+    pub fn try_load_at(&self, epoch: u64) -> Option<Arc<T>> {
+        if epoch == 0 {
+            return None;
+        }
+        let slot = self.slots[(epoch as usize) % SLOTS]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        if slot.epoch == epoch {
+            if let Some(value) = &slot.value {
+                return Some(Arc::clone(value));
+            }
+        }
+        None
     }
 
     /// Loads the latest published `(epoch, value)`, or `None` before the
@@ -120,18 +153,40 @@ impl<T> EpochSwap<T> {
             if epoch == 0 {
                 return None;
             }
-            let slot = self.slots[(epoch as usize) % SLOTS]
-                .read()
-                .unwrap_or_else(PoisonError::into_inner);
-            if slot.epoch == epoch {
-                if let Some(value) = &slot.value {
-                    return Some((epoch, Arc::clone(value)));
-                }
+            if let Some(value) = self.try_load_at(epoch) {
+                return Some((epoch, value));
             }
             // Lapped: the writer reused this slot for a newer epoch
             // between our epoch load and slot read. Retry; the fresh
             // epoch's slot is untouched for another SLOTS - 1 publishes.
         }
+    }
+}
+
+/// A publication whose slot is written but whose epoch is not yet
+/// visible to readers. Holds the writer lock; dropping it without
+/// [`commit`](Self::commit) abandons the slot write (the next publish
+/// simply overwrites the same slot with the same epoch number).
+#[must_use = "the epoch only becomes visible on commit"]
+pub struct PendingPublish<'a, T> {
+    swap: &'a EpochSwap<T>,
+    writer: MutexGuard<'a, u64>,
+    epoch: u64,
+}
+
+impl<T> PendingPublish<'_, T> {
+    /// The epoch this publication will become once committed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Release-stores the epoch word, making the publication visible to
+    /// readers, and returns the published epoch.
+    pub fn commit(mut self) -> u64 {
+        // The slot is fully written before the epoch becomes visible.
+        self.swap.epoch.store(self.epoch, Ordering::Release);
+        *self.writer = self.epoch;
+        self.epoch
     }
 }
 

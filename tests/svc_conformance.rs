@@ -1,0 +1,232 @@
+//! Conformance between the serving-path model (`prodpred_analysis::svc`)
+//! and the real `EpochSwap`/`EpochCache`/`Admission`.
+//!
+//! The model checker proves the invariants over *model* semantics; these
+//! tests close the loop by replaying explored schedules step-for-step
+//! against the real types through their instrumentation seams
+//! (`begin_publish`/`commit`, `try_load_at`, `bump_word`/`sweep_shard`,
+//! `take_token`/`enter_inflight`/`exit_inflight`), asserting the
+//! implementation observes exactly what the model predicts at every
+//! micro-step. A proptest drives random walks through the model's
+//! enabled transitions so the replayed schedules are not limited to the
+//! deterministic harvest.
+
+use prodpred_analysis::mc::TransitionSystem;
+use prodpred_analysis::svc::{self, Action, ServingHarness, Svc, SvcConfig};
+use prodpred_core::PredictorConfig;
+use prodpred_service::cache::{CacheConfig, EpochCache, QueryKey};
+use prodpred_service::resilience::{Admission, AdmissionConfig};
+use prodpred_service::swap::{EpochSwap, PendingPublish};
+
+/// The real serving stack wired up as a model harness: one
+/// `EpochSwap<u64>` (values are their epoch, matching the model's
+/// value-is-provenance abstraction), one `EpochCache<u64>` with one
+/// pre-located key per shard, and one `Admission` gauge.
+struct RealHarness<'a> {
+    swap: &'a EpochSwap<u64>,
+    pending: Option<PendingPublish<'a, u64>>,
+    cache: EpochCache<u64>,
+    keys: Vec<QueryKey>,
+    admission: Admission,
+}
+
+/// Finds one query key per shard by scanning the deterministic
+/// fingerprint routing.
+fn keys_per_shard(cache: &EpochCache<u64>) -> Vec<QueryKey> {
+    let shards = cache.shard_count();
+    let mut keys: Vec<Option<QueryKey>> = vec![None; shards];
+    let mut found = 0;
+    for n in 0.. {
+        let key = QueryKey::new(1, n, 4, &PredictorConfig::default(), None);
+        let shard = cache.shard_index(&key);
+        if keys[shard].is_none() {
+            keys[shard] = Some(key);
+            found += 1;
+            if found == shards {
+                break;
+            }
+        }
+    }
+    keys.into_iter()
+        .map(|k| k.expect("every shard keyed"))
+        .collect()
+}
+
+impl<'a> RealHarness<'a> {
+    fn new(swap: &'a EpochSwap<u64>, config: SvcConfig) -> Self {
+        let cache = EpochCache::new(CacheConfig {
+            capacity: 64,
+            shards: config.shards,
+        });
+        let keys = keys_per_shard(&cache);
+        let to_u64 = |v: u8| {
+            if v == svc::UNBOUNDED {
+                u64::MAX
+            } else {
+                u64::from(v)
+            }
+        };
+        let admission = Admission::new(AdmissionConfig {
+            max_inflight_misses: to_u64(config.max_inflight),
+            miss_tokens_per_tick: to_u64(config.tokens),
+        });
+        RealHarness {
+            swap,
+            pending: None,
+            cache,
+            keys,
+            admission,
+        }
+    }
+}
+
+impl ServingHarness for RealHarness<'_> {
+    fn write_slot_tag(&mut self, epoch: u64) {
+        // The real writer fills the whole slot (tag + value) under the
+        // writer lock in `begin_publish`; the model's separate tag/value
+        // steps both map onto this one write, which is sound because no
+        // correct-variant reader can observe the half-written window
+        // (the epoch word still names the previous epoch).
+        let pending = self.swap.begin_publish(epoch);
+        assert_eq!(pending.epoch(), epoch, "publication epoch agrees");
+        self.pending = Some(pending);
+    }
+
+    fn write_slot_val(&mut self, _epoch: u64) {
+        // Already written by `begin_publish`; see `write_slot_tag`.
+    }
+
+    fn publish_epoch(&mut self, epoch: u64) {
+        let pending = self.pending.take().expect("publish follows the slot write");
+        assert_eq!(pending.commit(), epoch);
+        self.admission.refill();
+    }
+
+    fn load_epoch(&mut self) -> u64 {
+        self.swap.epoch()
+    }
+
+    fn read_slot(&mut self, epoch: u64) -> Option<u64> {
+        self.swap.try_load_at(epoch).map(|v| *v)
+    }
+
+    fn probe(&mut self, shard: usize, epoch: u64) -> Option<u64> {
+        self.cache.get(epoch, &self.keys[shard]).map(|v| *v)
+    }
+
+    fn take_token(&mut self) -> bool {
+        self.admission.take_token()
+    }
+
+    fn enter_inflight(&mut self) -> bool {
+        self.admission.enter_inflight()
+    }
+
+    fn rollback_inflight(&mut self) {
+        self.admission.exit_inflight();
+    }
+
+    fn insert(&mut self, shard: usize, epoch: u64) {
+        self.cache.insert(epoch, self.keys[shard], epoch);
+    }
+
+    fn release_permit(&mut self) {
+        self.admission.exit_inflight();
+    }
+
+    fn bump_word(&mut self, epoch: u64) -> bool {
+        self.cache.bump_word(epoch)
+    }
+
+    fn sweep_shard(&mut self, shard: usize, epoch: u64) {
+        self.cache.sweep_shard(shard, epoch);
+    }
+}
+
+/// Replays every harvested schedule of `config` against a fresh real
+/// stack.
+fn replay_all(config: SvcConfig, limit: usize) {
+    let schedules = svc::schedules(config, limit);
+    assert!(!schedules.is_empty(), "harvest must produce schedules");
+    for (i, schedule) in schedules.iter().enumerate() {
+        let swap: EpochSwap<u64> = EpochSwap::new();
+        let mut harness = RealHarness::new(&swap, config);
+        svc::replay(config, schedule, &mut harness)
+            .unwrap_or_else(|e| panic!("schedule {i} diverged: {e}"));
+    }
+}
+
+#[test]
+fn explored_schedules_replay_on_the_real_stack() {
+    replay_all(SvcConfig::new(2, 2, 2), 300);
+}
+
+#[test]
+fn admission_pressure_schedules_replay_on_the_real_stack() {
+    replay_all(SvcConfig::new(2, 1, 2).with_admission(1, 1), 300);
+}
+
+#[test]
+fn ring_lapping_schedules_replay_on_the_real_stack() {
+    replay_all(SvcConfig::new(2, 1, 3), 300);
+}
+
+#[test]
+fn three_reader_schedules_replay_on_the_real_stack() {
+    replay_all(SvcConfig::new(3, 2, 2), 200);
+}
+
+mod random_schedules {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Drives the model by a random choice sequence: at each state pick
+    /// one of the enabled transitions. Returns the realized schedule
+    /// (possibly partial — stops at quiescence or when choices run dry).
+    fn random_walk(config: SvcConfig, choices: &[usize]) -> Vec<Action> {
+        let sys = Svc::new(config);
+        let mut state = sys.initial();
+        let mut schedule = Vec::new();
+        for &c in choices {
+            let enabled = sys.enabled(&state);
+            if enabled.is_empty() {
+                break;
+            }
+            let action = enabled[c % enabled.len()];
+            state = sys.apply(&state, action).expect("correct variant holds");
+            schedule.push(action);
+        }
+        schedule
+    }
+
+    proptest! {
+        // Any schedule the model can produce, replayed on the real
+        // cache/swap/admission, never serves a cross-epoch value and
+        // never disagrees with the model: `replay` asserts every hit's
+        // value equals the serving epoch's entry, and the model itself
+        // errors on a cross-epoch hit.
+        #[test]
+        fn random_walks_replay_without_cross_epoch_hits(
+            choices in proptest::collection::vec(0usize..16, 1..160),
+        ) {
+            let config = SvcConfig::new(2, 2, 2);
+            let schedule = random_walk(config, &choices);
+            let swap: EpochSwap<u64> = EpochSwap::new();
+            let mut harness = RealHarness::new(&swap, config);
+            prop_assert!(svc::replay(config, &schedule, &mut harness).is_ok());
+        }
+
+        // Same property under admission pressure, where the shed and
+        // rollback paths are reachable.
+        #[test]
+        fn pressured_walks_replay_without_divergence(
+            choices in proptest::collection::vec(0usize..16, 1..160),
+        ) {
+            let config = SvcConfig::new(2, 2, 2).with_admission(1, 1);
+            let schedule = random_walk(config, &choices);
+            let swap: EpochSwap<u64> = EpochSwap::new();
+            let mut harness = RealHarness::new(&swap, config);
+            prop_assert!(svc::replay(config, &schedule, &mut harness).is_ok());
+        }
+    }
+}
